@@ -1,0 +1,436 @@
+// Package psigene_bench is the repository's benchmark harness: one
+// benchmark per table and figure of the paper (regenerating its rows or
+// series each iteration, with the headline rates attached as custom
+// metrics), plus ablation and micro benchmarks for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package psigene_bench
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/cluster"
+	"psigene/internal/core"
+	"psigene/internal/experiments"
+	"psigene/internal/feature"
+	"psigene/internal/ids"
+	"psigene/internal/matrix"
+	"psigene/internal/ml"
+	"psigene/internal/normalize"
+	"psigene/internal/perdisci"
+	"psigene/internal/ruleset"
+	"psigene/internal/scanner"
+	"psigene/internal/sqlmini"
+	"psigene/internal/traffic"
+	"psigene/internal/webapp"
+)
+
+// benchScale keeps every experiment benchmark affordable while preserving
+// the shapes; the evalharness binary reruns the same code at any scale.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		TrainAttacks: 1500,
+		TrainBenign:  4000,
+		SQLMapTests:  600,
+		ArachniTests: 300,
+		VegaTests:    300,
+		BenignTests:  8000,
+		Seed:         1,
+	}
+}
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = experiments.Setup(benchScale())
+	})
+	if envErr != nil {
+		b.Fatalf("setup: %v", envErr)
+	}
+	return envVal
+}
+
+// --- one benchmark per table ------------------------------------------------
+
+func BenchmarkTable1Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2FeatureSources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTable3SignatureFeatures(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Rulesets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table4() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTable5Accuracy(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.Table5(env)
+	}
+	for _, r := range rows {
+		if r.System == "pSigene ("+itoa(len(env.Model9.Signatures))+" signatures)" {
+			b.ReportMetric(r.TPRSQLMap*100, "TPR%")
+			b.ReportMetric(r.FPR*100, "FPR%")
+		}
+	}
+}
+
+func BenchmarkTable6ClusterDetail(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table6(env) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// --- one benchmark per figure -----------------------------------------------
+
+func BenchmarkFigure2Heatmap(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := experiments.Figure2(env, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3ROC(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var rocs []experiments.SignatureROC
+	for i := 0; i < b.N; i++ {
+		var err error
+		rocs, err = experiments.Figure3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, r := range rocs {
+		if r.AUC > best {
+			best = r.AUC
+		}
+	}
+	b.ReportMetric(best, "bestAUC")
+}
+
+func BenchmarkFigure4CumulativeTPR(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var rows []experiments.CumulativeTPR
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure4(env)
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[len(rows)-1].Cumulative*100, "cumTPR%")
+	}
+}
+
+// --- the numbered experiments -----------------------------------------------
+
+func BenchmarkExp2Incremental(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var rows []experiments.IncrementalResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Experiment2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[2].TPR*100, "TPR+40%")
+	}
+}
+
+func BenchmarkExp3Perdisci(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var res *experiments.PerdisciResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Experiment3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TPRUnseen*100, "unseenTPR%")
+	b.ReportMetric(res.TPRTrain*100, "trainTPR%")
+}
+
+// Experiment 4 is the per-request processing time; testing.B's ns/op IS the
+// measurement, one benchmark per system.
+
+func benchInspect(b *testing.B, d ids.Detector) {
+	env := benchEnv(b)
+	reqs := env.SQLMap
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Inspect(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkExp4ProcessingTimePSigeneCountAll(b *testing.B) {
+	env := benchEnv(b)
+	d, err := core.NewCountAllDetector(env.Model9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchInspect(b, d)
+}
+
+func BenchmarkExp4ProcessingTimePSigeneShared(b *testing.B) {
+	benchInspect(b, benchEnv(b).Model9)
+}
+
+func BenchmarkExp4ProcessingTimeModSec(b *testing.B) {
+	benchInspect(b, benchEnv(b).ModSec)
+}
+
+func BenchmarkExp4ProcessingTimeBro(b *testing.B) {
+	benchInspect(b, benchEnv(b).Bro)
+}
+
+func BenchmarkExp4ProcessingTimeSnortET(b *testing.B) {
+	benchInspect(b, benchEnv(b).SnortET)
+}
+
+// --- ablations ----------------------------------------------------------------
+
+func BenchmarkAblationBinaryFeatures(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var row *experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.AblationBinaryFeatures(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.TPR*100, "TPR%")
+}
+
+func BenchmarkAblationGlobalLR(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var row *experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.AblationGlobalLR(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.TPR*100, "TPR%")
+}
+
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ThresholdSweep(env, []float64{0.1, 0.5, 0.9})
+	}
+}
+
+// --- micro benchmarks for the substrates --------------------------------------
+
+func BenchmarkNormalize(b *testing.B) {
+	payload := "id=1%27%20UNION%20SELECT%20user,password%20FROM%20mysql.user%20WHERE%201=1--"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		normalize.Normalize(payload)
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := normalize.Normalize("id=-1+union+select+1,concat(database(),char(58),user()),3+from+information_schema.tables--+")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.Vector(sample)
+	}
+}
+
+func BenchmarkUPGMA500(b *testing.B) {
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), 1)
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var samples []string
+	for len(samples) < 500 {
+		samples = append(samples, normalize.Normalize(gen.Sample().Request.Payload()))
+	}
+	m, err := ex.Matrix(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := matrix.PairwiseDistances(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.UPGMA(dist, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogisticTrainPCG(b *testing.B) {
+	env := benchEnv(b)
+	_ = env
+	// A representative per-signature training problem: 400 samples,
+	// 12 features.
+	rows := make([][]float64, 400)
+	y := make([]float64, 400)
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), 3)
+	ben := traffic.NewGenerator(4)
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range rows {
+		var payload string
+		if i%2 == 0 {
+			payload = gen.Sample().Request.Payload()
+			y[i] = 1
+		} else {
+			payload = ben.Request().Payload()
+		}
+		rows[i] = ex.Vector(normalize.Normalize(payload))[:12]
+	}
+	x, err := matrix.NewFromRows(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainLogistic(x, y, nil, ml.TrainOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullPipelineTrain(b *testing.B) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(800)
+	benign := traffic.NewGenerator(2).Requests(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(attacks, benign, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerdisciTrain(b *testing.B) {
+	train := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perdisci.Train(train, perdisci.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuleEngineCompile(b *testing.B) {
+	rs := ruleset.SnortET()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ids.NewRuleEngine(rs, ids.Options{IncludeDisabled: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{byte('0' + n%10)}, buf...)
+		n /= 10
+	}
+	return string(buf)
+}
+
+func BenchmarkSQLMiniExec(b *testing.B) {
+	db := sqlmini.NewDB()
+	db.Create("users", []string{"id", "name", "password"}, [][]sqlmini.Value{
+		{sqlmini.Number(1), sqlmini.Str("alice"), sqlmini.Str("pw1")},
+		{sqlmini.Number(2), sqlmini.Str("bob"), sqlmini.Str("pw2")},
+	})
+	queries := []string{
+		"SELECT * FROM users WHERE id = 1",
+		"SELECT * FROM users WHERE name = '' or '1'='1'",
+		"SELECT name FROM users WHERE id = -1 UNION SELECT password FROM users",
+		"SELECT concat(database(), char(58), version())",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScannerFullScan(b *testing.B) {
+	app := webapp.New(12)
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+	var pages []scanner.Page
+	for _, v := range app.Vulnerabilities() {
+		pages = append(pages, scanner.Page{Path: v.Path, Param: v.Param, Benign: v.BenignValue})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scanner.New(srv.URL, scanner.Options{Client: srv.Client()})
+		if _, err := s.Scan(pages); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

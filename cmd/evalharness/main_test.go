@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEnvFreeExperiments(t *testing.T) {
+	// table1/table2/table4 need no trained environment and run fast.
+	for _, exp := range []string{"table1", "table2", "table4"} {
+		var out strings.Builder
+		if err := run([]string{"-experiment", exp}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "table99"}, &out); err == nil {
+		t.Fatal("unknown experiment: want error")
+	}
+}
+
+func TestRunWithEnv(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	var out strings.Builder
+	args := []string{
+		"-experiment", "table5",
+		"-train-attacks", "600", "-train-benign", "1500", "-benign-tests", "2000",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("table5: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"pSigene", "ModSecurity", "Bro", "TPR"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table5 output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command portalsrv runs the simulated cybersecurity portals as real HTTP
+// servers, so the crawler (psigene crawl) can be exercised over the
+// network exactly as the paper's first phase describes.
+//
+//	portalsrv -addr 127.0.0.1:8931 -entries 40
+//
+// serves four portals under one listener:
+//
+//	/securityfocus/  HTML listing + advisory pages
+//	/exploitdb/      HTML listing + advisory pages
+//	/packetstorm/    HTML listing + advisory pages
+//	/osvdb/          JSON search API (/osvdb/api/search)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/portal"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "portalsrv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("portalsrv", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8931", "listen address")
+		entries = fs.Int("entries", 40, "advisories per portal")
+		seed    = fs.Int64("seed", 1, "sample generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	names := []struct {
+		prefix string
+		style  portal.Style
+	}{
+		{"securityfocus", portal.StyleHTML},
+		{"exploitdb", portal.StyleHTML},
+		{"packetstorm", portal.StyleHTML},
+		{"osvdb", portal.StyleAPI},
+		{"fulldisclosure", portal.StyleForum},
+	}
+	for i, n := range names {
+		gen := attackgen.NewGenerator(attackgen.CrawlProfile(), seedFor(*seed, i))
+		p := portal.New(n.prefix, n.style, 10, portal.GenerateEntries(gen, *entries))
+		mux.Handle("/"+n.prefix+"/", http.StripPrefix("/"+n.prefix, p.Handler()))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("portals listening on http://%s/{securityfocus,exploitdb,packetstorm,osvdb,fulldisclosure}/\n", ln.Addr())
+	fmt.Printf("crawl them with:\n  psigene crawl -portals %s\n", portalList(ln.Addr().String(), names))
+	server := &http.Server{Handler: mux}
+	return server.Serve(ln)
+}
+
+func seedFor(base int64, i int) int64 { return base + int64(i)*7 }
+
+func portalList(addr string, names []struct {
+	prefix string
+	style  portal.Style
+}) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += "http://" + addr + "/" + n.prefix
+	}
+	return out
+}

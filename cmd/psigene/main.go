@@ -1,0 +1,299 @@
+// Command psigene drives the pSigene pipeline end to end.
+//
+// Subcommands:
+//
+//	psigene train   -attacks 3000 -benign 10000 -out model.json
+//	    Generate (or crawl) a training corpus and produce a signature set.
+//	psigene crawl   -portals http://host1,http://host2 -out samples.txt
+//	    Crawl cybersecurity portals and write the extracted sample URLs.
+//	psigene inspect -model model.json -url "/page.php?id=1'+or+1=1--"
+//	    Classify one request with a trained signature set.
+//	psigene eval    -model model.json
+//	    Evaluate a trained model against generated test sets.
+//	psigene export  -model model.json -out psigene.bro
+//	    Render the signatures as a Bro 2.x policy script (§III-C).
+//	psigene tune    -model model.json -target-fpr 0.0005 -out tuned.json
+//	    Pick per-signature thresholds from a validation set (Figure 3).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/crawl"
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "psigene:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: psigene <train|crawl|inspect|eval|export|tune> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:], w)
+	case "crawl":
+		return runCrawl(args[1:], w)
+	case "inspect":
+		return runInspect(args[1:], w)
+	case "eval":
+		return runEval(args[1:], w)
+	case "export":
+		return runExport(args[1:], w)
+	case "tune":
+		return runTune(args[1:], w)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runTrain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var (
+		nAttacks = fs.Int("attacks", 3000, "number of attack training samples to generate")
+		nBenign  = fs.Int("benign", 10000, "number of benign training requests to generate")
+		samples  = fs.String("samples", "", "file of crawled attack sample URLs (one per line) instead of generated attacks")
+		portals  = fs.String("portals", "", "comma-separated portal base URLs to crawl for attacks instead of generating")
+		seed     = fs.Int64("seed", 1, "RNG seed for generated corpora")
+		out      = fs.String("out", "model.json", "output model path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var attacks []httpx.Request
+	switch {
+	case *portals != "":
+		c := crawl.New(crawl.Options{})
+		all, results, err := c.CrawlAll(strings.Split(*portals, ","))
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Fprintf(w, "crawled %s: %d pages, %d samples\n", r.Portal, r.PagesFetched, len(r.Samples))
+		}
+		attacks = all
+	case *samples != "":
+		var err error
+		attacks, err = readSampleFile(*samples)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loaded %d samples from %s\n", len(attacks), *samples)
+	default:
+		attacks = attackgen.NewGenerator(attackgen.CrawlProfile(), *seed).Requests(*nAttacks)
+	}
+	benign := traffic.NewGenerator(*seed + 1).Requests(*nBenign)
+
+	fmt.Fprintf(w, "training on %d attack and %d benign samples...\n", len(attacks), len(benign))
+	model, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trained %d signatures over %d observed features (of %d candidates)\n",
+		len(model.Signatures), model.Stats.ObservedFeatures, model.Stats.CandidateFeatures)
+	fmt.Fprintf(w, "matrix sparsity: %.1f%% zeros, %.1f%% ones; cophenetic correlation %.3f\n",
+		model.Stats.ZeroFraction*100, model.Stats.OneFraction*100, model.Stats.CopheneticCorrelation)
+	for _, s := range model.Signatures {
+		fmt.Fprintf(w, "  signature %d: %.0f samples, %d->%d features\n",
+			s.ID, s.SampleWeight, s.BiclusterFeatures, len(s.Features))
+	}
+	if err := model.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "model written to %s\n", *out)
+	return nil
+}
+
+func readSampleFile(path string) ([]httpx.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []httpx.Request
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := httpx.ParseURL(line)
+		if err != nil || req.RawQuery == "" {
+			continue
+		}
+		req.Malicious = true
+		req.Tool = "file"
+		out = append(out, req)
+	}
+	return out, sc.Err()
+}
+
+func runCrawl(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
+	var (
+		portals  = fs.String("portals", "", "comma-separated portal base URLs (required)")
+		out      = fs.String("out", "samples.txt", "output file of sample URLs")
+		maxPages = fs.Int("max-pages", 200, "page budget per portal")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *portals == "" {
+		return fmt.Errorf("crawl: -portals is required")
+	}
+	c := crawl.New(crawl.Options{MaxPages: *maxPages})
+	all, results, err := c.CrawlAll(strings.Split(*portals, ","))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, s := range all {
+		fmt.Fprintf(f, "http://%s%s\n", s.Host, s.URL())
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s: %d pages, %d samples, CVEs: %s\n",
+			r.Portal, r.PagesFetched, len(r.Samples), strings.Join(r.CVEs, " "))
+	}
+	fmt.Fprintf(w, "%d unique samples written to %s\n", len(all), *out)
+	return nil
+}
+
+func runInspect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		url       = fs.String("url", "", "request URL to classify (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("inspect: -url is required")
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	req, err := httpx.ParseURL(*url)
+	if err != nil {
+		return err
+	}
+	verdict := model.Inspect(req)
+	probs := model.Probabilities(req)
+	if verdict.Alert {
+		fmt.Fprintf(w, "ALERT: %s\n", strings.Join(verdict.Matched, " "))
+	} else {
+		fmt.Fprintln(w, "clean")
+	}
+	for i, s := range model.Signatures {
+		fmt.Fprintf(w, "  signature %d: P(attack) = %.6f\n", s.ID, probs[i])
+	}
+	return nil
+}
+
+func runEval(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		nAttacks  = fs.Int("attacks", 1000, "test attacks per tool")
+		nBenign   = fs.Int("benign", 10000, "benign test requests")
+		seed      = fs.Int64("seed", 100, "test-set seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	for _, tool := range []struct {
+		name    string
+		profile attackgen.Profile
+	}{
+		{"sqlmap", attackgen.SQLMapProfile()},
+		{"arachni", attackgen.ArachniProfile()},
+		{"vega", attackgen.VegaProfile()},
+	} {
+		reqs := attackgen.NewGenerator(tool.profile, *seed).Requests(*nAttacks)
+		r := ids.Evaluate(model, reqs)
+		fmt.Fprintf(w, "%-8s TPR = %6.2f%%  (%d/%d)\n", tool.name, r.TPR()*100, r.TP, r.TP+r.FN)
+	}
+	benign := traffic.NewGenerator(*seed + 9).Requests(*nBenign)
+	r := ids.Evaluate(model, benign)
+	fmt.Fprintf(w, "%-8s FPR = %7.4f%% (%d/%d)\n", "benign", r.FPR()*100, r.FP, r.FP+r.TN)
+	return nil
+}
+
+func runExport(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		out       = fs.String("out", "psigene.bro", "output Bro policy script")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	script := model.ExportBro()
+	if err := os.WriteFile(*out, []byte(script), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d signatures exported to %s (%d bytes)\n", len(model.Signatures), *out, len(script))
+	return nil
+}
+
+func runTune(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		out       = fs.String("out", "tuned.json", "output model path")
+		targetFPR = fs.Float64("target-fpr", 0.0005, "per-signature false-positive budget")
+		nAttacks  = fs.Int("attacks", 500, "validation attacks to generate")
+		nBenign   = fs.Int("benign", 5000, "validation benign requests to generate")
+		seed      = fs.Int64("seed", 300, "validation-set seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	validation := append(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), *seed).Requests(*nAttacks),
+		traffic.NewGenerator(*seed+1).Requests(*nBenign)...)
+	thresholds, err := model.TuneThresholds(validation, *targetFPR)
+	if err != nil {
+		return err
+	}
+	for i, s := range model.Signatures {
+		fmt.Fprintf(w, "signature %d: threshold %.6f\n", s.ID, thresholds[i])
+	}
+	if err := model.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "tuned model written to %s\n", *out)
+	return nil
+}

@@ -1,0 +1,55 @@
+// Quickstart: train a pSigene signature set on a small synthetic corpus
+// and classify a handful of requests.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/httpx"
+	"psigene/internal/traffic"
+)
+
+func main() {
+	// Phase 1 stand-in: a crawled-corpus generator (see examples/crawl-and-train
+	// for the real crawling loop).
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(3000)
+	benign := traffic.NewGenerator(2).Requests(8000)
+
+	// Phases 2-4: feature extraction, biclustering, logistic signatures.
+	model, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d generalized signatures over %d features (from %d candidates)\n",
+		len(model.Signatures), model.Stats.ObservedFeatures, model.Stats.CandidateFeatures)
+	fmt.Printf("cophenetic correlation of the sample dendrogram: %.3f\n\n",
+		model.Stats.CopheneticCorrelation)
+
+	// Operational phase: classify requests.
+	requests := []string{
+		"/product.php?id=42",
+		"/product.php?id=42'+or+'1'='1",
+		"/search?q=union+college+course+selection",
+		"/view.php?cat=-1+union+select+user,password+from+mysql.user--+",
+		"/news.php?article=1%27;+drop+table+users;--+",
+		"/calendar/events.php?from=2026-07-01&to=2026-07-31",
+		"/item.php?ref=1+and+sleep(5)",
+	}
+	for _, raw := range requests {
+		req, err := httpx.ParseURL(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := model.Inspect(req)
+		status := "clean"
+		if verdict.Alert {
+			status = "ALERT " + fmt.Sprint(verdict.Matched)
+		}
+		fmt.Printf("%-55s %s\n", raw, status)
+	}
+}

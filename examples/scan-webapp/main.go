@@ -1,0 +1,76 @@
+// Scan-webapp: the paper's test-set methodology, end to end. A WAVSEP-style
+// vulnerable application (backed by a real miniature SQL engine) is served
+// over HTTP; a working SQLmap-style scanner probes it with error-, boolean-,
+// union- and time-based techniques; the scanner's request log becomes the
+// attack test set; and a pSigene model trained on an independent crawl-style
+// corpus is evaluated against that behaviourally generated traffic.
+//
+//	go run ./examples/scan-webapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/ids"
+	"psigene/internal/scanner"
+	"psigene/internal/traffic"
+	"psigene/internal/webapp"
+)
+
+func main() {
+	// The three-tier target: 24 vulnerable pages over an in-memory MySQL.
+	app := webapp.New(24)
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+	fmt.Printf("vulnerable app at %s with %d injectable pages\n\n", srv.URL, len(app.Vulnerabilities()))
+
+	// Scan it, as the paper runs SQLmap against its 136-vulnerability app.
+	var pages []scanner.Page
+	for _, v := range app.Vulnerabilities() {
+		pages = append(pages, scanner.Page{Path: v.Path, Param: v.Param, Benign: v.BenignValue})
+	}
+	s := scanner.New(srv.URL, scanner.Options{Client: srv.Client(), Tool: "sqlmap"})
+	res, err := s.Scan(pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byTech := map[scanner.Technique]int{}
+	for _, f := range res.Findings {
+		byTech[f.Technique]++
+		if f.Extracted != "" && byTech[f.Technique] == 1 {
+			fmt.Printf("finding: %-14s on %-22s extracted %q\n", f.Technique, f.Page.Path, f.Extracted)
+		}
+	}
+	fmt.Printf("\nscan complete: %d findings over %d pages, %d attack requests captured\n",
+		len(res.Findings), res.PagesScanned, len(res.Requests))
+	for _, tech := range []scanner.Technique{scanner.TechniqueError, scanner.TechniqueBoolean, scanner.TechniqueUnion, scanner.TechniqueTime} {
+		fmt.Printf("  %-14s %d confirmations\n", tech, byTech[tech])
+	}
+
+	// Demonstrate the boolean-blind channel end to end: exfiltrate the
+	// admin password one comparison at a time, as SQLmap would.
+	v0 := app.Vulnerabilities()[0]
+	secret, err := s.ExtractBoolean(
+		scanner.Page{Path: v0.Path, Param: v0.Param, Benign: v0.BenignValue},
+		"select password from users where username='admin'", false, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nboolean-blind extraction of the admin password: %q\n", secret)
+
+	// Train pSigene on an independent crawl-style corpus and evaluate it on
+	// the scanner's captured traffic — generalization to a tool it never saw.
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(3000)
+	benign := traffic.NewGenerator(2).Requests(8000)
+	model, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval := ids.Evaluate(model, res.Requests)
+	fmt.Printf("\npSigene (%d signatures, trained on crawl corpus) on captured scanner traffic:\n", len(model.Signatures))
+	fmt.Printf("  detected %d of %d scanner requests (TPR = %.2f%%)\n", eval.TP, eval.TP+eval.FN, eval.TPR()*100)
+}

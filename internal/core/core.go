@@ -1,0 +1,474 @@
+// Package core implements pSigene itself: the four-phase pipeline that
+// turns a corpus of attack samples and benign traffic into a set of
+// generalized SQL-injection signatures, plus the runtime engine that
+// matches those signatures against HTTP requests.
+//
+// Phases (Figure 1 of the paper):
+//
+//  1. collection — attack requests, typically from internal/crawl;
+//  2. feature extraction — internal/feature's 477-candidate catalog,
+//     pruned to the observed set (the paper's 159);
+//  3. biclustering — internal/cluster's two-way UPGMA with ≥5% selection
+//     and black-hole rejection;
+//  4. signature generation — one logistic-regression model per bicluster,
+//     trained against benign traffic with PCG and pruned (Table VI).
+//
+// The trained Model implements ids.Detector: a request is normalized, its
+// feature counts extracted (the count_all operation of the paper's Bro
+// implementation), each signature's sigmoid evaluated, and an alert raised
+// when any signature's probability crosses its threshold.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"psigene/internal/cluster"
+	"psigene/internal/feature"
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/matrix"
+	"psigene/internal/ml"
+	"psigene/internal/normalize"
+)
+
+// Config tunes the pipeline. Zero values take paper-faithful defaults.
+type Config struct {
+	// Catalog is the candidate feature set; nil means feature.Catalog().
+	Catalog *feature.Set
+	// Cluster configures biclustering (5% rule, black holes).
+	Cluster cluster.Options
+	// Train configures the per-signature logistic regressions.
+	Train ml.TrainOptions
+	// PruneThreshold is the relative coefficient-importance cutoff for
+	// post-training feature pruning (Table VI's biclustering-vs-signature
+	// feature counts). 0 means 0.05; negative disables pruning.
+	PruneThreshold float64
+	// Threshold is the signature decision probability. 0 means 0.5.
+	Threshold float64
+	// BinaryFeatures clamps counts to presence flags — the ablation the
+	// paper reports as "did not produce good results".
+	BinaryFeatures bool
+	// BenignWeight multiplies the weight of every benign training sample —
+	// cost-sensitive training that makes the logistic signatures demand
+	// co-occurring evidence instead of a single strong feature, keeping the
+	// false-positive rate at the paper's level. 0 means 10; negative
+	// disables the reweighting.
+	BenignWeight float64
+	// MaxClusterSamples caps the number of unique samples fed to the
+	// quadratic HAC step; the remainder are assigned to the nearest
+	// bicluster centroid afterwards and still train the signatures. This is
+	// what lets the pipeline scale to the paper's 30,000-sample corpus.
+	// 0 means 2500; negative disables the cap.
+	MaxClusterSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Catalog == nil {
+		cat := feature.Catalog()
+		c.Catalog = &cat
+	}
+	if c.PruneThreshold == 0 {
+		c.PruneThreshold = 0.2
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.BenignWeight == 0 {
+		c.BenignWeight = 25
+	}
+	if c.BenignWeight < 0 {
+		c.BenignWeight = 1
+	}
+	if c.MaxClusterSamples == 0 {
+		c.MaxClusterSamples = 2500
+	}
+	return c
+}
+
+// Signature is one generalized signature: a logistic model over the
+// discriminating features of one bicluster.
+type Signature struct {
+	// ID is the bicluster id (Figure 2 numbering).
+	ID int
+	// SampleWeight is the number of training samples in the bicluster.
+	SampleWeight float64
+	// BiclusterFeatures is the feature count selected by biclustering
+	// (Table VI middle column).
+	BiclusterFeatures int
+	// Features are the post-pruning feature columns, as indices into the
+	// model's observed feature set (Table VI right column counts these).
+	Features []int
+	// Model is the trained logistic regression over Features.
+	Model *ml.LogisticModel
+	// Threshold is the alert probability cutoff.
+	Threshold float64
+}
+
+// Probability evaluates the signature on a full observed-feature vector.
+func (s *Signature) Probability(full []float64) float64 {
+	x := make([]float64, len(s.Features))
+	for i, j := range s.Features {
+		x[i] = full[j]
+	}
+	return s.Model.Predict(x)
+}
+
+// Model is a trained pSigene signature set.
+type Model struct {
+	// Features is the observed (pruned) feature set — the paper's 159.
+	Features feature.Set
+	// Signatures are the generalized signatures in bicluster order.
+	Signatures []*Signature
+	// Biclustering preserves the full clustering result for reporting
+	// (Figure 2, Table VI).
+	Biclustering *cluster.Result
+	// Stats captures training-corpus statistics.
+	Stats TrainStats
+
+	extractor *feature.Extractor
+	binary    bool
+	threshold float64
+
+	// Retained training state for incremental updates (Experiment 2).
+	cfg           Config
+	trainObserved *matrix.Dense
+	trainWeights  []float64
+	benignMat     *matrix.Dense
+	benignW       []float64
+	extra         map[int][]extraSample // bicluster ID -> appended samples
+}
+
+// extraSample is one incrementally added attack sample: its observed
+// feature vector and multiplicity.
+type extraSample struct {
+	vec []float64
+	w   float64
+}
+
+var _ ids.Detector = (*Model)(nil)
+
+// TrainStats records corpus statistics the paper reports in §II.
+type TrainStats struct {
+	// AttackSamples and UniqueAttackSamples count the training corpus
+	// before and after normalization dedup.
+	AttackSamples, UniqueAttackSamples int
+	// BenignSamples counts the benign training requests.
+	BenignSamples int
+	// CandidateFeatures and ObservedFeatures are the 477 → 159 reduction.
+	CandidateFeatures, ObservedFeatures int
+	// ZeroFraction and OneFraction describe matrix sparsity (paper: ~85%
+	// zeros, ~6% ones).
+	ZeroFraction, OneFraction float64
+	// CopheneticCorrelation validates the row dendrogram (paper: 0.92).
+	CopheneticCorrelation float64
+}
+
+// Errors returned by Train.
+var (
+	ErrNoAttacks = errors.New("core: no attack training samples")
+	ErrNoBenign  = errors.New("core: no benign training samples")
+)
+
+// Train runs the full pipeline on labeled training traffic.
+func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(attacks) == 0 {
+		return nil, ErrNoAttacks
+	}
+	if len(benign) == 0 {
+		return nil, ErrNoBenign
+	}
+
+	// Phase 2: normalize, dedupe, extract, prune unobserved features.
+	normAttacks := make([]string, len(attacks))
+	for i, r := range attacks {
+		normAttacks[i] = normalize.Normalize(r.Payload())
+	}
+	uniq, weights := feature.Dedupe(normAttacks)
+
+	ex, err := feature.NewExtractor(*cfg.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("extractor: %w", err)
+	}
+	full, err := ex.Matrix(uniq)
+	if err != nil {
+		return nil, fmt.Errorf("feature matrix: %w", err)
+	}
+	if cfg.BinaryFeatures {
+		feature.BinaryizeInPlace(full)
+	}
+	observed, obsSet, _, err := feature.PruneUnobserved(full, *cfg.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("prune unobserved: %w", err)
+	}
+	// Drop overlapping features (identical observed columns), the second
+	// half of the paper's 477 -> 159 reduction.
+	observed, obsSet, _, err = feature.PruneDuplicateColumns(observed, obsSet)
+	if err != nil {
+		return nil, fmt.Errorf("prune duplicates: %w", err)
+	}
+	obsEx, err := feature.NewExtractor(obsSet)
+	if err != nil {
+		return nil, fmt.Errorf("observed extractor: %w", err)
+	}
+	zeroFrac, oneFrac := observed.Sparsity()
+
+	// Phase 3: biclustering, on a capped subsample when the unique corpus
+	// exceeds the quadratic-HAC budget; leftover samples are assigned to
+	// the nearest bicluster centroid below.
+	clusterRows := observed
+	clusterWeights := weights
+	var clusterIdx []int // nil when no cap applied
+	if cfg.MaxClusterSamples > 0 && observed.Rows() > cfg.MaxClusterSamples {
+		stride := observed.Rows() / cfg.MaxClusterSamples
+		for i := 0; i < observed.Rows() && len(clusterIdx) < cfg.MaxClusterSamples; i += stride {
+			clusterIdx = append(clusterIdx, i)
+		}
+		sub, err := observed.SelectRows(clusterIdx)
+		if err != nil {
+			return nil, err
+		}
+		subW := make([]float64, len(clusterIdx))
+		for k, i := range clusterIdx {
+			subW[k] = weights[i]
+		}
+		clusterRows, clusterWeights = sub, subW
+	}
+	bic, err := cluster.Run(clusterRows, clusterWeights, cfg.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("biclustering: %w", err)
+	}
+	if clusterIdx != nil {
+		remapBiclusters(bic, clusterIdx)
+		assignLeftovers(bic, observed, weights, clusterIdx)
+	}
+
+	// Phase 4: one logistic signature per active bicluster, trained against
+	// the benign corpus.
+	normBenign := make([]string, len(benign))
+	for i, r := range benign {
+		normBenign[i] = normalize.Normalize(r.Payload())
+	}
+	benignUniq, benignW := feature.Dedupe(normBenign)
+	benignMat, err := obsEx.Matrix(benignUniq)
+	if err != nil {
+		return nil, fmt.Errorf("benign matrix: %w", err)
+	}
+	if cfg.BinaryFeatures {
+		feature.BinaryizeInPlace(benignMat)
+	}
+
+	m := &Model{
+		Features:     obsSet,
+		Biclustering: bic,
+		Stats: TrainStats{
+			AttackSamples:         len(attacks),
+			UniqueAttackSamples:   len(uniq),
+			BenignSamples:         len(benign),
+			CandidateFeatures:     cfg.Catalog.Len(),
+			ObservedFeatures:      obsSet.Len(),
+			ZeroFraction:          zeroFrac,
+			OneFraction:           oneFrac,
+			CopheneticCorrelation: bic.CopheneticCorrelation,
+		},
+		extractor:     obsEx,
+		binary:        cfg.BinaryFeatures,
+		threshold:     cfg.Threshold,
+		cfg:           cfg,
+		trainObserved: observed,
+		trainWeights:  weights,
+		benignMat:     benignMat,
+		benignW:       benignW,
+		extra:         make(map[int][]extraSample),
+	}
+
+	for _, b := range bic.ActiveBiclusters() {
+		sig, err := trainSignature(observed, weights, benignMat, benignW, b, nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("signature %d: %w", b.ID, err)
+		}
+		m.Signatures = append(m.Signatures, sig)
+	}
+	if len(m.Signatures) == 0 {
+		return nil, errors.New("core: biclustering produced no active clusters")
+	}
+	return m, nil
+}
+
+// trainSignature fits the bicluster's logistic model: bicluster samples
+// (label 1) against the benign corpus (label 0), restricted to the
+// bicluster's features, followed by coefficient pruning and a refit.
+func trainSignature(observed *matrix.Dense, weights []float64, benignMat *matrix.Dense, benignW []float64, b cluster.Bicluster, extras []extraSample, cfg Config) (*Signature, error) {
+	feats := b.Features
+	if len(feats) == 0 {
+		return nil, errors.New("bicluster has no discriminating features")
+	}
+
+	attackSub, err := observed.SelectRows(b.RowLeaves)
+	if err != nil {
+		return nil, err
+	}
+	attackCols, err := attackSub.SelectCols(feats)
+	if err != nil {
+		return nil, err
+	}
+	benignCols, err := benignMat.SelectCols(feats)
+	if err != nil {
+		return nil, err
+	}
+
+	n := attackCols.Rows() + len(extras) + benignCols.Rows()
+	x, err := matrix.New(n, len(feats))
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, n)
+	w := make([]float64, n)
+	row := 0
+	for i := 0; i < attackCols.Rows(); i++ {
+		copy(x.Row(row), attackCols.Row(i))
+		y[row] = 1
+		w[row] = weights[b.RowLeaves[i]]
+		row++
+	}
+	for _, e := range extras {
+		for k, j := range feats {
+			x.Row(row)[k] = e.vec[j]
+		}
+		y[row] = 1
+		w[row] = e.w
+		row++
+	}
+	for i := 0; i < benignCols.Rows(); i++ {
+		copy(x.Row(row), benignCols.Row(i))
+		w[row] = benignW[i] * cfg.BenignWeight
+		row++
+	}
+
+	model, err := ml.TrainLogistic(x, y, w, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	kept := feats
+	if cfg.PruneThreshold > 0 {
+		pr, err := ml.Prune(x, y, w, model, cfg.Train, cfg.PruneThreshold)
+		if err != nil {
+			return nil, err
+		}
+		model = pr.Model
+		kept = make([]int, len(pr.Kept))
+		for i, k := range pr.Kept {
+			kept[i] = feats[k]
+		}
+	}
+	return &Signature{
+		ID:                b.ID,
+		SampleWeight:      b.SampleWeight,
+		BiclusterFeatures: len(feats),
+		Features:          kept,
+		Model:             model,
+		Threshold:         cfg.Threshold,
+	}, nil
+}
+
+// Name implements ids.Detector.
+func (m *Model) Name() string {
+	return fmt.Sprintf("pSigene(%d signatures)", len(m.Signatures))
+}
+
+// Vector runs phase-2 extraction on one request: normalize the payload and
+// count every observed feature (the paper's count_all over each signature's
+// regexes, done once for all).
+func (m *Model) Vector(req httpx.Request) []float64 {
+	v := m.extractor.Vector(normalize.Normalize(req.Payload()))
+	if m.binary {
+		for i, x := range v {
+			if x != 0 {
+				v[i] = 1
+			}
+		}
+	}
+	return v
+}
+
+// Probabilities returns each signature's probability for the request, in
+// signature order.
+func (m *Model) Probabilities(req httpx.Request) []float64 {
+	full := m.Vector(req)
+	out := make([]float64, len(m.Signatures))
+	for i, s := range m.Signatures {
+		out[i] = s.Probability(full)
+	}
+	return out
+}
+
+// Inspect implements ids.Detector: alert when any signature's probability
+// crosses its threshold.
+func (m *Model) Inspect(req httpx.Request) ids.Verdict {
+	full := m.Vector(req)
+	var v ids.Verdict
+	for _, s := range m.Signatures {
+		if p := s.Probability(full); p >= s.Threshold {
+			v.Alert = true
+			v.Score++
+			v.Matched = append(v.Matched, fmt.Sprintf("psigene:%d", s.ID))
+		}
+	}
+	return v
+}
+
+// WithSignatures returns a shallow copy of the model restricted to the
+// given signature IDs — how the paper evaluates the 7- vs 9-signature sets.
+func (m *Model) WithSignatures(idSet []int) (*Model, error) {
+	want := make(map[int]bool, len(idSet))
+	for _, id := range idSet {
+		want[id] = true
+	}
+	out := *m
+	out.Signatures = nil
+	for _, s := range m.Signatures {
+		if want[s.ID] {
+			out.Signatures = append(out.Signatures, s)
+			delete(want, s.ID)
+		}
+	}
+	if len(want) != 0 {
+		missing := make([]int, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Ints(missing)
+		return nil, fmt.Errorf("core: unknown signature ids %v", missing)
+	}
+	if len(out.Signatures) == 0 {
+		return nil, errors.New("core: no signatures selected")
+	}
+	return &out, nil
+}
+
+// SetThreshold overrides the decision threshold on every signature (used
+// for ROC sweeps).
+func (m *Model) SetThreshold(t float64) {
+	m.threshold = t
+	for _, s := range m.Signatures {
+		s.Threshold = t
+	}
+}
+
+// SignatureFeatures returns the post-pruning feature definitions of one
+// signature (Table III for signature 6).
+func (m *Model) SignatureFeatures(id int) ([]feature.Feature, error) {
+	for _, s := range m.Signatures {
+		if s.ID != id {
+			continue
+		}
+		out := make([]feature.Feature, len(s.Features))
+		for i, j := range s.Features {
+			out[i] = m.Features.Features[j]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: no signature %d", id)
+}

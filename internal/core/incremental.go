@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"psigene/internal/cluster"
+	"psigene/internal/httpx"
+	"psigene/internal/normalize"
+)
+
+// Update implements the paper's incremental-learning use case
+// (Experiment 2): fresh attack samples are fed into the trained model and
+// the Θ parameters of the affected signatures are re-learned automatically.
+// The biclusters themselves are kept fixed — each new sample is assigned to
+// the bicluster whose signature gives it the highest probability — so only
+// the logistic regressions retrain, which is what makes the update cheap
+// enough to run periodically.
+func (m *Model) Update(newAttacks []httpx.Request) error {
+	if m.trainObserved == nil {
+		return errors.New("core: model does not retain training state")
+	}
+	if len(newAttacks) == 0 {
+		return nil
+	}
+
+	// Deduplicate incoming samples against each other.
+	norm := make([]string, len(newAttacks))
+	for i, r := range newAttacks {
+		norm[i] = normalize.Normalize(r.Payload())
+	}
+	counts := make(map[string]float64, len(norm))
+	order := make([]string, 0, len(norm))
+	for _, s := range norm {
+		if counts[s] == 0 {
+			order = append(order, s)
+		}
+		counts[s]++
+	}
+
+	touched := make(map[int]bool)
+	for _, s := range order {
+		vec := m.extractor.Vector(s)
+		if m.binary {
+			for i, x := range vec {
+				if x != 0 {
+					vec[i] = 1
+				}
+			}
+		}
+		best, bestP := -1, -1.0
+		for _, sig := range m.Signatures {
+			if p := sig.Probability(vec); p > bestP {
+				best, bestP = sig.ID, p
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		m.extra[best] = append(m.extra[best], extraSample{vec: vec, w: counts[s]})
+		touched[best] = true
+	}
+
+	// Retrain Θ for every signature that received samples.
+	for i, sig := range m.Signatures {
+		if !touched[sig.ID] {
+			continue
+		}
+		b, ok := m.biclusterByID(sig.ID)
+		if !ok {
+			return fmt.Errorf("core: bicluster %d missing from clustering result", sig.ID)
+		}
+		newSig, err := trainSignature(m.trainObserved, m.trainWeights, m.benignMat, m.benignW, b, m.extra[sig.ID], m.cfg)
+		if err != nil {
+			return fmt.Errorf("retrain signature %d: %w", sig.ID, err)
+		}
+		newSig.Threshold = sig.Threshold // preserve any ROC tuning
+		m.Signatures[i] = newSig
+	}
+	m.Stats.AttackSamples += len(newAttacks)
+	return nil
+}
+
+func (m *Model) biclusterByID(id int) (b cluster.Bicluster, ok bool) {
+	for _, c := range m.Biclustering.Biclusters {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return b, false
+}

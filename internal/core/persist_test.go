@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/traffic"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := smallModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded.Signatures) != len(m.Signatures) {
+		t.Fatalf("loaded %d signatures, want %d", len(loaded.Signatures), len(m.Signatures))
+	}
+	if loaded.Features.Len() != m.Features.Len() {
+		t.Fatalf("loaded %d features, want %d", loaded.Features.Len(), m.Features.Len())
+	}
+	// Identical verdicts and probabilities on a mixed workload.
+	reqs := append(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), 77).Requests(100),
+		traffic.NewGenerator(78).Requests(100)...)
+	for _, r := range reqs {
+		a, b := m.Inspect(r), loaded.Inspect(r)
+		if a.Alert != b.Alert {
+			t.Fatalf("verdicts differ on %q", r.RawQuery)
+		}
+		pa, pb := m.Probabilities(r), loaded.Probabilities(r)
+		for i := range pa {
+			if math.Abs(pa[i]-pb[i]) > 1e-12 {
+				t.Fatalf("probabilities differ on %q: %v vs %v", r.RawQuery, pa, pb)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := smallModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Name() != m.Name() {
+		t.Fatalf("Name: %q vs %q", loaded.Name(), m.Name())
+	}
+}
+
+func TestLoadedModelCannotUpdate(t *testing.T) {
+	m := smallModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := attackgen.NewGenerator(attackgen.SQLMapProfile(), 79).Requests(10)
+	if err := loaded.Update(attacks); err == nil {
+		t.Fatal("loaded model must refuse Update (no training state)")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version": 99}`,
+		`{"version": 1, "features": [], "signatures": []}`,
+		`{"version": 1, "features": [{"name":"a","source":1,"word":"a"}],
+		  "signatures": [{"id":1,"features":[0,1],"weights":[1],"bias":0,"threshold":0.5}]}`,
+		`{"version": 1, "features": [{"name":"a","source":1,"word":"a"}],
+		  "signatures": [{"id":1,"features":[5],"weights":[1],"bias":0,"threshold":0.5}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/model.json"); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/ids"
+	"psigene/internal/traffic"
+)
+
+func TestTrainWithClusterCap(t *testing.T) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 51).Requests(1500)
+	benign := traffic.NewGenerator(52).Requests(1000)
+	m, err := Train(attacks, benign, Config{MaxClusterSamples: 200})
+	if err != nil {
+		t.Fatalf("Train with cap: %v", err)
+	}
+	if len(m.Signatures) == 0 {
+		t.Fatal("no signatures under cluster cap")
+	}
+	// Every unique sample must be accounted for: clustered, assigned, or
+	// noise.
+	var covered int
+	for _, b := range m.Biclustering.Biclusters {
+		covered += len(b.RowLeaves)
+	}
+	covered += len(m.Biclustering.Unclustered)
+	if covered != m.Stats.UniqueAttackSamples {
+		t.Fatalf("coverage %d != unique samples %d", covered, m.Stats.UniqueAttackSamples)
+	}
+
+	// Capped model must still detect well.
+	test := attackgen.NewGenerator(attackgen.SQLMapProfile(), 53).Requests(300)
+	r := ids.Evaluate(m, test)
+	if r.TPR() < 0.5 {
+		t.Fatalf("capped model TPR=%.3f", r.TPR())
+	}
+}
+
+func TestTrainCapDisabled(t *testing.T) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 61).Requests(300)
+	benign := traffic.NewGenerator(62).Requests(300)
+	m, err := Train(attacks, benign, Config{MaxClusterSamples: -1})
+	if err != nil {
+		t.Fatalf("Train without cap: %v", err)
+	}
+	if len(m.Signatures) == 0 {
+		t.Fatal("no signatures")
+	}
+}
+
+func TestCapAndUncappedAgreeOnSmallCorpus(t *testing.T) {
+	// When the corpus is below the cap, capped and uncapped paths are the
+	// same code path and must agree exactly.
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 71).Requests(400)
+	benign := traffic.NewGenerator(72).Requests(400)
+	a, err := Train(attacks, benign, Config{MaxClusterSamples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(attacks, benign, Config{MaxClusterSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signatures) != len(b.Signatures) {
+		t.Fatalf("signature counts differ: %d vs %d", len(a.Signatures), len(b.Signatures))
+	}
+}

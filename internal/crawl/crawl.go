@@ -1,0 +1,298 @@
+// Package crawl implements pSigene's first phase: the webcrawler that
+// collects SQLi attack samples from public cybersecurity portals. It
+// understands two portal surfaces — paginated HTML listings with advisory
+// detail pages, and OSVDB-style JSON search APIs — extracts proof-of-concept
+// URLs from fetched pages, and converts each into an attack request by the
+// paper's rule: keep the query payload, drop address, port and path.
+package crawl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"psigene/internal/httpx"
+)
+
+// Options configures a crawler.
+type Options struct {
+	// MaxPages bounds the number of fetched pages per portal. 0 means 200.
+	MaxPages int
+	// Delay is the politeness delay between fetches. 0 means none (tests).
+	Delay time.Duration
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPages <= 0 {
+		o.MaxPages = 200
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Crawler fetches portals and extracts attack samples.
+type Crawler struct {
+	opts Options
+}
+
+// New returns a crawler.
+func New(opts Options) *Crawler {
+	return &Crawler{opts: opts.withDefaults()}
+}
+
+// Result is the outcome of crawling one portal.
+type Result struct {
+	// Portal is the crawled base URL.
+	Portal string
+	// Samples are the extracted attack requests (deduplicated, in
+	// first-seen order).
+	Samples []httpx.Request
+	// PagesFetched counts HTTP fetches performed.
+	PagesFetched int
+	// CVEs lists CVE identifiers seen on fetched pages.
+	CVEs []string
+}
+
+var (
+	hrefRe = regexp.MustCompile(`(?i)href="([^"]+)"`)
+	preRe  = regexp.MustCompile(`(?is)<(pre|code)[^>]*>(.*?)</(?:pre|code)>`)
+	cveRe  = regexp.MustCompile(`CVE-\d{4}-\d{4,}`)
+)
+
+// CrawlHTML breadth-first crawls an HTML portal starting at baseURL,
+// following same-site links, and extracts attack sample URLs from <pre>
+// proof-of-concept blocks.
+func (c *Crawler) CrawlHTML(baseURL string) (*Result, error) {
+	res := &Result{Portal: baseURL}
+	seenPages := map[string]bool{}
+	seenSamples := map[string]bool{}
+	cves := map[string]bool{}
+	queue := []string{baseURL + "/"}
+
+	for len(queue) > 0 && res.PagesFetched < c.opts.MaxPages {
+		page := queue[0]
+		queue = queue[1:]
+		if seenPages[page] {
+			continue
+		}
+		seenPages[page] = true
+
+		body, err := c.fetch(page)
+		if err != nil {
+			return nil, fmt.Errorf("fetch %s: %w", page, err)
+		}
+		res.PagesFetched++
+
+		for _, cve := range cveRe.FindAllString(body, -1) {
+			cves[cve] = true
+		}
+		for _, raw := range ExtractSampleURLs(body) {
+			if seenSamples[raw] {
+				continue
+			}
+			seenSamples[raw] = true
+			req, err := httpx.ParseURL(raw)
+			if err != nil || req.RawQuery == "" {
+				continue
+			}
+			req.Malicious = true
+			req.Tool = "crawl"
+			res.Samples = append(res.Samples, req)
+		}
+		for _, link := range extractLinks(body) {
+			abs, ok := resolveSameSite(baseURL, page, link)
+			if ok && !seenPages[abs] {
+				queue = append(queue, abs)
+			}
+		}
+		if c.opts.Delay > 0 {
+			time.Sleep(c.opts.Delay)
+		}
+	}
+	res.CVEs = sortedKeys(cves)
+	return res, nil
+}
+
+// CrawlAPI pages through an OSVDB-style JSON search API at
+// baseURL/api/search, collecting samples from each result entry.
+func (c *Crawler) CrawlAPI(baseURL string) (*Result, error) {
+	res := &Result{Portal: baseURL}
+	seenSamples := map[string]bool{}
+	cves := map[string]bool{}
+	offset := 0
+	for res.PagesFetched < c.opts.MaxPages {
+		body, err := c.fetch(fmt.Sprintf("%s/api/search?offset=%d", baseURL, offset))
+		if err != nil {
+			return nil, fmt.Errorf("api fetch offset %d: %w", offset, err)
+		}
+		res.PagesFetched++
+
+		var page struct {
+			Results []struct {
+				CVE     string   `json:"cve"`
+				Samples []string `json:"samples"`
+			} `json:"results"`
+			Next *int `json:"next"`
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			return nil, fmt.Errorf("api response offset %d: %w", offset, err)
+		}
+		for _, entry := range page.Results {
+			if entry.CVE != "" {
+				cves[entry.CVE] = true
+			}
+			for _, raw := range entry.Samples {
+				if seenSamples[raw] {
+					continue
+				}
+				seenSamples[raw] = true
+				req, err := httpx.ParseURL(raw)
+				if err != nil || req.RawQuery == "" {
+					continue
+				}
+				req.Malicious = true
+				req.Tool = "crawl"
+				res.Samples = append(res.Samples, req)
+			}
+		}
+		if page.Next == nil {
+			break
+		}
+		offset = *page.Next
+		if c.opts.Delay > 0 {
+			time.Sleep(c.opts.Delay)
+		}
+	}
+	res.CVEs = sortedKeys(cves)
+	return res, nil
+}
+
+// CrawlAll crawls multiple portals (auto-detecting API portals by probing
+// /api/search) and merges their samples, deduplicated across portals.
+func (c *Crawler) CrawlAll(baseURLs []string) ([]httpx.Request, []*Result, error) {
+	var all []httpx.Request
+	var results []*Result
+	seen := map[string]bool{}
+	for _, base := range baseURLs {
+		var (
+			res *Result
+			err error
+		)
+		if c.probeAPI(base) {
+			res, err = c.CrawlAPI(base)
+		} else {
+			res, err = c.CrawlHTML(base)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("crawl %s: %w", base, err)
+		}
+		results = append(results, res)
+		for _, s := range res.Samples {
+			key := s.URL()
+			if !seen[key] {
+				seen[key] = true
+				all = append(all, s)
+			}
+		}
+	}
+	return all, results, nil
+}
+
+func (c *Crawler) probeAPI(base string) bool {
+	resp, err := c.opts.Client.Get(base + "/api/search?offset=0&limit=1")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK &&
+		strings.Contains(resp.Header.Get("Content-Type"), "json")
+}
+
+func (c *Crawler) fetch(url string) (string, error) {
+	resp, err := c.opts.Client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// ExtractSampleURLs pulls attack sample URLs out of an advisory page: lines
+// inside <pre> blocks that parse as URLs with a query string.
+func ExtractSampleURLs(html string) []string {
+	var out []string
+	for _, m := range preRe.FindAllStringSubmatch(html, -1) {
+		for _, line := range strings.Split(m[2], "\n") {
+			line = strings.TrimSpace(htmlUnescape(line))
+			if line == "" || !strings.Contains(line, "?") {
+				continue
+			}
+			if strings.HasPrefix(line, "http://") || strings.HasPrefix(line, "https://") || strings.HasPrefix(line, "/") {
+				out = append(out, line)
+			}
+		}
+	}
+	return out
+}
+
+// extractLinks returns all href targets on the page.
+func extractLinks(html string) []string {
+	var out []string
+	for _, m := range hrefRe.FindAllStringSubmatch(html, -1) {
+		out = append(out, htmlUnescape(m[1]))
+	}
+	return out
+}
+
+// resolveSameSite resolves link against the current page and reports
+// whether it stays on the portal's site.
+func resolveSameSite(base, page, link string) (string, bool) {
+	if strings.HasPrefix(link, "http://") || strings.HasPrefix(link, "https://") {
+		if strings.HasPrefix(link, base) {
+			return link, true
+		}
+		return "", false
+	}
+	if strings.HasPrefix(link, "/") {
+		return base + link, true
+	}
+	// Relative link: resolve against the page's directory.
+	dir := page
+	if i := strings.LastIndexByte(dir, '/'); i > len(base) {
+		dir = dir[:i+1]
+	} else {
+		dir = base + "/"
+	}
+	return dir + link, true
+}
+
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`)
+	return r.Replace(s)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

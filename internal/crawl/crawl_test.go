@@ -1,0 +1,183 @@
+package crawl
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/portal"
+)
+
+func startPortal(t *testing.T, name string, style portal.Style, entries int, seed int64) *httptest.Server {
+	t.Helper()
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), seed)
+	p := portal.New(name, style, 5, portal.GenerateEntries(gen, entries))
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCrawlHTMLCollectsSamples(t *testing.T) {
+	srv := startPortal(t, "exploit-db", portal.StyleHTML, 15, 1)
+	c := New(Options{Client: srv.Client()})
+	res, err := c.CrawlHTML(srv.URL)
+	if err != nil {
+		t.Fatalf("CrawlHTML: %v", err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples extracted")
+	}
+	for _, s := range res.Samples {
+		if !s.Malicious || s.Tool != "crawl" {
+			t.Fatalf("sample not labeled: %+v", s)
+		}
+		if s.RawQuery == "" {
+			t.Fatalf("sample without query payload: %+v", s)
+		}
+	}
+	if res.PagesFetched < 4 {
+		t.Fatalf("fetched only %d pages — pagination not followed", res.PagesFetched)
+	}
+	// The Table I CVEs must be discovered.
+	joined := strings.Join(res.CVEs, ",")
+	if !strings.Contains(joined, "CVE-2012-3554") {
+		t.Fatalf("CVEs=%v, want Table I entries", res.CVEs)
+	}
+}
+
+func TestCrawlHTMLRespectsMaxPages(t *testing.T) {
+	srv := startPortal(t, "big", portal.StyleHTML, 100, 2)
+	c := New(Options{Client: srv.Client(), MaxPages: 3})
+	res, err := c.CrawlHTML(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesFetched > 3 {
+		t.Fatalf("fetched %d pages, cap was 3", res.PagesFetched)
+	}
+}
+
+func TestCrawlAPI(t *testing.T) {
+	srv := startPortal(t, "osvdb", portal.StyleAPI, 23, 3)
+	c := New(Options{Client: srv.Client()})
+	res, err := c.CrawlAPI(srv.URL)
+	if err != nil {
+		t.Fatalf("CrawlAPI: %v", err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples from API")
+	}
+	if res.PagesFetched < 2 {
+		t.Fatalf("fetched %d pages — offset paging not followed", res.PagesFetched)
+	}
+}
+
+func TestCrawlAllMergesAndDedupes(t *testing.T) {
+	html := startPortal(t, "exploit-db", portal.StyleHTML, 10, 4)
+	api := startPortal(t, "osvdb", portal.StyleAPI, 10, 5)
+	c := New(Options{Client: html.Client()})
+	samples, results, err := c.CrawlAll([]string{html.URL, api.URL})
+	if err != nil {
+		t.Fatalf("CrawlAll: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if len(samples) == 0 {
+		t.Fatal("no merged samples")
+	}
+	seen := map[string]bool{}
+	for _, s := range samples {
+		key := s.URL()
+		if seen[key] {
+			t.Fatalf("duplicate sample %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCrawlErrors(t *testing.T) {
+	c := New(Options{MaxPages: 2})
+	if _, err := c.CrawlHTML("http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable portal: want error")
+	}
+	if _, err := c.CrawlAPI("http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable API: want error")
+	}
+}
+
+func TestExtractSampleURLs(t *testing.T) {
+	html := `<html><pre class="poc">
+http://x.com/a.php?id=1' or 1=1
+/local/path.php?q=union+select
+not a url
+http://x.com/noquery.php
+</pre>
+<pre>https://y.org/b.jsp?p=1&amp;r=2</pre></html>`
+	got := ExtractSampleURLs(html)
+	if len(got) != 3 {
+		t.Fatalf("extracted %v, want 3 URLs", got)
+	}
+	if got[2] != "https://y.org/b.jsp?p=1&r=2" {
+		t.Fatalf("entity unescaping failed: %q", got[2])
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	got := extractLinks(`<a href="/x">a</a> <a HREF="/y?p=1">b</a>`)
+	if len(got) != 2 || got[1] != "/y?p=1" {
+		t.Fatalf("links=%v", got)
+	}
+}
+
+func TestResolveSameSite(t *testing.T) {
+	base := "http://portal.test"
+	cases := []struct {
+		page, link string
+		want       string
+		ok         bool
+	}{
+		{base + "/", "/advisory/1", base + "/advisory/1", true},
+		{base + "/", base + "/x", base + "/x", true},
+		{base + "/", "http://evil.com/x", "", false},
+		{base + "/dir/page", "rel.html", base + "/dir/rel.html", true},
+		{base + "/", "rel.html", base + "/rel.html", true},
+	}
+	for _, c := range cases {
+		got, ok := resolveSameSite(base, c.page, c.link)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("resolve(%q,%q) = %q,%v want %q,%v", c.page, c.link, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCrawlForumPortal(t *testing.T) {
+	srv := startPortal(t, "full-disclosure", portal.StyleForum, 12, 9)
+	c := New(Options{Client: srv.Client()})
+	res, err := c.CrawlHTML(srv.URL)
+	if err != nil {
+		t.Fatalf("CrawlHTML(forum): %v", err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples extracted from forum <code> blocks")
+	}
+	if res.PagesFetched < 5 {
+		t.Fatalf("fetched only %d pages — threads not followed", res.PagesFetched)
+	}
+	for _, s := range res.Samples {
+		if !s.Malicious || s.RawQuery == "" {
+			t.Fatalf("bad sample %+v", s)
+		}
+	}
+}
+
+func TestExtractSampleURLsFromCodeBlocks(t *testing.T) {
+	html := `<div class="post"><code>http://x.com/a.php?id=1' or 1=1</code></div>
+<code>no url here</code>
+<pre>http://y.com/b.php?q=1</pre>`
+	got := ExtractSampleURLs(html)
+	if len(got) != 2 {
+		t.Fatalf("extracted %v, want 2 URLs", got)
+	}
+}

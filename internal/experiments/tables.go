@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/crawl"
+	"psigene/internal/feature"
+	"psigene/internal/ids"
+	"psigene/internal/portal"
+	"psigene/internal/report"
+	"psigene/internal/ruleset"
+)
+
+// Table1 reproduces Table I plus the §II-A coverage check: portals are
+// spun up in-process, crawled, and the known advisory list (the July 2012
+// NVD SQLi vulnerabilities) is checked for coverage by the crawled corpus.
+func Table1(seed int64) (*report.Table, error) {
+	gen := func(s int64) *attackgen.Generator {
+		return attackgen.NewGenerator(attackgen.CrawlProfile(), s)
+	}
+	portals := []*portal.Portal{
+		portal.New("securityfocus", portal.StyleHTML, 8, portal.GenerateEntries(gen(seed), 24)),
+		portal.New("exploit-db", portal.StyleHTML, 10, portal.GenerateEntries(gen(seed+1), 30)),
+		portal.New("packetstorm", portal.StyleHTML, 6, portal.GenerateEntries(gen(seed+2), 18)),
+		portal.New("osvdb", portal.StyleAPI, 10, portal.GenerateEntries(gen(seed+3), 25)),
+	}
+	var urls []string
+	var servers []*httptest.Server
+	for _, p := range portals {
+		srv := httptest.NewServer(p.Handler())
+		servers = append(servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	c := crawl.New(crawl.Options{Client: servers[0].Client()})
+	samples, results, err := c.CrawlAll(urls)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		for _, cve := range r.CVEs {
+			seen[cve] = true
+		}
+	}
+
+	tbl := &report.Table{
+		Title:   "Table I: SQLi vulnerabilities covered by the crawled corpus",
+		Headers: []string{"Vulnerability (CVE ID)", "Covered by crawl"},
+	}
+	for _, cve := range portal.KnownCVEs() {
+		covered := "no"
+		if seen[cve] {
+			covered = "yes"
+		}
+		tbl.AddRow(cve, covered)
+	}
+	tbl.AddRow("(total samples crawled)", fmt.Sprintf("%d from %d portals", len(samples), len(portals)))
+	return tbl, nil
+}
+
+// Table2 reproduces Table II: the feature-source census with examples.
+func Table2() *report.Table {
+	set := feature.Catalog()
+	counts := set.CountBySource()
+	example := map[feature.Source]string{}
+	for _, f := range set.Features {
+		if _, ok := example[f.Source]; !ok {
+			example[f.Source] = f.Name
+		}
+	}
+	tbl := &report.Table{
+		Title:   "Table II: sources of SQLi features",
+		Headers: []string{"Feature source", "Count", "Example"},
+	}
+	for _, s := range []feature.Source{feature.SourceReservedWord, feature.SourceSignature, feature.SourceReference} {
+		tbl.AddRow(s.String(), fmt.Sprint(counts[s]), example[s])
+	}
+	tbl.AddRow("Total (candidate set)", fmt.Sprint(set.Len()), "")
+	return tbl
+}
+
+// Table3 reproduces Table III: the feature set of one generated signature
+// (the paper shows signature 6; we show the signature whose post-pruning
+// feature count is closest to the paper's six).
+func Table3(env *Env) (*report.Table, error) {
+	m := env.Model9
+	best := m.Signatures[0]
+	for _, s := range m.Signatures {
+		if abs(len(s.Features)-6) < abs(len(best.Features)-6) {
+			best = s
+		}
+	}
+	feats, err := m.SignatureFeatures(best.ID)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Table III: features included in signature %d", best.ID),
+		Headers: []string{"Feature number", "Feature (regular expression)"},
+	}
+	for i, f := range feats {
+		tbl.AddRow(fmt.Sprint(best.Features[i]), f.Name)
+	}
+	theta := best.Model.Theta()
+	parts := make([]string, len(theta))
+	for i, v := range theta {
+		parts[i] = report.F(v, 6)
+	}
+	tbl.AddRow("(theta)", strings.Join(parts, " "))
+	return tbl, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table4 reproduces Table IV: the ruleset comparison.
+func Table4() *report.Table {
+	tbl := &report.Table{
+		Title:   "Table IV: comparison between different SQLi rulesets",
+		Headers: []string{"Rules distribution", "Version", "Number SQLi rules", "SQLi rules enabled", "Usage of regex", "Avg/Max/Min pattern len"},
+	}
+	for _, rs := range []ruleset.Ruleset{ruleset.Bro(), ruleset.Snort(), ruleset.EmergingThreats(), ruleset.ModSecCRS()} {
+		st := rs.Stats()
+		tbl.AddRow(st.Name, st.Version, fmt.Sprint(st.SQLiRules),
+			report.Pct(st.EnabledFraction, 0), report.Pct(st.RegexFraction, 0),
+			fmt.Sprintf("%.1f / %d / %d", st.AvgPatternLength, st.MaxPatternLength, st.MinPatternLength))
+	}
+	return tbl
+}
+
+// AccuracyRow is one Table V row.
+type AccuracyRow struct {
+	System     string
+	TPRSQLMap  float64
+	TPRArachni float64
+	FPR        float64
+}
+
+// Table5 reproduces Table V: TPR on the SQLmap and Arachni sets and FPR on
+// the benign trace, for every system.
+func Table5(env *Env) ([]AccuracyRow, *report.Table) {
+	var rows []AccuracyRow
+	for _, d := range env.Detectors() {
+		rows = append(rows, AccuracyRow{
+			System:     displayName(d),
+			TPRSQLMap:  ids.Evaluate(d, env.SQLMap).TPR(),
+			TPRArachni: ids.Evaluate(d, env.Arachni).TPR(),
+			FPR:        ids.Evaluate(d, env.BenignTest).FPR(),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].TPRSQLMap > rows[j].TPRSQLMap })
+
+	tbl := &report.Table{
+		Title:   "Table V: accuracy comparison between different SQLi rulesets",
+		Headers: []string{"Rules", "TPR % (SQLmap)", "TPR % (Arachni)", "FPR %"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.System, report.Pct(r.TPRSQLMap, 2), report.Pct(r.TPRArachni, 2), report.Pct(r.FPR, 4))
+	}
+	return rows, tbl
+}
+
+func displayName(d ids.Detector) string {
+	n := d.Name()
+	if strings.HasPrefix(n, "pSigene") {
+		return strings.ReplaceAll(n, "(", " (")
+	}
+	return n
+}
+
+// Table6 reproduces Table VI: per-cluster sample counts, biclustering
+// feature counts, and post-LR signature feature counts.
+func Table6(env *Env) *report.Table {
+	tbl := &report.Table{
+		Title:   "Table VI: details of signatures for each cluster created by pSigene",
+		Headers: []string{"Bicluster", "Number of samples", "Features (biclustering)", "Features (signature)"},
+	}
+	for _, s := range env.Model9.Signatures {
+		tbl.AddRow(fmt.Sprint(s.ID), fmt.Sprintf("%.0f", s.SampleWeight),
+			fmt.Sprint(s.BiclusterFeatures), fmt.Sprint(len(s.Features)))
+	}
+	for _, b := range env.Model9.Biclustering.Biclusters {
+		if b.BlackHole {
+			tbl.AddRow(fmt.Sprint(b.ID), fmt.Sprintf("%.0f", b.SampleWeight), fmt.Sprint(len(b.Features)), "(black hole)")
+		}
+	}
+	return tbl
+}

@@ -1,0 +1,317 @@
+// Package feature implements pSigene's second phase: characterizing each
+// attack sample by a rich set of count-valued features drawn from three
+// domain-specific sources (Table II of the paper):
+//
+//   - MySQL reserved words, which become word-boundary token features;
+//   - deconstructed signatures from Snort, Bro and the ModSecurity CRS,
+//     split at regex group boundaries into fragment features;
+//   - SQLi reference documents, contributing common attack strings.
+//
+// The full catalog holds 477 candidate features; after extraction over a
+// training corpus, features never observed are pruned (the paper lands on
+// 159 for its crawl).
+package feature
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"psigene/internal/matrix"
+)
+
+// Source identifies where a feature came from (Table II).
+type Source int
+
+// Feature sources, in the paper's presentation order.
+const (
+	SourceReservedWord Source = iota + 1
+	SourceSignature
+	SourceReference
+)
+
+// String names the source as in Table II.
+func (s Source) String() string {
+	switch s {
+	case SourceReservedWord:
+		return "MySQL Reserved Words"
+	case SourceSignature:
+		return "NIDS/WAF Signatures"
+	case SourceReference:
+		return "SQLi Reference Documents"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Feature is one catalog entry. Exactly one of Word or Pattern is set:
+// Word features count whole-token occurrences of a reserved word, Pattern
+// features count non-overlapping case-insensitive regex matches.
+type Feature struct {
+	// Name is the unique human-readable identifier (the pattern itself for
+	// regex features, the bare word for reserved words).
+	Name string
+	// Source records the Table II provenance.
+	Source Source
+	// Word, when non-empty, makes this a token-count feature.
+	Word string
+	// Pattern, when non-empty, is an RE2 regular expression.
+	Pattern string
+}
+
+// Set is an ordered collection of features; column j of a feature matrix
+// corresponds to Features[j].
+type Set struct {
+	Features []Feature
+}
+
+// Len returns the number of features.
+func (s Set) Len() int { return len(s.Features) }
+
+// Names returns the feature names in column order.
+func (s Set) Names() []string {
+	out := make([]string, len(s.Features))
+	for i, f := range s.Features {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// CountBySource tallies features per Table II source.
+func (s Set) CountBySource() map[Source]int {
+	out := make(map[Source]int, 3)
+	for _, f := range s.Features {
+		out[f.Source]++
+	}
+	return out
+}
+
+// Select returns a new Set with only the given feature indices, in order.
+func (s Set) Select(idx []int) (Set, error) {
+	out := Set{Features: make([]Feature, 0, len(idx))}
+	for _, j := range idx {
+		if j < 0 || j >= len(s.Features) {
+			return Set{}, fmt.Errorf("feature: index %d out of range %d", j, len(s.Features))
+		}
+		out.Features = append(out.Features, s.Features[j])
+	}
+	return out, nil
+}
+
+// Catalog returns the full candidate feature set. The paper starts from 477
+// candidates; this catalog reproduces that census across the three sources.
+func Catalog() Set {
+	feats := make([]Feature, 0, 480)
+	for _, w := range mysqlReservedWords {
+		feats = append(feats, Feature{Name: w, Source: SourceReservedWord, Word: w})
+	}
+	for _, p := range signatureFragments {
+		feats = append(feats, Feature{Name: p, Source: SourceSignature, Pattern: p})
+	}
+	for _, p := range referencePatterns {
+		feats = append(feats, Feature{Name: p, Source: SourceReference, Pattern: p})
+	}
+	return Set{Features: feats}
+}
+
+// Extractor turns samples into count vectors over a feature set. Reserved
+// words are counted by tokenizing once per sample; regex features are
+// matched individually.
+type Extractor struct {
+	set      Set
+	words    map[string][]int // token -> feature columns
+	patterns []compiledPattern
+}
+
+type compiledPattern struct {
+	col int
+	re  *regexp.Regexp
+}
+
+// NewExtractor compiles a feature set. Duplicate names and invalid patterns
+// are rejected.
+func NewExtractor(set Set) (*Extractor, error) {
+	e := &Extractor{set: set, words: make(map[string][]int)}
+	seen := make(map[string]bool, len(set.Features))
+	for j, f := range set.Features {
+		if f.Name == "" {
+			return nil, fmt.Errorf("feature %d: empty name", j)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("feature %d: duplicate name %q", j, f.Name)
+		}
+		seen[f.Name] = true
+		switch {
+		case f.Word != "" && f.Pattern != "":
+			return nil, fmt.Errorf("feature %q: both Word and Pattern set", f.Name)
+		case f.Word != "":
+			w := strings.ToLower(f.Word)
+			e.words[w] = append(e.words[w], j)
+		case f.Pattern != "":
+			re, err := regexp.Compile("(?i)" + f.Pattern)
+			if err != nil {
+				return nil, fmt.Errorf("feature %q: %w", f.Name, err)
+			}
+			e.patterns = append(e.patterns, compiledPattern{col: j, re: re})
+		default:
+			return nil, fmt.Errorf("feature %q: neither Word nor Pattern set", f.Name)
+		}
+	}
+	return e, nil
+}
+
+// Set returns the feature set the extractor was built from.
+func (e *Extractor) Set() Set { return e.set }
+
+// Vector extracts the count vector of one (normalized) sample.
+func (e *Extractor) Vector(sample string) []float64 {
+	v := make([]float64, len(e.set.Features))
+	e.countWords(sample, v)
+	for _, cp := range e.patterns {
+		if m := cp.re.FindAllStringIndex(sample, -1); m != nil {
+			v[cp.col] = float64(len(m))
+		}
+	}
+	return v
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// countWords tokenizes sample into maximal word-character runs and counts
+// reserved-word features, equivalent to matching \bword\b per word.
+func (e *Extractor) countWords(sample string, v []float64) {
+	i := 0
+	for i < len(sample) {
+		if !isWordByte(sample[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(sample) && isWordByte(sample[j]) {
+			j++
+		}
+		tok := strings.ToLower(sample[i:j])
+		for _, col := range e.words[tok] {
+			v[col]++
+		}
+		i = j
+	}
+}
+
+// Matrix extracts all samples into an n×d count matrix.
+func (e *Extractor) Matrix(samples []string) (*matrix.Dense, error) {
+	m, err := matrix.New(len(samples), len(e.set.Features))
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range samples {
+		copy(m.Row(i), e.Vector(s))
+	}
+	return m, nil
+}
+
+// PruneUnobserved drops features whose column is zero in every sample of m
+// (the 477 → 159 step). It returns the reduced matrix, the reduced set, and
+// the kept column indices into the original set.
+func PruneUnobserved(m *matrix.Dense, set Set) (*matrix.Dense, Set, []int, error) {
+	if m.Cols() != set.Len() {
+		return nil, Set{}, nil, fmt.Errorf("feature: matrix has %d columns, set %d", m.Cols(), set.Len())
+	}
+	observed := make([]bool, m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j, v := range m.Row(i) {
+			if v != 0 {
+				observed[j] = true
+			}
+		}
+	}
+	var kept []int
+	for j, ok := range observed {
+		if ok {
+			kept = append(kept, j)
+		}
+	}
+	sub, err := m.SelectCols(kept)
+	if err != nil {
+		return nil, Set{}, nil, err
+	}
+	reduced, err := set.Select(kept)
+	if err != nil {
+		return nil, Set{}, nil, err
+	}
+	return sub, reduced, kept, nil
+}
+
+// Dedupe collapses identical samples, returning the unique samples with
+// their multiplicities. Order of first appearance is preserved. Running the
+// pipeline on deduplicated samples with weights is equivalent to running it
+// on the full corpus.
+func Dedupe(samples []string) (unique []string, weights []float64) {
+	idx := make(map[string]int, len(samples))
+	for _, s := range samples {
+		if k, ok := idx[s]; ok {
+			weights[k]++
+			continue
+		}
+		idx[s] = len(unique)
+		unique = append(unique, s)
+		weights = append(weights, 1)
+	}
+	return unique, weights
+}
+
+// BinaryizeInPlace clamps every positive count to 1 — used by the
+// binary-vs-count ablation the paper mentions ("this did not produce good
+// results").
+func BinaryizeInPlace(m *matrix.Dense) {
+	for i := 0; i < m.Rows(); i++ {
+		r := m.Row(i)
+		for j, v := range r {
+			if v != 0 {
+				r[j] = 1
+			}
+		}
+	}
+}
+
+// PruneDuplicateColumns removes features whose observed count column is
+// identical to an earlier feature's — the "overlapping features" the paper
+// removes on the way from 477 candidates to 159 (two regexes that always
+// fire the same number of times on the training corpus carry no independent
+// signal). It returns the reduced matrix, the reduced set, and the kept
+// column indices.
+func PruneDuplicateColumns(m *matrix.Dense, set Set) (*matrix.Dense, Set, []int, error) {
+	if m.Cols() != set.Len() {
+		return nil, Set{}, nil, fmt.Errorf("feature: matrix has %d columns, set %d", m.Cols(), set.Len())
+	}
+	type colKey string
+	seen := make(map[colKey]bool, m.Cols())
+	var kept []int
+	buf := make([]byte, 0, m.Rows()*8)
+	for j := 0; j < m.Cols(); j++ {
+		buf = buf[:0]
+		for i := 0; i < m.Rows(); i++ {
+			v := m.At(i, j)
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			buf = append(buf, ',')
+		}
+		k := colKey(buf)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, j)
+	}
+	sub, err := m.SelectCols(kept)
+	if err != nil {
+		return nil, Set{}, nil, err
+	}
+	reduced, err := set.Select(kept)
+	if err != nil {
+		return nil, Set{}, nil, err
+	}
+	return sub, reduced, kept, nil
+}

@@ -1,0 +1,116 @@
+// Package httpx provides the small HTTP request model shared by the traffic
+// generators, the IDS engines, and the pSigene pipeline: a parsed GET/POST
+// request and the payload-extraction rule the paper uses ("we extract the
+// SQL query from the HTTP request payload by leaving out the HTTP address,
+// the port, and the path — typically a ? indicates the start of the query
+// string").
+package httpx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Request is one HTTP request as seen by a network IDS.
+type Request struct {
+	// Method is the HTTP method (GET, POST, ...).
+	Method string
+	// Host is the target host (without port).
+	Host string
+	// Path is the URL path, without the query string.
+	Path string
+	// RawQuery is everything after the first '?', undecoded.
+	RawQuery string
+	// Body is the request body for POST requests (form-encoded), undecoded.
+	Body string
+	// Malicious is the ground-truth label carried by generated datasets; it
+	// is never consulted by any detector.
+	Malicious bool
+	// Tool identifies the generator that produced the request (sqlmap,
+	// arachni, vega, benign, crawl, ...), for per-set reporting.
+	Tool string
+}
+
+// ParseURL builds a Request from a raw URL string such as
+// "http://host:8080/app/page.jsp?id=1+or+1%3D1". Scheme, host and port are
+// optional; everything after the first '?' becomes RawQuery.
+func ParseURL(raw string) (Request, error) {
+	if raw == "" {
+		return Request{}, fmt.Errorf("httpx: empty URL")
+	}
+	r := Request{Method: "GET"}
+	rest := raw
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+		// host[:port]/...
+		slash := strings.IndexByte(rest, '/')
+		var hostport string
+		if slash < 0 {
+			hostport, rest = rest, ""
+		} else {
+			hostport, rest = rest[:slash], rest[slash:]
+		}
+		if c := strings.IndexByte(hostport, ':'); c >= 0 {
+			hostport = hostport[:c]
+		}
+		r.Host = hostport
+	}
+	if q := strings.IndexByte(rest, '?'); q >= 0 {
+		r.Path, r.RawQuery = rest[:q], rest[q+1:]
+	} else {
+		r.Path = rest
+	}
+	if r.Path == "" {
+		r.Path = "/"
+	}
+	return r, nil
+}
+
+// Payload returns the part of the request a signature is matched against:
+// the query string, plus the body for POST requests. Host, port, and path
+// are excluded per the paper's extraction rule.
+func (r Request) Payload() string {
+	if r.Body == "" {
+		return r.RawQuery
+	}
+	if r.RawQuery == "" {
+		return r.Body
+	}
+	return r.RawQuery + "&" + r.Body
+}
+
+// URL reconstructs the request target (path plus query) for logging.
+func (r Request) URL() string {
+	if r.RawQuery == "" {
+		return r.Path
+	}
+	return r.Path + "?" + r.RawQuery
+}
+
+// Param is one name=value pair of a query string, undecoded, in original
+// order.
+type Param struct {
+	Name, Value string
+}
+
+// ParseParams splits a raw query string into ordered name/value pairs
+// without decoding. Pairs are separated by '&' (or ';'); a pair without '='
+// yields an empty Value.
+func ParseParams(rawQuery string) []Param {
+	if rawQuery == "" {
+		return nil
+	}
+	fields := strings.FieldsFunc(rawQuery, func(r rune) bool { return r == '&' || r == ';' })
+	out := make([]Param, 0, len(fields))
+	for _, f := range fields {
+		if f == "" {
+			continue
+		}
+		if eq := strings.IndexByte(f, '='); eq >= 0 {
+			out = append(out, Param{Name: f[:eq], Value: f[eq+1:]})
+		} else {
+			out = append(out, Param{Name: f})
+		}
+	}
+	return out
+}

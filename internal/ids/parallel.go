@@ -1,0 +1,55 @@
+package ids
+
+import (
+	"runtime"
+	"sync"
+
+	"psigene/internal/httpx"
+)
+
+// ParallelEvaluate is the paper's future-work optimization delivered:
+// "the signature matching is completely parallelizable — each parallel
+// thread can match one signature and this functionality is inbuilt in Bro
+// (Bro's cluster mode)". Requests are sharded across workers, each worker
+// inspecting its share with the (read-only, goroutine-safe) detector, and
+// the confusion counts are merged. workers <= 0 uses GOMAXPROCS.
+func ParallelEvaluate(d Detector, reqs []httpx.Request, workers int) EvalResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		return Evaluate(d, reqs)
+	}
+
+	results := make([]EvalResult, workers)
+	var wg sync.WaitGroup
+	chunk := (len(reqs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int, part []httpx.Request) {
+			defer wg.Done()
+			results[slot] = Evaluate(d, part)
+		}(w, reqs[lo:hi])
+	}
+	wg.Wait()
+
+	var total EvalResult
+	for _, r := range results {
+		total.TP += r.TP
+		total.FP += r.FP
+		total.TN += r.TN
+		total.FN += r.FN
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+package ids
+
+import (
+	"runtime"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/httpx"
+	"psigene/internal/ruleset"
+	"psigene/internal/traffic"
+)
+
+func mixedWorkload(n int) []httpx.Request {
+	reqs := attackgen.NewGenerator(attackgen.SQLMapProfile(), 1).Requests(n / 2)
+	return append(reqs, traffic.NewGenerator(2).Requests(n/2)...)
+}
+
+func TestParallelEvaluateMatchesSequential(t *testing.T) {
+	e := mustEngine(t, ruleset.Snort(), Options{})
+	reqs := mixedWorkload(600)
+	seq := Evaluate(e, reqs)
+	for _, workers := range []int{1, 2, 3, 8, 1000} {
+		par := ParallelEvaluate(e, reqs, workers)
+		if par != seq {
+			t.Fatalf("workers=%d: %+v != sequential %+v", workers, par, seq)
+		}
+	}
+	// Default worker count.
+	if par := ParallelEvaluate(e, reqs, 0); par != seq {
+		t.Fatalf("default workers: %+v != %+v", par, seq)
+	}
+}
+
+func TestParallelEvaluateEmpty(t *testing.T) {
+	e := mustEngine(t, ruleset.Bro(), Options{})
+	r := ParallelEvaluate(e, nil, 4)
+	if r != (EvalResult{}) {
+		t.Fatalf("empty input: %+v", r)
+	}
+}
+
+func TestParallelEvaluateRace(t *testing.T) {
+	// Exercised under -race in CI: concurrent Inspect on a shared engine.
+	e := mustEngine(t, ruleset.ModSecCRS(), Options{})
+	reqs := mixedWorkload(400)
+	ParallelEvaluate(e, reqs, runtime.GOMAXPROCS(0)*2)
+}
+
+func BenchmarkParallelEvaluate(b *testing.B) {
+	e, err := NewRuleEngine(ruleset.ModSecCRS(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := mixedWorkload(2000)
+	for _, workers := range []int{1, 4} {
+		name := "workers1"
+		if workers == 4 {
+			name = "workers4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelEvaluate(e, reqs, workers)
+			}
+		})
+	}
+}

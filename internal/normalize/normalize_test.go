@@ -1,0 +1,142 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowercase(t *testing.T) {
+	if got := Lowercase("UNION SeLeCt 1"); got != "union select 1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestURLDecode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"id=1%27%20or%201%3D1", "id=1' or 1=1"},
+		{"a+b", "a b"},
+		{"%", "%"},         // lone percent passes through
+		{"%2", "%2"},       // truncated escape passes through
+		{"%zz", "%zz"},     // invalid hex passes through
+		{"%2527", "%27"},   // single pass only decodes one layer
+		{"plain", "plain"}, // fast path
+		{"%00", "\x00"},    // null byte decodes
+		{"100%25", "100%"}, // encoded percent
+	}
+	for _, c := range cases {
+		if got := URLDecode(c.in); got != c.want {
+			t.Fatalf("URLDecode(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnicodeToASCII(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"%u0027", "'"},          // IIS-style escape
+		{"%u0055NION", "UNION"},  // escape followed by text
+		{"ＵＮＩＯＮ", "UNION"},       // fullwidth letters
+		{"＇ or １=１", "' or 1=1"}, // fullwidth quote/digits
+		{"　", " "},               // ideographic space
+		{"%uZZZZ", "%uZZZZ"},     // malformed escape passes through
+		{"café", "café"},         // non-foldable runes untouched
+	}
+	for _, c := range cases {
+		if got := UnicodeToASCII(c.in); got != c.want {
+			t.Fatalf("UnicodeToASCII(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnicodeToASCIIInvalidUTF8(t *testing.T) {
+	// Raw high bytes (Latin-1 style) must survive, not become U+FFFD.
+	in := "a\xa7b"
+	got := UnicodeToASCII(in)
+	if strings.ContainsRune(got, '�') {
+		t.Fatalf("invalid UTF-8 replaced: %q", got)
+	}
+}
+
+func TestHTMLEntityDecode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"&#39;", "'"},
+		{"&#x27;", "'"},
+		{"&quot;x&quot;", `"x"`},
+		{"&apos;&amp;&lt;&gt;", `'&<>`},
+		{"a&b", "a&b"},                   // bare ampersand
+		{"&unknown;", "&unknown;"},       // unknown entity passes through
+		{"&#;", "&#;"},                   // empty numeric
+		{"&#x;", "&#x;"},                 // empty hex
+		{"&#999999999;", "&#999999999;"}, // out of range
+		{"no entities", "no entities"},
+	}
+	for _, c := range cases {
+		if got := HTMLEntityDecode(c.in); got != c.want {
+			t.Fatalf("HTMLEntityDecode(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCollapseWhitespace(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a  b", "a b"},
+		{"\t a \r\n b \f", "a b"},
+		{"   ", ""},
+		{"one", "one"},
+	}
+	for _, c := range cases {
+		if got := CollapseWhitespace(c.in); got != c.want {
+			t.Fatalf("CollapseWhitespace(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizePipeline(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Classic encoded injection.
+		{"id=1%27%20OR%20%271%27%3D%271", "id=1' or '1'='1"},
+		// Double-encoded quote reaches the same fixpoint.
+		{"id=1%2527", "id=1'"},
+		// Unicode evasion folds to the plain form.
+		{"q=%u0055NION%20%u0053ELECT", "q=union select"},
+		// HTML entities and whitespace.
+		{"x=&#39;+OR++1=1", "x=' or 1=1"},
+		// Plus-as-space and case folding together.
+		{"a=UNION+SELECT+1,2", "a=union select 1,2"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Fatalf("Normalize(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Normalize is idempotent on its own output.
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n1 := Normalize(s)
+		return Normalize(n1) == n1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: output contains no uppercase ASCII and no runs of blanks.
+func TestNormalizeInvariants(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		if strings.Contains(n, "  ") {
+			return false
+		}
+		for i := 0; i < len(n); i++ {
+			if n[i] >= 'A' && n[i] <= 'Z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package perdisci
+
+import (
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/traffic"
+)
+
+func TestTokenize(t *testing.T) {
+	got := tokenize("id=1' or '1'='1")
+	want := []string{"id", "=", "1", "'", "or", "'", "1", "'", "=", "'", "1"}
+	if len(got) != len(want) {
+		t.Fatalf("tokenize=%v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokenize=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestLCSTokens(t *testing.T) {
+	a := []string{"id", "=", "1", "union", "select", "user"}
+	b := []string{"id", "=", "9", "union", "select", "pass"}
+	got := lcsTokens(a, b)
+	want := []string{"id", "=", "union", "select"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("lcs=%v, want %v", got, want)
+	}
+	if lcsTokens(nil, b) != nil {
+		t.Fatal("lcs with empty side must be nil")
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"abc", "abc", 0},
+		{"", "abc", 1},
+		{"abc", "", 1},
+		{"abcd", "abce", 0.25},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := normalizedLevenshtein(c.a, c.b); got != c.want {
+			t.Fatalf("lev(%q,%q)=%v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSignaturePattern(t *testing.T) {
+	s := Signature{Tokens: []string{"union", "select", "("}}
+	if got := s.Pattern(); got != `\bunion\b.*\bselect\b.*\(` {
+		t.Fatalf("Pattern=%q", got)
+	}
+}
+
+func mkReq(query string) httpx.Request {
+	return httpx.Request{Method: "GET", Path: "/x.php", RawQuery: query, Malicious: true}
+}
+
+func TestTrainProducesSignatures(t *testing.T) {
+	// Two obvious families: union selects and quote tautologies.
+	var reqs []httpx.Request
+	for i := 0; i < 20; i++ {
+		reqs = append(reqs, mkReq("id=-1+union+select+1,2,3+from+users--+"))
+		reqs = append(reqs, mkReq("id=1'+or+'1'='1"))
+	}
+	res, err := Train(reqs, Options{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if res.FinalSignatures == 0 {
+		t.Fatal("no signatures produced")
+	}
+	if res.FineGrained < 2 {
+		t.Fatalf("fine-grained clusters=%d, want >= 2", res.FineGrained)
+	}
+	// Trained signatures must match their own training payloads.
+	hits := 0
+	for _, r := range reqs {
+		if res.System.Inspect(r).Alert {
+			hits++
+		}
+	}
+	if hits < len(reqs)*3/4 {
+		t.Fatalf("system matches only %d/%d training requests", hits, len(reqs))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Options{}); err == nil {
+		t.Fatal("empty training: want error")
+	}
+	if _, err := Train([]httpx.Request{mkReq("a=1")}, Options{}); err == nil {
+		t.Fatal("single request: want error")
+	}
+}
+
+func TestSystemImplementsDetector(t *testing.T) {
+	var _ ids.Detector = (*System)(nil)
+	s := &System{}
+	if s.Name() != "Perdisci" {
+		t.Fatalf("Name=%q", s.Name())
+	}
+	if s.Inspect(mkReq("id=1")).Alert {
+		t.Fatal("empty system must not alert")
+	}
+}
+
+func TestMergeSignatures(t *testing.T) {
+	sigs := []Signature{
+		{Tokens: []string{"union", "select", "1"}},
+		{Tokens: []string{"union", "select", "2"}},
+		{Tokens: []string{"completely", "different", "thing"}},
+	}
+	merged := mergeSignatures(sigs, 0.2)
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d signatures, want 2", len(merged))
+	}
+}
+
+func TestDaviesBouldinPrefersTrueK(t *testing.T) {
+	// Three tight string families; DB index should be lower at k=3 than k=2.
+	var reqs []httpx.Request
+	families := []string{
+		"id=1+union+select+%d,2,3",
+		"id=1'+or+'%d'='%d",
+		"id=sleep(%d)",
+	}
+	for i := 0; i < 8; i++ {
+		for _, f := range families {
+			q := strings.ReplaceAll(f, "%d", string(rune('0'+i%10)))
+			reqs = append(reqs, mkReq(q))
+		}
+	}
+	res, err := Train(reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FineGrained < 3 {
+		t.Fatalf("DB index picked %d clusters, want >= 3", res.FineGrained)
+	}
+}
+
+// TestExperiment3Shape verifies the headline comparison: Perdisci-style
+// token-subsequence signatures memorize the training corpus (high TPR on
+// train) but generalize poorly to a different tool's variants (low TPR),
+// with essentially no false positives.
+func TestExperiment3Shape(t *testing.T) {
+	train := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(400)
+	res, err := Train(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := res.System
+
+	trainEval := ids.Evaluate(sys, train)
+	if trainEval.TPR() < 0.4 {
+		t.Fatalf("train TPR=%.3f — token signatures must match much of their training set", trainEval.TPR())
+	}
+
+	test := attackgen.NewGenerator(attackgen.SQLMapProfile(), 2).Requests(400)
+	testEval := ids.Evaluate(sys, test)
+	if testEval.TPR() >= trainEval.TPR() {
+		t.Fatalf("unseen TPR %.3f >= train TPR %.3f — generalization should be poor", testEval.TPR(), trainEval.TPR())
+	}
+
+	benign := traffic.NewGenerator(3).Requests(600)
+	benEval := ids.Evaluate(sys, benign)
+	if benEval.FP > 3 {
+		t.Fatalf("FP=%d on benign traffic — Perdisci should be near zero", benEval.FP)
+	}
+}

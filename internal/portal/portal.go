@@ -1,0 +1,275 @@
+// Package portal simulates the public cybersecurity portals pSigene crawls
+// for attack samples (§II-A): SecurityFocus/Bugtraq, the Exploit Database,
+// PacketStorm Security, and the Open Source Vulnerability Database. Live
+// sites are a gated resource; these in-process HTTP servers expose the same
+// crawler-facing surface — paginated HTML listings, per-advisory pages with
+// proof-of-concept sample URLs, and OSVDB's JSON search API — populated
+// with generated attack samples.
+package portal
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"psigene/internal/attackgen"
+)
+
+// Style selects the portal's presentation.
+type Style int
+
+// Portal styles.
+const (
+	// StyleHTML serves paginated HTML listings with advisory detail pages
+	// (SecurityFocus, Exploit-DB, PacketStorm).
+	StyleHTML Style = iota + 1
+	// StyleAPI serves an OSVDB-style JSON search API with offset paging.
+	StyleAPI
+	// StyleForum serves a mailing-list/forum archive: a thread index and
+	// per-thread pages where samples appear inside <code> blocks of posts
+	// (the paper notes "open forums and mailing lists where users share
+	// attack samples").
+	StyleForum
+)
+
+// Entry is one advisory/exploit posting.
+type Entry struct {
+	// ID is the portal-local identifier.
+	ID int `json:"id"`
+	// Title is the advisory headline.
+	Title string `json:"title"`
+	// CVE is the assigned CVE identifier ("" if none).
+	CVE string `json:"cve,omitempty"`
+	// Published is the posting date, RFC 3339 date form.
+	Published string `json:"published"`
+	// Samples are the proof-of-concept attack URLs.
+	Samples []string `json:"samples"`
+}
+
+// Portal is one simulated site.
+type Portal struct {
+	// Name identifies the site (securityfocus, exploit-db, packetstorm, osvdb).
+	Name string
+	// Style selects HTML or JSON API presentation.
+	Style Style
+	// PageSize is the listing page size.
+	PageSize int
+	entries  []Entry
+}
+
+// New creates a portal with the given entries.
+func New(name string, style Style, pageSize int, entries []Entry) *Portal {
+	if pageSize <= 0 {
+		pageSize = 10
+	}
+	return &Portal{Name: name, Style: style, PageSize: pageSize, entries: entries}
+}
+
+// Entries returns the advisory inventory (copy).
+func (p *Portal) Entries() []Entry {
+	return append([]Entry(nil), p.entries...)
+}
+
+// knownCVEs reproduces Table I: SQLi vulnerabilities published in July 2012
+// that the crawled corpus must cover.
+var knownCVEs = []struct{ cve, title string }{
+	{"CVE-2012-3554", "Joomla 1.5.x RSGallery 2.3.20 component SQL injection"},
+	{"CVE-2012-2306", "Drupal 6.x-4.2 Addressbook module SQL injection"},
+	{"CVE-2012-3395", "Moodle 2.0.x mod/feedback/complete.php SQL injection"},
+	{"CVE-2012-3881", "RTG 0.7.4 and RTG2 0.9.2 95/view/rtg.php SQL injection"},
+}
+
+// KnownCVEs returns the Table I vulnerability list.
+func KnownCVEs() []string {
+	out := make([]string, len(knownCVEs))
+	for i, k := range knownCVEs {
+		out[i] = k.cve
+	}
+	return out
+}
+
+// GenerateEntries builds count advisory entries populated with attack
+// samples from the generator; the first entries carry the Table I CVEs.
+func GenerateEntries(gen *attackgen.Generator, count int) []Entry {
+	entries := make([]Entry, count)
+	for i := range entries {
+		nSamples := 1 + i%4
+		samples := make([]string, nSamples)
+		for s := range samples {
+			req := gen.Sample().Request
+			samples[s] = "http://" + req.Host + req.URL()
+		}
+		e := Entry{
+			ID:        1000 + i,
+			Title:     fmt.Sprintf("SQL injection vulnerability #%d", 1000+i),
+			Published: fmt.Sprintf("2012-%02d-%02d", 4+i%3, 1+i%28),
+			Samples:   samples,
+		}
+		if i < len(knownCVEs) {
+			e.CVE = knownCVEs[i].cve
+			e.Title = knownCVEs[i].title
+			e.Published = fmt.Sprintf("2012-07-%02d", 1+i)
+		}
+		entries[i] = e
+	}
+	return entries
+}
+
+// Handler returns the portal's HTTP handler.
+func (p *Portal) Handler() http.Handler {
+	mux := http.NewServeMux()
+	switch p.Style {
+	case StyleAPI:
+		mux.HandleFunc("/api/search", p.apiSearch)
+	case StyleForum:
+		mux.HandleFunc("/", p.forumIndex)
+		mux.HandleFunc("/thread/", p.forumThread)
+	default:
+		mux.HandleFunc("/", p.htmlIndex)
+		mux.HandleFunc("/advisory/", p.htmlAdvisory)
+	}
+	return mux
+}
+
+// htmlIndex serves the paginated listing: /?page=N.
+func (p *Portal) htmlIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+	if page < 0 {
+		page = 0
+	}
+	start := page * p.PageSize
+	if start >= len(p.entries) {
+		fmt.Fprintf(w, "<html><body><h1>%s</h1><p>No more entries.</p></body></html>", p.Name)
+		return
+	}
+	end := start + p.PageSize
+	if end > len(p.entries) {
+		end = len(p.entries)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h1>%s advisories</h1><ul>", p.Name)
+	for _, e := range p.entries[start:end] {
+		fmt.Fprintf(&b, `<li><a href="/advisory/%d">%s</a> (%s)</li>`, e.ID, e.Title, e.Published)
+	}
+	b.WriteString("</ul>")
+	if end < len(p.entries) {
+		fmt.Fprintf(&b, `<a href="/?page=%d">next page</a>`, page+1)
+	}
+	b.WriteString("</body></html>")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// htmlAdvisory serves an advisory detail page with its PoC samples in a
+// <pre> block, one URL per line — the format the crawler extracts from.
+func (p *Portal) htmlAdvisory(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/advisory/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	for _, e := range p.entries {
+		if e.ID != id {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><body><h1>%s</h1>", e.Title)
+		if e.CVE != "" {
+			fmt.Fprintf(&b, "<p>CVE: %s</p>", e.CVE)
+		}
+		fmt.Fprintf(&b, "<p>Published: %s</p><h2>Proof of concept</h2><pre class=\"poc\">\n", e.Published)
+		for _, s := range e.Samples {
+			b.WriteString(htmlEscape(s))
+			b.WriteString("\n")
+		}
+		b.WriteString("</pre></body></html>")
+		_, _ = w.Write([]byte(b.String()))
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// apiSearch serves the OSVDB-style JSON API: /api/search?offset=N&limit=M.
+func (p *Portal) apiSearch(w http.ResponseWriter, r *http.Request) {
+	offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	if limit <= 0 || limit > 100 {
+		limit = p.PageSize
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	type response struct {
+		Total   int     `json:"total"`
+		Offset  int     `json:"offset"`
+		Results []Entry `json:"results"`
+		Next    *int    `json:"next,omitempty"`
+	}
+	resp := response{Total: len(p.entries), Offset: offset}
+	if offset < len(p.entries) {
+		end := offset + limit
+		if end > len(p.entries) {
+			end = len(p.entries)
+		}
+		resp.Results = p.entries[offset:end]
+		if end < len(p.entries) {
+			resp.Next = &end
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// forumIndex lists discussion threads, one per entry.
+func (p *Portal) forumIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h1>%s — full disclosure list</h1><ul>", p.Name)
+	for _, e := range p.entries {
+		fmt.Fprintf(&b, `<li><a href="/thread/%d">[SQLi] %s</a> (%d replies)</li>`, e.ID, e.Title, len(e.Samples))
+	}
+	b.WriteString("</ul></body></html>")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// forumThread renders one discussion: an opening post plus replies, each
+// reply quoting one PoC URL in a <code> block.
+func (p *Portal) forumThread(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/thread/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	for _, e := range p.entries {
+		if e.ID != id {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><body><h1>[SQLi] %s</h1>", e.Title)
+		fmt.Fprintf(&b, "<div class=\"post\"><p>Found this in the wild (%s). Anyone else seeing it?</p></div>", e.Published)
+		for i, s := range e.Samples {
+			fmt.Fprintf(&b, "<div class=\"post\"><p>reply %d: works for me with</p><code>%s</code></div>", i+1, htmlEscape(s))
+		}
+		b.WriteString("</body></html>")
+		_, _ = w.Write([]byte(b.String()))
+		return
+	}
+	http.NotFound(w, r)
+}

@@ -1,0 +1,189 @@
+package portal
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+)
+
+func testEntries(t *testing.T, n int) []Entry {
+	t.Helper()
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), 1)
+	return GenerateEntries(gen, n)
+}
+
+func TestGenerateEntries(t *testing.T) {
+	entries := testEntries(t, 20)
+	if len(entries) != 20 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	for i, e := range entries {
+		if len(e.Samples) == 0 {
+			t.Fatalf("entry %d has no samples", i)
+		}
+		for _, s := range e.Samples {
+			if !strings.HasPrefix(s, "http://") || !strings.Contains(s, "?") {
+				t.Fatalf("sample %q is not an attack URL", s)
+			}
+		}
+	}
+	// Table I CVEs must be carried by the first entries.
+	for i, cve := range KnownCVEs() {
+		if entries[i].CVE != cve {
+			t.Fatalf("entry %d CVE=%q, want %q", i, entries[i].CVE, cve)
+		}
+	}
+}
+
+func TestHTMLPortalPagination(t *testing.T) {
+	p := New("exploit-db", StyleHTML, 5, testEntries(t, 12))
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	get := func(url string) string {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	page0 := get(srv.URL + "/")
+	if !strings.Contains(page0, "/advisory/1000") {
+		t.Fatal("page 0 must link the first advisory")
+	}
+	if !strings.Contains(page0, "?page=1") {
+		t.Fatal("page 0 must link the next page")
+	}
+	page2 := get(srv.URL + "/?page=2")
+	if strings.Contains(page2, "next page") {
+		t.Fatal("last page must not link a next page")
+	}
+	beyond := get(srv.URL + "/?page=99")
+	if !strings.Contains(beyond, "No more entries") {
+		t.Fatal("out-of-range page must say so")
+	}
+}
+
+func TestHTMLAdvisoryPage(t *testing.T) {
+	entries := testEntries(t, 6)
+	p := New("securityfocus", StyleHTML, 10, entries)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/advisory/1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	if !strings.Contains(body, "<pre") {
+		t.Fatal("advisory must contain a PoC pre block")
+	}
+	if !strings.Contains(body, "CVE-2012-3554") {
+		t.Fatal("first advisory must carry the Table I CVE")
+	}
+
+	resp2, _ := srv.Client().Get(srv.URL + "/advisory/nope")
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("bad advisory id: status %d", resp2.StatusCode)
+	}
+	resp3, _ := srv.Client().Get(srv.URL + "/advisory/99999")
+	resp3.Body.Close()
+	if resp3.StatusCode != 404 {
+		t.Fatalf("unknown advisory: status %d", resp3.StatusCode)
+	}
+}
+
+func TestAPIPortalPaging(t *testing.T) {
+	p := New("osvdb", StyleAPI, 4, testEntries(t, 10))
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	var total int
+	offset := 0
+	for pages := 0; pages < 10; pages++ {
+		resp, err := srv.Client().Get(srv.URL + "/api/search?offset=" + itoa(offset))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Total   int     `json:"total"`
+			Results []Entry `json:"results"`
+			Next    *int    `json:"next"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		total += len(body.Results)
+		if body.Next == nil {
+			break
+		}
+		offset = *body.Next
+	}
+	if total != 10 {
+		t.Fatalf("paged through %d entries, want 10", total)
+	}
+}
+
+func TestEntriesCopy(t *testing.T) {
+	p := New("x", StyleHTML, 5, testEntries(t, 3))
+	es := p.Entries()
+	es[0].Title = "mutated"
+	if p.Entries()[0].Title == "mutated" {
+		t.Fatal("Entries must return a copy")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestForumPortal(t *testing.T) {
+	p := New("full-disclosure", StyleForum, 5, testEntries(t, 6))
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "/thread/1000") {
+		t.Fatalf("index missing thread links:\n%s", b)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/thread/1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(b2), "<code>") {
+		t.Fatalf("thread missing code blocks:\n%s", b2)
+	}
+
+	resp3, _ := srv.Client().Get(srv.URL + "/thread/zzz")
+	resp3.Body.Close()
+	if resp3.StatusCode != 404 {
+		t.Fatalf("bad thread id: status %d", resp3.StatusCode)
+	}
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psigene/internal/cluster"
+)
+
+// RenderDendrogram draws a dendrogram as ASCII art, leaves down the left
+// edge and merges joining rightward at depths proportional to their heights
+// — the textual counterpart of the trees flanking Figure 2's heat map.
+// maxLeaves caps the drawing by collapsing the smallest subtrees first
+// (0 means 40); width is the merge-axis budget in characters (0 means 48).
+func RenderDendrogram(d *cluster.Dendrogram, maxLeaves, width int) string {
+	if maxLeaves <= 0 {
+		maxLeaves = 40
+	}
+	if width <= 0 {
+		width = 48
+	}
+	if d.NLeaves == 0 {
+		return "(empty dendrogram)\n"
+	}
+	if d.NLeaves == 1 {
+		return "leaf 0\n"
+	}
+
+	// Collapse to at most maxLeaves display groups: cut the tree at the
+	// smallest K <= maxLeaves, then treat each cluster as one display leaf.
+	k := d.NLeaves
+	if k > maxLeaves {
+		k = maxLeaves
+	}
+	groups, err := d.CutK(k)
+	if err != nil {
+		return fmt.Sprintf("(dendrogram render failed: %v)\n", err)
+	}
+
+	// Order groups by heat-map position and build the merge structure over
+	// groups by replaying the linkage above the cut.
+	pos := make(map[int]int, d.NLeaves)
+	for p, leaf := range d.LeafOrder() {
+		pos[leaf] = p
+	}
+	sort.Slice(groups, func(i, j int) bool { return pos[groups[i][0]] < pos[groups[j][0]] })
+
+	groupOf := make(map[int]int, d.NLeaves) // leaf -> display group
+	for gi, g := range groups {
+		for _, leaf := range g {
+			groupOf[leaf] = gi
+		}
+	}
+
+	// Replay merges; a merge whose two sides map to different live display
+	// groups becomes a drawn join.
+	type join struct {
+		a, b   int // display-group representatives
+		height float64
+	}
+	var joins []join
+	// Track which display group each linkage id currently belongs to.
+	idGroup := make(map[int]int, 2*d.NLeaves)
+	for leaf, g := range groupOf {
+		idGroup[leaf] = g
+	}
+	rep := make([]int, len(groups)) // union-find over display groups
+	for i := range rep {
+		rep[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		if rep[x] != x {
+			rep[x] = find(rep[x])
+		}
+		return rep[x]
+	}
+	maxHeight := d.Merges[len(d.Merges)-1].Height
+	for mi, m := range d.Merges {
+		ga, okA := idGroup[m.A]
+		gb, okB := idGroup[m.B]
+		id := d.NLeaves + mi
+		switch {
+		case okA && okB:
+			ra, rb := find(ga), find(gb)
+			if ra != rb {
+				joins = append(joins, join{a: ra, b: rb, height: m.Height})
+				rep[rb] = ra
+			}
+			idGroup[id] = find(ra)
+		case okA:
+			idGroup[id] = ga
+		case okB:
+			idGroup[id] = gb
+		}
+	}
+
+	// Draw: one row per display group; joins as brackets at scaled depth.
+	depth := func(h float64) int {
+		if maxHeight <= 0 {
+			return 1
+		}
+		dd := int(h / maxHeight * float64(width-1))
+		if dd < 1 {
+			dd = 1
+		}
+		return dd
+	}
+	rows := make([][]byte, len(groups))
+	labels := make([]string, len(groups))
+	for i, g := range groups {
+		w := d.WeightOf(g)
+		labels[i] = fmt.Sprintf("%4.0f x ", w)
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	// rowOf tracks the representative row of each display group as it merges.
+	rowOf := make([]int, len(groups))
+	for i := range rowOf {
+		rowOf[i] = i
+	}
+	for i := range rep {
+		rep[i] = i // reset union-find for drawing
+	}
+	for _, j := range joins {
+		ra, rb := find(j.a), find(j.b)
+		r1, r2 := rowOf[ra], rowOf[rb]
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		x := depth(j.height)
+		for r := r1; r <= r2; r++ {
+			if rows[r][x-1] == ' ' {
+				rows[r][x-1] = '|'
+			}
+		}
+		for _, r := range []int{r1, r2} {
+			for c := 0; c < x-1; c++ {
+				if rows[r][c] == ' ' {
+					rows[r][c] = '-'
+				}
+			}
+			rows[r][x-1] = '+'
+		}
+		rep[rb] = ra
+		rowOf[ra] = (r1 + r2) / 2
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "dendrogram: %d leaves shown as %d groups (height scale: %.2f per column)\n",
+		d.NLeaves, len(groups), maxHeight/float64(width-1))
+	for i := range groups {
+		b.WriteString(labels[i])
+		b.Write(rows[i])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

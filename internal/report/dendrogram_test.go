@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"psigene/internal/cluster"
+	"psigene/internal/matrix"
+)
+
+func TestRenderDendrogram(t *testing.T) {
+	m, err := matrix.NewFromRows([][]float64{
+		{0, 0}, {0.2, 0}, {0, 0.2}, // blob A
+		{10, 10}, {10.2, 10}, // blob B
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cluster.UPGMARows(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderDendrogram(d, 0, 40)
+	if !strings.Contains(out, "dendrogram: 5 leaves") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") {
+		t.Fatalf("no join structure drawn:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 leaves
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderDendrogramCollapses(t *testing.T) {
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = []float64{float64(i % 3), float64(i / 3)}
+	}
+	m, _ := matrix.NewFromRows(rows)
+	d, err := cluster.UPGMARows(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderDendrogram(d, 8, 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // header + 8 collapsed groups
+		t.Fatalf("expected 8 display groups, got %d lines:\n%s", len(lines)-1, out)
+	}
+	if !strings.Contains(out, "x") { // weight labels
+		t.Fatalf("group weights missing:\n%s", out)
+	}
+}
+
+func TestRenderDendrogramDegenerate(t *testing.T) {
+	single := &cluster.Dendrogram{NLeaves: 1, Weights: []float64{1}}
+	if !strings.Contains(RenderDendrogram(single, 0, 0), "leaf 0") {
+		t.Fatal("single leaf rendering")
+	}
+	empty := &cluster.Dendrogram{}
+	if !strings.Contains(RenderDendrogram(empty, 0, 0), "empty") {
+		t.Fatal("empty rendering")
+	}
+}

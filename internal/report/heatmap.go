@@ -1,0 +1,174 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"psigene/internal/cluster"
+	"psigene/internal/matrix"
+)
+
+// Heatmap is the Figure 2 artifact: the sample×feature matrix standardized
+// per column and reordered by the row and column dendrograms, with the
+// selected biclusters annotated.
+type Heatmap struct {
+	std      *matrix.Dense
+	rowOrder []int
+	colOrder []int
+	result   *cluster.Result
+}
+
+// NewHeatmap builds the heat map model from the raw (unstandardized) count
+// matrix and its biclustering result.
+func NewHeatmap(m *matrix.Dense, res *cluster.Result) (*Heatmap, error) {
+	if m.Rows() != res.RowDendrogram.NLeaves {
+		return nil, fmt.Errorf("report: matrix has %d rows, dendrogram %d leaves", m.Rows(), res.RowDendrogram.NLeaves)
+	}
+	if m.Cols() != res.ColDendrogram.NLeaves {
+		return nil, fmt.Errorf("report: matrix has %d cols, dendrogram %d leaves", m.Cols(), res.ColDendrogram.NLeaves)
+	}
+	std, _ := m.Standardize()
+	return &Heatmap{
+		std:      std,
+		rowOrder: res.RowDendrogram.LeafOrder(),
+		colOrder: res.ColDendrogram.LeafOrder(),
+		result:   res,
+	}, nil
+}
+
+// biclusterOfLeaf maps each row leaf to its bicluster ID (0 = unclustered).
+func (h *Heatmap) biclusterOfLeaf() map[int]int {
+	out := make(map[int]int, len(h.rowOrder))
+	for _, b := range h.result.Biclusters {
+		for _, l := range b.RowLeaves {
+			out[l] = b.ID
+		}
+	}
+	return out
+}
+
+// asciiRamp maps standardized values onto characters: low (green in the
+// paper) to high (red).
+const asciiRamp = " .:-=+*#%@"
+
+// ASCII renders the heat map as character art, downsampling to at most
+// maxRows×maxCols cells, with bicluster IDs annotated per row band.
+func (h *Heatmap) ASCII(maxRows, maxCols int) string {
+	rows, cols := len(h.rowOrder), len(h.colOrder)
+	if maxRows <= 0 || maxRows > rows {
+		maxRows = rows
+	}
+	if maxCols <= 0 || maxCols > cols {
+		maxCols = cols
+	}
+	leafBic := h.biclusterOfLeaf()
+	var b strings.Builder
+	fmt.Fprintf(&b, "heat map: %d samples x %d features (showing %dx%d)\n", rows, cols, maxRows, maxCols)
+	for r := 0; r < maxRows; r++ {
+		// Representative source row for this display row.
+		src := r * rows / maxRows
+		leaf := h.rowOrder[src]
+		for c := 0; c < maxCols; c++ {
+			// Average the block of source cells for this display cell.
+			c0, c1 := c*cols/maxCols, (c+1)*cols/maxCols
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			var sum float64
+			for j := c0; j < c1; j++ {
+				sum += h.std.At(leaf, h.colOrder[j])
+			}
+			b.WriteByte(rampChar(sum / float64(c1-c0)))
+		}
+		if id := leafBic[leaf]; id != 0 {
+			mark := ""
+			for _, bc := range h.result.Biclusters {
+				if bc.ID == id && bc.BlackHole {
+					mark = " (black hole)"
+				}
+			}
+			fmt.Fprintf(&b, "  <%d>%s", id, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func rampChar(z float64) byte {
+	// Clamp z to [-2, 2] and scale onto the ramp.
+	if z < -2 {
+		z = -2
+	}
+	if z > 2 {
+		z = 2
+	}
+	idx := int((z + 2) / 4 * float64(len(asciiRamp)-1))
+	return asciiRamp[idx]
+}
+
+// SVG renders the heat map with the paper's green-black-red colormap, one
+// rect per (downsampled) cell, with bicluster bands outlined.
+func (h *Heatmap) SVG(maxRows, maxCols, cell int) string {
+	rows, cols := len(h.rowOrder), len(h.colOrder)
+	if maxRows <= 0 || maxRows > rows {
+		maxRows = rows
+	}
+	if maxCols <= 0 || maxCols > cols {
+		maxCols = cols
+	}
+	if cell <= 0 {
+		cell = 4
+	}
+	w, hgt := maxCols*cell, maxRows*cell
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, w+80, hgt)
+	b.WriteByte('\n')
+	for r := 0; r < maxRows; r++ {
+		src := r * rows / maxRows
+		leaf := h.rowOrder[src]
+		for c := 0; c < maxCols; c++ {
+			c0, c1 := c*cols/maxCols, (c+1)*cols/maxCols
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			var sum float64
+			for j := c0; j < c1; j++ {
+				sum += h.std.At(leaf, h.colOrder[j])
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`,
+				c*cell, r*cell, cell, cell, svgColor(sum/float64(c1-c0)))
+		}
+		b.WriteByte('\n')
+	}
+	// Bicluster band labels.
+	leafBic := h.biclusterOfLeaf()
+	prev := -1
+	for r := 0; r < maxRows; r++ {
+		src := r * rows / maxRows
+		id := leafBic[h.rowOrder[src]]
+		if id != 0 && id != prev {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="black">bicluster %d</text>`,
+				maxCols*cell+4, r*cell+10, id)
+			b.WriteByte('\n')
+		}
+		prev = id
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// svgColor maps a z-score to the green→black→red ramp.
+func svgColor(z float64) string {
+	if z < -2 {
+		z = -2
+	}
+	if z > 2 {
+		z = 2
+	}
+	if z < 0 {
+		g := int(-z / 2 * 255)
+		return fmt.Sprintf("#00%02x00", g)
+	}
+	r := int(z / 2 * 255)
+	return fmt.Sprintf("#%02x0000", r)
+}

@@ -1,0 +1,154 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named line of an XY plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// plotPalette cycles through distinguishable stroke colors.
+var plotPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// LinePlotSVG renders series as an SVG line plot with axes and a legend —
+// used for Figure 3's ROC curves. xMax/yMax clip the axes (the paper plots
+// FPR only to 0.05); zero means auto.
+func LinePlotSVG(title, xLabel, yLabel string, series []Series, xMax, yMax float64) string {
+	const (
+		w, h           = 560, 400
+		ml, mr, mt, mb = 60, 150, 30, 45
+		plotW, plotH   = w - ml - mr, h - mt - mb
+	)
+	if xMax <= 0 {
+		for _, s := range series {
+			for _, x := range s.X {
+				if x > xMax {
+					xMax = x
+				}
+			}
+		}
+	}
+	if yMax <= 0 {
+		for _, s := range series {
+			for _, y := range s.Y {
+				if y > yMax {
+					yMax = y
+				}
+			}
+		}
+	}
+	if xMax <= 0 {
+		xMax = 1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	px := func(x float64) float64 { return ml + x/xMax*float64(plotW) }
+	py := func(y float64) float64 { return mt + (1-y/yMax)*float64(plotH) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" text-anchor="middle">%s</text>`, ml+plotW/2, xmlEscape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, ml, mt+plotH, ml+plotW, mt+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, ml, mt, ml, mt+plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`, ml+plotW/2, h-8, xmlEscape(xLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`, mt+plotH/2, mt+plotH/2, xmlEscape(yLabel))
+	// Ticks.
+	for i := 0; i <= 5; i++ {
+		fx := xMax * float64(i) / 5
+		fy := yMax * float64(i) / 5
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="9" text-anchor="middle">%.3g</text>`, px(fx), mt+plotH+14, fx)
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="9" text-anchor="end">%.3g</text>`, ml-4, py(fy)+3, fy)
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%d" x2="%.0f" y2="%d" stroke="#ddd"/>`, px(fx), mt, px(fx), mt+plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.0f" x2="%d" y2="%.0f" stroke="#ddd"/>`, ml, py(fy), ml+plotW, py(fy))
+	}
+	// Series.
+	for si, s := range series {
+		color := plotPalette[si%len(plotPalette)]
+		var pts []string
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if x > xMax {
+				continue
+			}
+			if y > yMax {
+				y = yMax
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(y)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`, strings.Join(pts, " "), color)
+		}
+		ly := mt + 14 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, ml+plotW+8, ly, ml+plotW+28, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`, ml+plotW+32, ly+3, xmlEscape(s.Name))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Overlay draws a second (darker) value inside the bar — Figure 4 uses
+	// it for the cumulative-vs-individual TPR pairing.
+	Overlay float64
+}
+
+// BarChartSVG renders a vertical bar chart — used for Figure 4's
+// cumulative TPR. Values are fractions in [0, 1] rendered as percentages.
+func BarChartSVG(title string, bars []Bar) string {
+	const (
+		w, h           = 520, 340
+		ml, mr, mt, mb = 55, 20, 30, 55
+		plotW, plotH   = w - ml - mr, h - mt - mb
+	)
+	if len(bars) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"></svg>`
+	}
+	bw := float64(plotW) / float64(len(bars))
+	py := func(v float64) float64 { return mt + (1-v)*float64(plotH) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" text-anchor="middle">%s</text>`, ml+plotW/2, xmlEscape(title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, ml, mt+plotH, ml+plotW, mt+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, ml, mt, ml, mt+plotH)
+	for i := 0; i <= 4; i++ {
+		v := float64(i) / 4
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="9" text-anchor="end">%.0f%%</text>`, ml-4, py(v)+3, v*100)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.0f" x2="%d" y2="%.0f" stroke="#ddd"/>`, ml, py(v), ml+plotW, py(v))
+	}
+	for i, bar := range bars {
+		x := float64(ml) + float64(i)*bw + bw*0.15
+		width := bw * 0.7
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#9ecae1"/>`,
+			x, py(bar.Value), width, float64(mt+plotH)-py(bar.Value))
+		if bar.Overlay > 0 {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#3182bd"/>`,
+				x, py(bar.Overlay), width, float64(mt+plotH)-py(bar.Overlay))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle">%s</text>`,
+			x+width/2, mt+plotH+14, xmlEscape(bar.Label))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

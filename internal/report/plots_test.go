@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotSVG(t *testing.T) {
+	series := []Series{
+		{Name: "Signature 1", X: []float64{0, 0.01, 0.05}, Y: []float64{0, 0.8, 0.95}},
+		{Name: "Signature 2", X: []float64{0, 0.02, 0.05}, Y: []float64{0, 0.5, 0.7}},
+	}
+	svg := LinePlotSVG("ROC Curves", "False Positive Rate", "True Positive Rate", series, 0.05, 1)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"polyline", "Signature 1", "Signature 2", "ROC Curves", "False Positive Rate"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLinePlotSVGAutoScale(t *testing.T) {
+	series := []Series{{Name: "s", X: []float64{0, 2}, Y: []float64{0, 4}}}
+	svg := LinePlotSVG("t", "x", "y", series, 0, 0)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("auto-scaled plot missing series")
+	}
+}
+
+func TestLinePlotSVGClipsBeyondXMax(t *testing.T) {
+	series := []Series{{Name: "s", X: []float64{0, 0.04, 0.9}, Y: []float64{0, 0.5, 1}}}
+	svg := LinePlotSVG("t", "x", "y", series, 0.05, 1)
+	// The x=0.9 point is dropped; two points remain in the polyline.
+	start := strings.Index(svg, `points="`)
+	end := strings.Index(svg[start+8:], `"`)
+	pts := strings.Fields(svg[start+8 : start+8+end])
+	if len(pts) != 2 {
+		t.Fatalf("expected clipped polyline with 2 points, got %v", pts)
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	bars := []Bar{
+		{Label: "1", Value: 0.9, Overlay: 0.35},
+		{Label: "2", Value: 0.93, Overlay: 0.3},
+	}
+	svg := BarChartSVG("Cumulative TPR", bars)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") != 4 { // 2 bars x (value + overlay)
+		t.Fatalf("want 4 rects, got %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "Cumulative TPR") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestBarChartSVGEmpty(t *testing.T) {
+	svg := BarChartSVG("x", nil)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("empty chart must still be an SVG")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("xmlEscape=%q", got)
+	}
+}

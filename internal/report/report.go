@@ -1,0 +1,118 @@
+// Package report renders the pipeline's outputs in the forms the paper
+// presents them: plain-text tables (Tables I–VI), CSV series for the curve
+// figures (ROC, cumulative TPR), and the Figure 2 heat map with dendrogram
+// ordering as ASCII art or SVG.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a plain-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+		fmt.Fprintln(w, strings.Repeat("=", min(total, 100)))
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				b.WriteString(pad(c, widths[i]))
+			} else {
+				b.WriteString(c)
+			}
+			if i != len(cells)-1 {
+				b.WriteString(" | ")
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a fraction as a percentage with the given decimals.
+func Pct(frac float64, decimals int) string {
+	return strconv.FormatFloat(frac*100, 'f', decimals, 64) + "%"
+}
+
+// F formats a float with the given decimals.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// WriteCSV writes a simple CSV (no quoting needs beyond commas in headers).
+func WriteCSV(w io.Writer, headers []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = strconv.FormatFloat(v, 'g', 8, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"psigene/internal/cluster"
+	"psigene/internal/matrix"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "Accuracy", Headers: []string{"Rules", "TPR", "FPR"}}
+	tbl.AddRow("pSigene", "90.52%", "0.037%")
+	tbl.AddRow("Bro", "76.33%", "0.0000%")
+	out := tbl.String()
+	if !strings.Contains(out, "Accuracy") || !strings.Contains(out, "pSigene") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, rule, headers, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the pipe positions.
+	hdr := lines[2]
+	for _, ln := range lines[4:] {
+		if strings.Index(ln, "|") != strings.Index(hdr, "|") {
+			t.Fatalf("misaligned columns:\n%s", out)
+		}
+	}
+}
+
+func TestPctAndF(t *testing.T) {
+	if got := Pct(0.9052, 2); got != "90.52%" {
+		t.Fatalf("Pct=%q", got)
+	}
+	if got := F(3.14159, 3); got != "3.142" {
+		t.Fatalf("F=%q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"fpr", "tpr"}, [][]float64{{0, 0}, {0.01, 0.8}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 || lines[0] != "fpr,tpr" {
+		t.Fatalf("csv:\n%s", b.String())
+	}
+	if lines[2] != "0.01,0.8" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func plantedHeatmap(t *testing.T) (*matrix.Dense, *cluster.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var rows [][]float64
+	for i := 0; i < 30; i++ { // group A: features 0-2
+		r := make([]float64, 10)
+		for j := 0; j < 3; j++ {
+			r[j] = float64(1 + rng.Intn(3))
+		}
+		rows = append(rows, r)
+	}
+	for i := 0; i < 20; i++ { // group B: features 6-9
+		r := make([]float64, 10)
+		for j := 6; j < 10; j++ {
+			r[j] = float64(1 + rng.Intn(3))
+		}
+		rows = append(rows, r)
+	}
+	m, err := matrix.NewFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(m, nil, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	m, res := plantedHeatmap(t)
+	h, err := NewHeatmap(m, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.ASCII(20, 10)
+	if !strings.Contains(out, "heat map") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "<1>") || !strings.Contains(out, "<2>") {
+		t.Fatalf("bicluster annotations missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 21 {
+		t.Fatalf("got %d lines, want 21", len(lines))
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	m, res := plantedHeatmap(t)
+	h, err := NewHeatmap(m, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := h.SVG(10, 10, 4)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(svg, "<rect") || !strings.Contains(svg, "bicluster") {
+		t.Fatal("SVG missing cells or labels")
+	}
+}
+
+func TestHeatmapDimensionErrors(t *testing.T) {
+	m, res := plantedHeatmap(t)
+	bad := matrix.MustNew(m.Rows()+1, m.Cols())
+	if _, err := NewHeatmap(bad, res); err == nil {
+		t.Fatal("row mismatch: want error")
+	}
+	bad2 := matrix.MustNew(m.Rows(), m.Cols()+1)
+	if _, err := NewHeatmap(bad2, res); err == nil {
+		t.Fatal("col mismatch: want error")
+	}
+}
+
+func TestSVGColorRamp(t *testing.T) {
+	if svgColor(-2) != "#00ff00" {
+		t.Fatalf("low end: %s", svgColor(-2))
+	}
+	if svgColor(0) != "#000000" {
+		t.Fatalf("center: %s", svgColor(0))
+	}
+	if svgColor(2) != "#ff0000" {
+		t.Fatalf("high end: %s", svgColor(2))
+	}
+}
+
+func TestRampChar(t *testing.T) {
+	if rampChar(-5) != ' ' {
+		t.Fatal("clamped low must be blank")
+	}
+	if rampChar(5) != '@' {
+		t.Fatal("clamped high must be densest")
+	}
+}

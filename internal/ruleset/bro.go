@@ -1,0 +1,61 @@
+package ruleset
+
+// Bro returns the Bro 2.0 SQLi signature set: six rules, all enabled, all
+// regex, with the long multi-group expressions characteristic of Bro's
+// distribution (the paper measures an average pattern length of 247.7
+// characters). Bro's style favours precision: every rule demands strong,
+// unambiguous injection evidence, which is why the paper records zero false
+// positives — and the lowest detection rate — for this set.
+func Bro() Ruleset {
+	rules := []Rule{
+		{
+			ID:          "bro:sqli-uri-1",
+			Description: "SQL injection: quoted tautology or quoted boolean clause in URI",
+			Kind:        MatchRegex,
+			Target:      TargetPayload,
+			Pattern:     `[\?&][^\?&]*?=[^\?&]*?(%27|')([^\?&]*?)(%20|\+|\s)*(or|and)(%20|\+|\s)+([^\?&=]*?)(=|like|%3d)([^\?&]*?)((%27|')|(%23|#|--))|(%27|')(%20|\+|\s)*(or|and)(%20|\+|\s)*(%27|')?[0-9a-z]+(%27|')?(%20|\+|\s)*(=|%3d)`,
+			Enabled:     true,
+		},
+		{
+			ID:          "bro:sqli-uri-2",
+			Description: "SQL injection: UNION-based extraction with column list",
+			Kind:        MatchRegex,
+			Target:      TargetPayload,
+			Pattern:     `(%20|\+|\s|\(|%28|/\*.*?\*/|^|=|-[0-9]+|')union((%20|\+|\s)+all)?((%20|\+|\s)|(/\*.*?\*/))+select((%20|\+|\s)|(/\*.*?\*/))+((null|[0-9]+|@@[a-z_]+|concat|group_concat|char|0x[0-9a-f]+)((%20|\+|\s)*,(%20|\+|\s)*)?)+`,
+			Enabled:     true,
+		},
+		{
+			ID:          "bro:sqli-uri-3",
+			Description: "SQL injection: comment truncation after quote or statement terminator",
+			Kind:        MatchRegex,
+			Target:      TargetPayload,
+			Pattern:     `(%27|'|%22|")((%20|\+|\s)*)((%3b|;)(%20|\+|\s)*)?(--(%20|\+|\s|-|$)|%2d%2d|#|%23)|(%3b|;)(%20|\+|\s)*(drop|insert|update|delete|shutdown|create)(%20|\+|\s)+`,
+			Enabled:     true,
+		},
+		{
+			ID:          "bro:sqli-uri-4",
+			Description: "SQL injection: timing or benchmark function with numeric argument",
+			Kind:        MatchRegex,
+			Target:      TargetPayload,
+			Pattern:     `(sleep(%20|\+|\s)*(\(|%28)(%20|\+|\s)*[0-9]+|benchmark(%20|\+|\s)*(\(|%28)(%20|\+|\s)*[0-9]+(%20|\+|\s)*,|waitfor(%20|\+|\s)+delay(%20|\+|\s)+(%27|')[0-9:]+|pg_sleep(%20|\+|\s)*(\(|%28))`,
+			Enabled:     true,
+		},
+		{
+			ID:          "bro:sqli-uri-5",
+			Description: "SQL injection: schema or environment probing via metadata objects",
+			Kind:        MatchRegex,
+			Target:      TargetPayload,
+			Pattern:     `(information_schema(\.|%2e)(tables|columns|schemata)|mysql(\.|%2e)user|@@(version|datadir|hostname|basedir|tmpdir)|(select|,|%2c)(%20|\+|\s)*(user|database|version|current_user|schema)(%20|\+|\s)*(\(|%28)(%20|\+|\s)*(\)|%29))`,
+			Enabled:     true,
+		},
+		{
+			ID:          "bro:sqli-uri-6",
+			Description: "SQL injection: error-based extraction or file access primitives",
+			Kind:        MatchRegex,
+			Target:      TargetPayload,
+			Pattern:     `(extractvalue(%20|\+|\s)*(\(|%28)|updatexml(%20|\+|\s)*(\(|%28)|floor(%20|\+|\s)*(\(|%28)(%20|\+|\s)*rand|load_file(%20|\+|\s)*(\(|%28)|into(%20|\+|\s)+(outfile|dumpfile)(%20|\+|\s)+(%27|'))`,
+			Enabled:     true,
+		},
+	}
+	return Ruleset{Name: "Bro", Version: "2.0", Mode: ModeDeterministic, Rules: rules}
+}

@@ -1,0 +1,190 @@
+package ruleset
+
+import "fmt"
+
+// Snort returns the Snort 2920 SQLi rule set: 79 rules in the short-pattern
+// style of sql.rules (the paper measures an average length of 27.1), with
+// 61% enabled by default and 82% using regexes. It includes the
+// near-duplicate pair the paper calls out (SIDs 19439/19440, identical but
+// for the last character).
+func Snort() Ruleset {
+	enabled := func(id, desc, pat string) Rule {
+		return Rule{ID: id, Description: desc, Kind: MatchRegex, Target: TargetPayload, Pattern: pat, Enabled: true}
+	}
+	disabled := func(id, desc, pat string) Rule {
+		r := enabled(id, desc, pat)
+		r.Enabled = false
+		return r
+	}
+	content := func(id, desc, pat string, on bool) Rule {
+		return Rule{ID: id, Description: desc, Kind: MatchContent, Target: TargetPayload, Pattern: pat, Enabled: on}
+	}
+
+	rules := []Rule{
+		// --- Generic enabled regex rules (the workhorses). ---
+		enabled("snort:1061", "SQL union select attempt", `.+union\s+select`),
+		enabled("snort:1062", "SQL union all select attempt", `union\s+all\s+select`),
+		enabled("snort:2404", "SQL quoted tautology", `'\s*or\s*'`),
+		enabled("snort:2405", "SQL numeric tautology", `or\s+1\s*=\s*1`),
+		enabled("snort:2406", "SQL and-based probe", `and\s+1\s*=\s*1`),
+		enabled("snort:2407", "SQL quote-dash-dash", `'\s*--`),
+		enabled("snort:2408", "SQL quote hash comment", `'\s*#`),
+		enabled("snort:2409", "SQL generic tautology equals", `'\s*or\s+.+=`),
+		enabled("snort:2410", "SQL insert into statement", `insert\s+into`),
+		enabled("snort:2411", "SQL delete from statement", `delete\s+from`),
+		enabled("snort:2412", "SQL drop table statement", `drop\s+table`),
+		enabled("snort:2413", "SQL update set statement", `;\s*update\s+`),
+		enabled("snort:2414", "SQL stacked drop", `;\s*drop\s+`),
+		enabled("snort:2415", "SQL stacked insert", `;\s*insert\s+`),
+		enabled("snort:2416", "SQL sleep call", `sleep\s*\(`),
+		enabled("snort:2417", "SQL benchmark call", `benchmark\s*\(`),
+		enabled("snort:2418", "SQL waitfor delay", `waitfor\s+delay`),
+		enabled("snort:2419", "SQL load_file call", `load_file\s*\(`),
+		enabled("snort:2420", "SQL into outfile", `into\s+outfile`),
+		enabled("snort:2421", "SQL into dumpfile", `into\s+dumpfile`),
+		enabled("snort:2422", "SQL information_schema access", `information_schema`),
+		enabled("snort:2423", "SQL mysql.user access", `mysql\.user`),
+		enabled("snort:2424", "SQL version variable", `@@version`),
+		enabled("snort:2425", "SQL concat of system functions", `concat\s*\(.*\(\s*\)`),
+		enabled("snort:2426", "SQL char function", `char\s*\(\s*\d+`),
+		enabled("snort:2427", "SQL hex literal", `0x[0-9a-f]{4,}`),
+		enabled("snort:2428", "SQL extractvalue error-based", `extractvalue\s*\(`),
+		enabled("snort:2429", "SQL updatexml error-based", `updatexml\s*\(`),
+		enabled("snort:2430", "SQL floor rand error-based", `floor\s*\(\s*rand`),
+		enabled("snort:2431", "SQL having tautology", `having\s+\d+\s*=\s*\d+`),
+		enabled("snort:2432", "SQL order by probe", `order\s+by\s+\d+`),
+		enabled("snort:2433", "SQL group_concat exfil", `group_concat\s*\(`),
+		enabled("snort:2434", "SQL substring probing", `substring?\s*\(\s*@@`),
+		enabled("snort:2435", "SQL ascii probing", `ascii\s*\(\s*substr`),
+		enabled("snort:2436", "SQL exists select probe", `exists\s*\(\s*select`),
+		enabled("snort:2437", "SQL select from where", `select\s+.+\s+from\s+.+\s+where`),
+		enabled("snort:2438", "SQL xp_cmdshell", `xp_cmdshell`),
+		enabled("snort:2439", "SQL declare variable", `declare\s+@`),
+		enabled("snort:2440", "SQL cast probing", `cast\s*\(.+as\s+`),
+		enabled("snort:2441", "SQL quote or sleep", `'\s*or\s+sleep`),
+		enabled("snort:2442", "SQL if-based conditional", `if\s*\(.+,\s*sleep`),
+		enabled("snort:2443", "SQL procedure analyse", `procedure\s+analyse`),
+		enabled("snort:2444", "SQL null union probing", `union\s+select\s+null`),
+		enabled("snort:2445", "SQL encoded quote tautology", `%27\s*or`),
+		// Content (non-regex) enabled rules.
+		content("snort:3151", "SQL single-quote dash-dash content", "'--", true),
+		content("snort:3152", "SQL admin quote content", "admin'", true),
+		content("snort:3153", "SQL semicolon shutdown content", ";shutdown", true),
+		content("snort:3154", "SQL sp_password content", "sp_password", true),
+
+		// --- Disabled rules: overly specific per-application URI rules,
+		// near-duplicates and noisy patterns (39%). ---
+		disabled("snort:19439", "SQL injection in tiki-listpages.php offset param", `/tiki-listpages\.php\?offset=[^&]*'`),
+		disabled("snort:19440", "SQL injection in tiki-listpages.php offset param", `/tiki-listpages\.php\?offset=[^&]*"`),
+		disabled("snort:13990", "SQL injection in cart.php id param", `/cart\.php\?id=[^&]*union`),
+		disabled("snort:13991", "SQL injection in view.php cat param", `/view\.php\?cat=[^&]*select`),
+		disabled("snort:13992", "SQL injection in news.php article param", `/news\.php\?article=[^&]*'`),
+		disabled("snort:13993", "SQL injection in index.php page param", `/index\.php\?page=[^&]*union`),
+		disabled("snort:13994", "SQL injection in topic.php id param", `/topic\.php\?id=[^&]*select`),
+		disabled("snort:13995", "SQL injection in gallery.php item param", `/gallery\.php\?item=[^&]*'`),
+		disabled("snort:13996", "SQL injection in product.php pid param", `/product\.php\?pid=[^&]*or`),
+		disabled("snort:13997", "SQL injection in profile.php uid param", `/profile\.php\?uid=[^&]*'`),
+		disabled("snort:13998", "SQL injection in download.php file param", `/download\.php\?file=[^&]*union`),
+		disabled("snort:13999", "SQL injection in search.php q param", `/search\.php\?q=[^&]*select`),
+		disabled("snort:14000", "SQL injection in list.php sort param", `/list\.php\?sort=[^&]*,\s*\(`),
+		disabled("snort:14001", "SQL injection in login.php user param", `/login\.php\?user=[^&]*'\s*or`),
+		disabled("snort:14002", "SQL injection in page.php cid param", `/page\.php\?cid=[^&]*--`),
+		disabled("snort:14003", "SQL injection in detail.php sec param", `/detail\.php\?sec=[^&]*;`),
+		disabled("snort:14004", "SQL injection in show.php art param", `/show\.php\?art=[^&]*'\s*=`),
+		disabled("snort:14005", "SQL injection in poll.php vote param", `/poll\.php\?vote=[^&]*select`),
+		disabled("snort:14006", "SQL injection in event.php key param", `/event\.php\?key=[^&]*union`),
+		disabled("snort:14007", "SQL injection in faq.php ref param", `/faq\.php\?ref=[^&]*/\*`),
+		disabled("snort:14008", "SQL injection in print.php doc param", `/print\.php\?doc=[^&]*%27`),
+		// Disabled content rules (server-response and legacy patterns that
+		// need matching context this sensor does not reassemble).
+		content("snort:14016", "SQL error response content", "you have an error in your sql syntax", false),
+		content("snort:14017", "SQL ODBC error content", "microsoft odbc sql server driver", false),
+		content("snort:14018", "SQL unclosed quotation content", "unclosed quotation mark", false),
+		content("snort:14019", "SQL supplied argument content", "supplied argument is not a valid mysql", false),
+		content("snort:14020", "SQL mysql_fetch error content", "mysql_fetch_array()", false),
+		content("snort:14021", "SQL ORA error content", "ora-01756", false),
+		content("snort:14022", "SQL pg_query error content", "pg_query() failed", false),
+		content("snort:14023", "SQL JDBC error content", "jdbc.sqlserverexception", false),
+		content("snort:14024", "SQL sqlite error content", "sqlite3::sqlexception", false),
+		content("snort:14025", "SQL db2 error content", "db2 sql error", false),
+	}
+	return Ruleset{Name: "Snort", Version: "2920", Mode: ModeDeterministic, Rules: rules}
+}
+
+// EmergingThreats returns the ET 7098 SQLi set in its characteristic form:
+// thousands of per-vulnerability URI rules, none enabled by default
+// (Table IV reports 0% enabled), nearly all regex. The rules are template
+// expansions over application paths, parameters and injection markers —
+// the same mechanical per-CVE structure the real distribution exhibits.
+func EmergingThreats() Ruleset {
+	paths := []string{
+		"index", "view", "article", "news", "product", "item", "cart", "shop",
+		"gallery", "photo", "album", "topic", "forum", "post", "comment",
+		"profile", "user", "member", "account", "login", "search", "list",
+		"category", "detail", "show", "display", "page", "content", "download",
+		"file", "doc", "event", "calendar", "review", "rating", "poll", "vote",
+		"faq", "help", "print",
+	}
+	params := []string{"id", "cat", "item", "uid", "pid", "page", "ref", "key", "art", "sec", "cid"}
+	markers := []struct{ name, pat string }{
+		{"UNION SELECT", `union\s+select`},
+		{"SELECT FROM", `select.+from`},
+		{"quote", `'`},
+		{"INSERT", `insert\s+into`},
+		{"DELETE", `delete\s+from`},
+		{"UPDATE SET", `update.+set`},
+		{"ASCII probe", `ascii\s*\(`},
+		{"comment", `--`},
+		{"OR tautology", `or\s+1\s*=\s*1`},
+		{"hex", `0x[0-9a-f]+`},
+	}
+	rs := Ruleset{Name: "Emerging Threats", Version: "7098", Mode: ModeDeterministic}
+	sid := 2004000
+	for _, p := range paths {
+		for _, prm := range params {
+			for _, m := range markers {
+				if len(rs.Rules) >= 4189 {
+					break
+				}
+				rs.Rules = append(rs.Rules, Rule{
+					ID:          fmt.Sprintf("et:%d", sid),
+					Description: fmt.Sprintf("ET WEB_SPECIFIC_APPS %s.php %s parameter %s SQL injection", p, prm, m.name),
+					Kind:        MatchRegex,
+					Target:      TargetURI,
+					Pattern:     fmt.Sprintf(`/%s\.php\?.*%s=[^&]*%s`, p, prm, m.pat),
+					Enabled:     false,
+				})
+				sid++
+			}
+		}
+	}
+	// A handful (1%) of content rules to match the "99% regex" census.
+	for i := 0; len(rs.Rules) < 4231 && i < 64; i++ {
+		rs.Rules = append(rs.Rules, Rule{
+			ID:          fmt.Sprintf("et:%d", sid),
+			Description: fmt.Sprintf("ET WEB_SERVER SQL errors in response %d", i),
+			Kind:        MatchContent,
+			Target:      TargetPayload,
+			Pattern:     fmt.Sprintf("sql syntax %d", i),
+			Enabled:     false,
+		})
+		sid++
+	}
+	rs.Rules = rs.Rules[:4231]
+	return rs
+}
+
+// SnortET returns the merged Snort + Emerging Threats set the paper
+// evaluates as one row ("Snort - Emerging Threats").
+func SnortET() Ruleset {
+	s, et := Snort(), EmergingThreats()
+	merged := Ruleset{
+		Name:    "Snort - Emerging Threats",
+		Version: s.Version + "+" + et.Version,
+		Mode:    ModeDeterministic,
+		Rules:   make([]Rule, 0, len(s.Rules)+len(et.Rules)),
+	}
+	merged.Rules = append(merged.Rules, s.Rules...)
+	merged.Rules = append(merged.Rules, et.Rules...)
+	return merged
+}

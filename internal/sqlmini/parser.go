@@ -1,0 +1,895 @@
+package sqlmini
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses one or more semicolon-separated statements (stacked queries
+// are how piggybacked injections work, so the parser must accept them).
+func Parse(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	var out []Statement
+	for {
+		// Skip statement separators.
+		for p.peekOp(";") {
+			p.i++
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.peekOp(";") && p.peek().kind != tokEOF {
+			return nil, p.errHere()
+		}
+	}
+	if len(out) == 0 {
+		return nil, &SyntaxError{Near: "", Pos: 0}
+	}
+	return out, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errHere() *SyntaxError {
+	t := p.peek()
+	near := ""
+	if t.pos < len(p.src) {
+		near = p.src[t.pos:]
+		if len(near) > 40 {
+			near = near[:40]
+		}
+	}
+	return &SyntaxError{Near: near, Pos: t.pos}
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errHere()
+	}
+	return nil
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errHere()
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent || reservedWord(t.text) {
+		return "", p.errHere()
+	}
+	p.i++
+	return t.text, nil
+}
+
+// reservedWord guards identifier positions against keywords so that
+// "select from where" fails like MySQL would.
+func reservedWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "where", "and", "or", "not", "union", "all",
+		"insert", "into", "values", "update", "set", "delete", "drop",
+		"table", "order", "by", "limit", "like", "between", "in", "is",
+		"null", "exists", "case", "when", "then", "else", "end", "as",
+		"asc", "desc", "group", "having", "xor", "div", "regexp", "rlike":
+		return true
+	}
+	return false
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.peekKeyword("select") || p.peekOp("("):
+		return p.selectStmt()
+	case p.peekKeyword("insert"):
+		return p.insertStmt()
+	case p.peekKeyword("update"):
+		return p.updateStmt()
+	case p.peekKeyword("delete"):
+		return p.deleteStmt()
+	case p.peekKeyword("drop"):
+		return p.dropStmt()
+	default:
+		return nil, p.errHere()
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	// Parenthesized select.
+	if p.acceptOp("(") {
+		s, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return p.maybeUnion(s)
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.acceptOp("*") {
+		s.Star = true
+	} else {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			// Optional AS alias (discarded).
+			if p.acceptKeyword("as") {
+				if _, err := p.expectIdent(); err != nil {
+					return nil, err
+				}
+			}
+			s.Fields = append(s.Fields, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("from") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// Optional schema qualification a.b.
+		if p.acceptOp(".") {
+			sub, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + sub
+		}
+		s.Table = name
+		// Optional table alias.
+		if p.peek().kind == tokIdent && !reservedWord(p.peek().text) {
+			p.i++
+		}
+	}
+	if p.acceptKeyword("where") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	// GROUP BY / HAVING parsed and discarded (attack payloads use them for
+	// error-based tricks; the executor treats them as no-ops).
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expr(); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("having") {
+			if _, err := p.expr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Expr: e}
+			if p.acceptKeyword("desc") {
+				k.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			s.OrderBy = append(s.OrderBy, k)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		lc, err := p.limitClause()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = lc
+	}
+	if p.acceptKeyword("procedure") {
+		// PROCEDURE ANALYSE(...) — parsed, ignored.
+		if _, err := p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if p.acceptOp("(") {
+			for !p.acceptOp(")") {
+				if p.peek().kind == tokEOF {
+					return nil, p.errHere()
+				}
+				p.i++
+			}
+		}
+	}
+	return p.maybeUnion(s)
+}
+
+func (p *parser) maybeUnion(s *SelectStmt) (*SelectStmt, error) {
+	if !p.acceptKeyword("union") {
+		return s, nil
+	}
+	s.UnionAll = p.acceptKeyword("all")
+	p.acceptKeyword("distinct")
+	nxt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Union = nxt
+	return s, nil
+}
+
+func (p *parser) limitClause() (*LimitClause, error) {
+	first, err := p.intLiteral()
+	if err != nil {
+		return nil, err
+	}
+	lc := &LimitClause{Count: first}
+	if p.acceptOp(",") {
+		second, err := p.intLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lc.Offset, lc.Count = first, second
+	} else if p.acceptKeyword("offset") {
+		off, err := p.intLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lc.Offset = off
+	}
+	return lc, nil
+}
+
+func (p *parser) intLiteral() (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errHere()
+	}
+	p.i++
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errHere()
+	}
+	return n, nil
+}
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	if err := p.expectKeyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	if err := p.expectKeyword("update"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assign{Col: col, Expr: e})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if err := p.expectKeyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.acceptKeyword("where") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) dropStmt() (*DropStmt, error) {
+	if err := p.expectKeyword("drop"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	p.acceptKeyword("if") // DROP TABLE IF EXISTS
+	p.acceptKeyword("exists")
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropStmt{Table: table}, nil
+}
+
+// --- expression parsing (precedence climbing) -------------------------------
+
+// expr parses the lowest-precedence level: OR / XOR.
+func (p *parser) expr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKeyword("or") || p.acceptOp("||"):
+			r, err := p.andExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "or", L: l, R: r}
+		case p.acceptKeyword("xor"):
+			r, err := p.andExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "xor", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") || p.acceptOp("&&") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("not") || p.acceptOp("!") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.bitExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		not := false
+		if p.peekKeyword("not") {
+			// Lookahead: NOT BETWEEN / NOT IN / NOT LIKE / NOT REGEXP.
+			save := p.i
+			p.i++
+			if p.peekKeyword("between") || p.peekKeyword("in") || p.peekKeyword("like") || p.peekKeyword("regexp") || p.peekKeyword("rlike") {
+				not = true
+			} else {
+				p.i = save
+				return l, nil
+			}
+		}
+		switch {
+		case p.acceptKeyword("between"):
+			lo, err := p.bitExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("and"); err != nil {
+				return nil, err
+			}
+			hi, err := p.bitExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Between{X: l, Lo: lo, Hi: hi, Not: not}
+		case p.acceptKeyword("in"):
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			il := &InList{X: l, Not: not}
+			if p.peekKeyword("select") {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				il.Sub = sub
+			} else {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					il.List = append(il.List, e)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			l = il
+		case p.acceptKeyword("like"):
+			r, err := p.bitExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := "like"
+			if not {
+				op = "not like"
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		case p.acceptKeyword("regexp") || p.acceptKeyword("rlike"):
+			r, err := p.bitExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := "regexp"
+			if not {
+				op = "not regexp"
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		case p.acceptKeyword("is"):
+			isNot := p.acceptKeyword("not")
+			if !p.acceptKeyword("null") {
+				// IS TRUE / IS FALSE.
+				switch {
+				case p.acceptKeyword("true"):
+					l = &Binary{Op: "=", L: l, R: &Literal{Val: Number(1)}}
+				case p.acceptKeyword("false"):
+					l = &Binary{Op: "=", L: l, R: &Literal{Val: Number(0)}}
+				default:
+					return nil, p.errHere()
+				}
+				if isNot {
+					l = &Unary{Op: "not", X: l}
+				}
+				continue
+			}
+			l = &IsNull{X: l, Not: isNot}
+		default:
+			op, ok := p.compareOp()
+			if !ok {
+				return l, nil
+			}
+			r, err := p.bitExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		}
+	}
+}
+
+func (p *parser) compareOp() (string, bool) {
+	for _, op := range []string{"<=>", "<>", "!=", "<=", ">=", "=", "<", ">"} {
+		if p.acceptOp(op) {
+			if op == "<>" {
+				op = "!="
+			}
+			return op, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) bitExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("|"):
+			op = "|"
+		case p.acceptOp("&"):
+			op = "&"
+		case p.acceptOp("^"):
+			op = "^"
+		default:
+			return l, nil
+		}
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("+"):
+			op = "+"
+		case p.acceptOp("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		case p.acceptKeyword("div"):
+			op = "div"
+		case p.acceptKeyword("mod"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.acceptOp("-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	case p.acceptOp("+"):
+		return p.unary()
+	case p.acceptOp("~"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "~", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errHere()
+		}
+		return &Literal{Val: Number(f)}, nil
+	case tokString:
+		p.i++
+		return &Literal{Val: Str(t.text)}, nil
+	case tokHex:
+		p.i++
+		return &Literal{Val: hexLiteral(t.text)}, nil
+	case tokParam:
+		p.i++
+		return &SysVar{Name: strings.ToLower(strings.TrimLeft(t.text, "@"))}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.i++
+			if p.peekKeyword("select") {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Sel: sub}, nil
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			// Row constructor (a, b, ...): keep the first element — enough
+			// for the error-based payloads that use ROW().
+			for p.acceptOp(",") {
+				if _, err := p.expr(); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "*" {
+			// COUNT(*) handles star in Call parsing; bare * is an error here.
+			return nil, p.errHere()
+		}
+		return nil, p.errHere()
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "null":
+			p.i++
+			return &Literal{Val: Null()}, nil
+		case "true":
+			p.i++
+			return &Literal{Val: Number(1)}, nil
+		case "false":
+			p.i++
+			return &Literal{Val: Number(0)}, nil
+		case "case":
+			return p.caseExpr()
+		case "exists":
+			p.i++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sel: sub}, nil
+		}
+		if reservedWord(t.text) {
+			return nil, p.errHere()
+		}
+		p.i++
+		// Function call?
+		if p.acceptOp("(") {
+			call := &Call{Name: strings.ToLower(t.text)}
+			if p.acceptOp("*") {
+				call.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if !p.acceptOp(")") {
+				for {
+					// Subquery argument: char((select ...)) style handled by
+					// primary; bare SELECT also accepted.
+					if p.peekKeyword("select") {
+						sub, err := p.selectStmt()
+						if err != nil {
+							return nil, err
+						}
+						call.Args = append(call.Args, &Subquery{Sel: sub})
+					} else {
+						e, err := p.expr()
+						if err != nil {
+							return nil, err
+						}
+						call.Args = append(call.Args, e)
+					}
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		ref := &ColumnRef{Name: t.text}
+		if p.acceptOp(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Table, ref.Name = ref.Name, col
+		}
+		return ref, nil
+	}
+	return nil, p.errHere()
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	if err := p.expectKeyword("case"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.acceptKeyword("when") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		res, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errHere()
+	}
+	if p.acceptKeyword("else") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

@@ -1,0 +1,490 @@
+package sqlmini
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testDB builds the canonical vulnerable-app schema.
+func testDB() *DB {
+	db := NewDB()
+	db.Create("users", []string{"id", "name", "password"}, [][]Value{
+		{Number(1), Str("alice"), Str("s3cret")},
+		{Number(2), Str("bob"), Str("hunter2")},
+		{Number(3), Str("admin"), Str("root!pw")},
+	})
+	db.Create("products", []string{"id", "title", "price"}, [][]Value{
+		{Number(1), Str("widget"), Number(9.99)},
+		{Number(2), Str("gadget"), Number(19.99)},
+	})
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, q string) *Result {
+	t.Helper()
+	r, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return r
+}
+
+func TestSelectBasics(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT * FROM users WHERE id = 2")
+	if len(r.Rows) != 1 || r.Rows[0][1].AsString() != "bob" {
+		t.Fatalf("rows=%v", r)
+	}
+	r = mustExec(t, db, "SELECT name FROM users WHERE id = 99")
+	if len(r.Rows) != 0 {
+		t.Fatalf("expected empty result, got %v", r)
+	}
+	r = mustExec(t, db, "SELECT name, password FROM users WHERE name = 'alice'")
+	if len(r.Rows) != 1 || r.Rows[0][1].AsString() != "s3cret" {
+		t.Fatalf("rows=%v", r)
+	}
+}
+
+func TestSelectNoTable(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT 1+1")
+	if r.Rows[0][0].AsNumber() != 2 {
+		t.Fatalf("1+1=%v", r.Rows[0][0])
+	}
+	r = mustExec(t, db, "SELECT version()")
+	if r.Rows[0][0].AsString() != "5.5.29-log" {
+		t.Fatalf("version=%v", r.Rows[0][0])
+	}
+	r = mustExec(t, db, "SELECT 2 FROM dual")
+	if len(r.Rows) != 1 {
+		t.Fatalf("dual rows=%d", len(r.Rows))
+	}
+}
+
+func TestTautologyInjectionReturnsAllRows(t *testing.T) {
+	db := testDB()
+	// The classic: WHERE name = '' or '1'='1'.
+	r := mustExec(t, db, "SELECT * FROM users WHERE name = '' or '1'='1'")
+	if len(r.Rows) != 3 {
+		t.Fatalf("tautology returned %d rows, want all 3", len(r.Rows))
+	}
+	// Numeric tautology with coercion: id = 0 or 1=1.
+	r = mustExec(t, db, "SELECT * FROM users WHERE id = 0 or 1=1")
+	if len(r.Rows) != 3 {
+		t.Fatalf("numeric tautology returned %d rows", len(r.Rows))
+	}
+}
+
+func TestMySQLCoercions(t *testing.T) {
+	db := testDB()
+	cases := []struct {
+		cond string
+		want int // matching rows of users (3 total)
+	}{
+		{"'1' = 1", 3},    // string/number compare numerically
+		{"'abc' = 0", 3},  // non-numeric string coerces to 0
+		{"'2abc' = 2", 3}, // numeric prefix
+		{"'a' = 'A'", 3},  // case-insensitive string compare
+		{"1 = 2", 0},
+		{"null = null", 0}, // NULL comparisons are never true
+		{"null <=> null", 3},
+		{"1 <=> 1", 3},
+	}
+	for _, c := range cases {
+		r := mustExec(t, db, "SELECT id FROM users WHERE "+c.cond)
+		if len(r.Rows) != c.want {
+			t.Fatalf("WHERE %s matched %d rows, want %d", c.cond, len(r.Rows), c.want)
+		}
+	}
+}
+
+func TestUnionInjection(t *testing.T) {
+	db := testDB()
+	// Break out of a product lookup to read credentials.
+	r := mustExec(t, db, "SELECT title, price FROM products WHERE id = -1 UNION SELECT name, password FROM users")
+	if len(r.Rows) != 3 {
+		t.Fatalf("union returned %d rows, want 3", len(r.Rows))
+	}
+	if r.Rows[2][0].AsString() != "admin" || r.Rows[2][1].AsString() != "root!pw" {
+		t.Fatalf("union leak wrong: %v", r)
+	}
+	// Column-count mismatch is the error UNION probing relies on.
+	_, err := db.Exec("SELECT title FROM products WHERE id = -1 UNION SELECT name, password FROM users")
+	var ee *ExecError
+	if !errors.As(err, &ee) || !strings.Contains(ee.Msg, "different number of columns") {
+		t.Fatalf("column mismatch error: %v", err)
+	}
+}
+
+func TestOrderByColumnProbing(t *testing.T) {
+	db := testDB()
+	if _, err := db.Exec("SELECT * FROM users ORDER BY 3"); err != nil {
+		t.Fatalf("ORDER BY 3 on 3-column table: %v", err)
+	}
+	_, err := db.Exec("SELECT * FROM users ORDER BY 4")
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("ORDER BY 4 should fail with unknown column: %v", err)
+	}
+	// Ordering actually sorts.
+	r := mustExec(t, db, "SELECT * FROM users ORDER BY 1 DESC")
+	if r.Rows[0][0].AsNumber() != 3 {
+		t.Fatalf("DESC order wrong: %v", r.Rows)
+	}
+}
+
+func TestCommentsTerminateStatement(t *testing.T) {
+	db := testDB()
+	for _, q := range []string{
+		"SELECT * FROM users WHERE name = 'x' or 1=1 -- ' AND password = 'zzz'",
+		"SELECT * FROM users WHERE name = 'x' or 1=1 # ' AND password = 'zzz'",
+	} {
+		r := mustExec(t, db, q)
+		if len(r.Rows) != 3 {
+			t.Fatalf("%q returned %d rows", q, len(r.Rows))
+		}
+	}
+	// Inline comment splits keywords but stays valid SQL.
+	r := mustExec(t, db, "SELECT/**/*/**/FROM/**/users")
+	if len(r.Rows) != 3 {
+		t.Fatalf("inline comments broke the query: %d rows", len(r.Rows))
+	}
+	// MySQL executable version comment.
+	r = mustExec(t, db, "SELECT * FROM users WHERE id = 1 /*!50000 or 1=1 */")
+	if len(r.Rows) != 3 {
+		t.Fatalf("version comment not executed: %d rows", len(r.Rows))
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	db := testDB()
+	for _, q := range []string{
+		"SELECT * FROM users WHERE name = 'o'brien'", // unbalanced quote mid-value
+		"SELECT * FROM users WHERE",
+		"SELECT FROM users",
+		"zzz",
+		"SELECT * FROM users WHERE id = ",
+		"SELECT * FROM users WHERE /* unterminated",
+	} {
+		_, err := db.Exec(q)
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Fatalf("%q: want SyntaxError, got %v", q, err)
+		}
+		if !strings.Contains(se.Error(), "You have an error in your SQL syntax") {
+			t.Fatalf("error text: %v", se)
+		}
+	}
+}
+
+func TestStackedStatements(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT 1; DROP TABLE products; SELECT count(*) FROM users")
+	if r.Rows[0][0].AsNumber() != 3 {
+		t.Fatalf("last statement result: %v", r)
+	}
+	if _, ok := db.Tables["products"]; ok {
+		t.Fatal("products should be dropped")
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "INSERT INTO users (id, name, password) VALUES (4, 'eve', 'x'), (5, 'mallory', 'y')")
+	if r.Affected != 2 {
+		t.Fatalf("insert affected=%d", r.Affected)
+	}
+	r = mustExec(t, db, "UPDATE users SET password = 'pwned' WHERE name = 'admin'")
+	if r.Affected != 1 {
+		t.Fatalf("update affected=%d", r.Affected)
+	}
+	got := mustExec(t, db, "SELECT password FROM users WHERE name = 'admin'")
+	if got.Rows[0][0].AsString() != "pwned" {
+		t.Fatalf("update did not apply: %v", got)
+	}
+	r = mustExec(t, db, "DELETE FROM users WHERE id > 3")
+	if r.Affected != 2 {
+		t.Fatalf("delete affected=%d", r.Affected)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := testDB()
+	if _, err := db.Exec("INSERT INTO users (id) VALUES (1, 2)"); err == nil {
+		t.Fatal("column count mismatch: want error")
+	}
+	if _, err := db.Exec("INSERT INTO users (nope) VALUES (1)"); err == nil {
+		t.Fatal("unknown column: want error")
+	}
+	if _, err := db.Exec("INSERT INTO missing (id) VALUES (1)"); err == nil {
+		t.Fatal("unknown table: want error")
+	}
+}
+
+func TestInformationSchema(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT table_name FROM information_schema.tables")
+	if len(r.Rows) != 2 {
+		t.Fatalf("tables=%v", r)
+	}
+	r = mustExec(t, db, "SELECT column_name FROM information_schema.columns WHERE table_name = 'users'")
+	if len(r.Rows) != 3 {
+		t.Fatalf("columns=%v", r)
+	}
+	r = mustExec(t, db, "SELECT table_name FROM information_schema.tables LIMIT 1,1")
+	if len(r.Rows) != 1 {
+		t.Fatalf("limit offset: %v", r)
+	}
+}
+
+func TestInformationFunctions(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT concat(database(), char(58), user(), char(58), version())")
+	want := "webapp:app@localhost:5.5.29-log"
+	if got := r.Rows[0][0].AsString(); got != want {
+		t.Fatalf("concat=%q, want %q", got, want)
+	}
+	r = mustExec(t, db, "SELECT @@version, @@datadir")
+	if r.Rows[0][0].AsString() != "5.5.29-log" {
+		t.Fatalf("@@version=%v", r.Rows[0][0])
+	}
+}
+
+func TestTimeBlindSimulatedSleep(t *testing.T) {
+	db := testDB()
+	mustExec(t, db, "SELECT * FROM users WHERE id = 1 AND sleep(5)")
+	if db.SleepSeconds != 5 {
+		t.Fatalf("sleep recorded %v seconds, want 5", db.SleepSeconds)
+	}
+	// Conditional sleep fires only when the condition holds.
+	mustExec(t, db, "SELECT * FROM users WHERE id = 1 AND if(1=2, sleep(9), 0)")
+	if db.SleepSeconds != 0 {
+		t.Fatalf("false branch slept %v", db.SleepSeconds)
+	}
+	mustExec(t, db, "SELECT * FROM users WHERE id = 1 AND if(ascii(substr(version(),1,1))=53, sleep(3), 0)")
+	if db.SleepSeconds != 3 {
+		t.Fatalf("true branch slept %v, want 3 ('5' is ascii 53)", db.SleepSeconds)
+	}
+	// benchmark() accumulates simulated time.
+	mustExec(t, db, "SELECT benchmark(4000000, md5('x'))")
+	if db.SleepSeconds <= 0 {
+		t.Fatal("benchmark recorded no simulated time")
+	}
+}
+
+func TestShortCircuitKeepsSleepAccurate(t *testing.T) {
+	db := testDB()
+	mustExec(t, db, "SELECT 1 WHERE 0 AND sleep(9)")
+	if db.SleepSeconds != 0 {
+		t.Fatalf("AND short-circuit failed: slept %v", db.SleepSeconds)
+	}
+	mustExec(t, db, "SELECT 1 WHERE 1 OR sleep(9)")
+	if db.SleepSeconds != 0 {
+		t.Fatalf("OR short-circuit failed: slept %v", db.SleepSeconds)
+	}
+}
+
+func TestErrorBasedExtraction(t *testing.T) {
+	db := testDB()
+	_, err := db.Exec("SELECT extractvalue(1, concat(0x7e, (SELECT password FROM users WHERE name='admin')))")
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("extractvalue should error: %v", err)
+	}
+	if !strings.Contains(ee.Msg, "root!pw") {
+		t.Fatalf("the XPATH error must leak the subquery result: %q", ee.Msg)
+	}
+	_, err = db.Exec("SELECT updatexml(1, concat(0x7e, version(), 0x7e), 1)")
+	if !errors.As(err, &ee) || !strings.Contains(ee.Msg, "5.5.29") {
+		t.Fatalf("updatexml leak: %v", err)
+	}
+}
+
+func TestBooleanBlindInference(t *testing.T) {
+	db := testDB()
+	// TRUE probe: first character of admin password is 'r' (114).
+	r := mustExec(t, db, "SELECT * FROM users WHERE id = 3 AND ascii(substr((SELECT password FROM users WHERE name='admin'),1,1)) = 114")
+	if len(r.Rows) != 1 {
+		t.Fatalf("true probe returned %d rows", len(r.Rows))
+	}
+	// FALSE probe.
+	r = mustExec(t, db, "SELECT * FROM users WHERE id = 3 AND ascii(substr((SELECT password FROM users WHERE name='admin'),1,1)) = 115")
+	if len(r.Rows) != 0 {
+		t.Fatalf("false probe returned %d rows", len(r.Rows))
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT * FROM users WHERE id = (SELECT id FROM users WHERE name = 'bob')")
+	if len(r.Rows) != 1 || r.Rows[0][1].AsString() != "bob" {
+		t.Fatalf("scalar subquery: %v", r)
+	}
+	r = mustExec(t, db, "SELECT * FROM users WHERE id IN (SELECT id FROM products)")
+	if len(r.Rows) != 2 {
+		t.Fatalf("IN subquery: %d rows", len(r.Rows))
+	}
+	r = mustExec(t, db, "SELECT * FROM users WHERE EXISTS (SELECT * FROM products WHERE price > 15)")
+	if len(r.Rows) != 3 {
+		t.Fatalf("EXISTS: %d rows", len(r.Rows))
+	}
+	if _, err := db.Exec("SELECT * FROM users WHERE id = (SELECT id FROM users)"); err == nil {
+		t.Fatal("multi-row scalar subquery: want error")
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT 0x414243")
+	if r.Rows[0][0].AsString() != "ABC" {
+		t.Fatalf("hex literal=%v", r.Rows[0][0])
+	}
+	r = mustExec(t, db, "SELECT * FROM users WHERE name = 0x616c696365")
+	if len(r.Rows) != 1 {
+		t.Fatalf("hex string compare: %d rows", len(r.Rows))
+	}
+}
+
+func TestLikeBetweenCase(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT * FROM users WHERE name LIKE 'a%'")
+	if len(r.Rows) != 2 { // alice, admin
+		t.Fatalf("LIKE: %d rows", len(r.Rows))
+	}
+	r = mustExec(t, db, "SELECT * FROM users WHERE name LIKE '_ob'")
+	if len(r.Rows) != 1 {
+		t.Fatalf("LIKE underscore: %d rows", len(r.Rows))
+	}
+	r = mustExec(t, db, "SELECT * FROM users WHERE id BETWEEN 2 AND 3")
+	if len(r.Rows) != 2 {
+		t.Fatalf("BETWEEN: %d rows", len(r.Rows))
+	}
+	r = mustExec(t, db, "SELECT CASE WHEN 1=1 THEN 'yes' ELSE 'no' END")
+	if r.Rows[0][0].AsString() != "yes" {
+		t.Fatalf("CASE: %v", r.Rows[0][0])
+	}
+	r = mustExec(t, db, "SELECT * FROM users WHERE name REGEXP '^a'")
+	if len(r.Rows) != 2 {
+		t.Fatalf("REGEXP: %d rows", len(r.Rows))
+	}
+}
+
+func TestCountAggregate(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT count(*) FROM users")
+	if r.Rows[0][0].AsNumber() != 3 {
+		t.Fatalf("count(*)=%v", r.Rows[0][0])
+	}
+	r = mustExec(t, db, "SELECT count(*) FROM users WHERE id > 1")
+	if r.Rows[0][0].AsNumber() != 2 {
+		t.Fatalf("filtered count=%v", r.Rows[0][0])
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	db := testDB()
+	cases := []struct{ q, want string }{
+		{"SELECT substring('abcdef', 2, 3)", "bcd"},
+		{"SELECT mid('abcdef', 2, 3)", "bcd"},
+		{"SELECT left('abcdef', 2)", "ab"},
+		{"SELECT right('abcdef', 2)", "ef"},
+		{"SELECT upper('abc')", "ABC"},
+		{"SELECT lower('ABC')", "abc"},
+		{"SELECT hex('AB')", "4142"},
+		{"SELECT unhex('4142')", "AB"},
+		{"SELECT concat_ws(':', 'a', 'b')", "a:b"},
+		{"SELECT length('abcd')", "4"},
+		{"SELECT ascii('A')", "65"},
+		{"SELECT char(65, 66)", "AB"},
+		{"SELECT if(2>1, 'big', 'small')", "big"},
+		{"SELECT ifnull(null, 'dflt')", "dflt"},
+		{"SELECT coalesce(null, null, 'x')", "x"},
+		{"SELECT greatest(3, 9, 5)", "9"},
+		{"SELECT least(3, 9, 5)", "3"},
+		{"SELECT floor(2.9)", "2"},
+		{"SELECT strcmp('a','b')", "-1"},
+	}
+	for _, c := range cases {
+		r := mustExec(t, db, c.q)
+		if got := r.Rows[0][0].AsString(); got != c.want {
+			t.Fatalf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticAndNullSemantics(t *testing.T) {
+	db := testDB()
+	cases := []struct{ q, want string }{
+		{"SELECT 7 % 3", "1"},
+		{"SELECT 7 DIV 2", "3"},
+		{"SELECT 1/0", "NULL"},
+		{"SELECT 5 | 2", "7"},
+		{"SELECT 5 & 3", "1"},
+		{"SELECT 5 ^ 1", "4"},
+		{"SELECT -(-3)", "3"},
+		{"SELECT NOT 0", "1"},
+		{"SELECT 1 XOR 0", "1"},
+		{"SELECT 1 XOR 1", "0"},
+		{"SELECT null + 1", "1"}, // NULL coerces to 0 in arithmetic here
+	}
+	for _, c := range cases {
+		r := mustExec(t, db, c.q)
+		if got := r.Rows[0][0].AsString(); got != c.want {
+			t.Fatalf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestUnknownFunctionAndColumn(t *testing.T) {
+	db := testDB()
+	if _, err := db.Exec("SELECT nosuchfunc(1)"); err == nil {
+		t.Fatal("unknown function: want error")
+	}
+	if _, err := db.Exec("SELECT nope FROM users"); err == nil {
+		t.Fatal("unknown column: want error")
+	}
+	if _, err := db.Exec("DROP TABLE nosuch"); err == nil {
+		t.Fatal("drop unknown table: want error")
+	}
+}
+
+func TestLoadFileDenied(t *testing.T) {
+	db := testDB()
+	r := mustExec(t, db, "SELECT load_file('/etc/passwd')")
+	if !r.Rows[0][0].IsNull() {
+		t.Fatal("load_file must be denied (NULL)")
+	}
+}
+
+// Property: Exec never panics on arbitrary input — every byte sequence
+// yields either a result or a typed error. This is the fuzz-shaped
+// guarantee the webapp depends on.
+func TestExecNeverPanics(t *testing.T) {
+	db := testDB()
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", s)
+				ok = false
+			}
+		}()
+		_, err := db.Exec("SELECT * FROM users WHERE name = '" + s + "'")
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// And on fully attacker-controlled statements.
+	for _, s := range []string{
+		"", ";;;", "((((", "'''", "\\", "SELECT", "SELECT (", "0x", "@@", "`",
+		"SELECT * FROM users WHERE id = 1 UNION", "INSERT INTO", "CASE",
+	} {
+		if _, err := db.Exec(s); err == nil && s != "" {
+			// Errors expected for malformed input; just must not panic.
+			_ = err
+		}
+	}
+}

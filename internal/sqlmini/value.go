@@ -1,0 +1,221 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a MySQL-ish runtime value: NULL, a number, or a string. The
+// loose comparison semantics here ('1' = 1, 'abc' = 0) are exactly what
+// tautology injections exploit, so they are implemented faithfully.
+type Value struct {
+	null  bool
+	isNum bool
+	num   float64
+	str   string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{null: true} }
+
+// Number returns a numeric value.
+func Number(f float64) Value { return Value{isNum: true, num: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{str: s} }
+
+// Bool returns MySQL's boolean encoding (1 / 0).
+func Bool(b bool) Value {
+	if b {
+		return Number(1)
+	}
+	return Number(0)
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.null }
+
+// AsNumber coerces the value to a float the MySQL way: strings convert
+// from their longest numeric prefix ('12abc' → 12, 'abc' → 0), NULL → 0.
+func (v Value) AsNumber() float64 {
+	switch {
+	case v.null:
+		return 0
+	case v.isNum:
+		return v.num
+	default:
+		s := strings.TrimLeft(v.str, " \t")
+		end := 0
+		seenDot := false
+		for end < len(s) {
+			c := s[end]
+			if c == '-' || c == '+' {
+				if end != 0 {
+					break
+				}
+			} else if c == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+			} else if !(c >= '0' && c <= '9') {
+				break
+			}
+			end++
+		}
+		f, err := strconv.ParseFloat(s[:end], 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	}
+}
+
+// AsString renders the value as MySQL would in a result set.
+func (v Value) AsString() string {
+	switch {
+	case v.null:
+		return "NULL"
+	case v.isNum:
+		if v.num == float64(int64(v.num)) {
+			return strconv.FormatInt(int64(v.num), 10)
+		}
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	default:
+		return v.str
+	}
+}
+
+// Truthy is MySQL's WHERE-clause truth: nonzero number (after coercion).
+// NULL is not true.
+func (v Value) Truthy() bool {
+	if v.null {
+		return false
+	}
+	return v.AsNumber() != 0
+}
+
+// Compare returns -1/0/1 using MySQL's comparison rules: if both operands
+// are strings, compare case-insensitively as strings; otherwise compare
+// numerically with coercion. ok is false when either side is NULL
+// (comparisons with NULL are NULL).
+func Compare(a, b Value) (int, bool) {
+	if a.null || b.null {
+		return 0, false
+	}
+	if !a.isNum && !b.isNum {
+		sa, sb := strings.ToLower(a.str), strings.ToLower(b.str)
+		switch {
+		case sa < sb:
+			return -1, true
+		case sa > sb:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	na, nb := a.AsNumber(), b.AsNumber()
+	switch {
+	case na < nb:
+		return -1, true
+	case na > nb:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+// NullSafeEqual is the <=> operator: like =, but NULL <=> NULL is true.
+func NullSafeEqual(a, b Value) bool {
+	if a.null || b.null {
+		return a.null && b.null
+	}
+	c, _ := Compare(a, b)
+	return c == 0
+}
+
+// hexLiteral decodes 0x... into a string value, as MySQL does in string
+// context (0x414243 = 'ABC').
+func hexLiteral(text string) Value {
+	hx := text[2:]
+	if len(hx)%2 == 1 {
+		hx = "0" + hx
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(hx); i += 2 {
+		hi, _ := hexVal(hx[i])
+		lo, _ := hexVal(hx[i+1])
+		b.WriteByte(hi<<4 | lo)
+	}
+	return Str(b.String())
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// likeMatch implements the LIKE operator (% and _ wildcards,
+// case-insensitive).
+func likeMatch(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	var match func(si, pi int) bool
+	match = func(si, pi int) bool {
+		for pi < len(pattern) {
+			switch pattern[pi] {
+			case '%':
+				// Collapse consecutive %.
+				for pi < len(pattern) && pattern[pi] == '%' {
+					pi++
+				}
+				if pi == len(pattern) {
+					return true
+				}
+				for k := si; k <= len(s); k++ {
+					if match(k, pi) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			case '\\':
+				if pi+1 < len(pattern) {
+					pi++
+				}
+				fallthrough
+			default:
+				if si >= len(s) || s[si] != pattern[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return match(0, 0)
+}
+
+// ExecError is a runtime (non-syntax) error: unknown table/column, column
+// count mismatch in UNION — the errors error-based injections provoke.
+type ExecError struct{ Msg string }
+
+func (e *ExecError) Error() string { return e.Msg }
+
+func execErrorf(format string, args ...any) *ExecError {
+	return &ExecError{Msg: fmt.Sprintf(format, args...)}
+}

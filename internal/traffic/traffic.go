@@ -1,0 +1,177 @@
+// Package traffic generates benign HTTP GET traffic standing in for the
+// paper's one-week university network trace (1.4M requests, no attacks).
+// The generator deliberately includes SQL-adjacent benign content — search
+// queries like "union college course selection", names with apostrophes,
+// pagination and sort parameters ("order=desc") — because the paper's
+// false-positive analysis hinges on exactly this kind of near-miss traffic.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"psigene/internal/httpx"
+)
+
+// Generator produces benign requests deterministically from its seed.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a benign-traffic generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var (
+	hosts = []string{
+		"www.university.edu", "registrar.university.edu", "pay.university.edu",
+		"mail.university.edu", "library.university.edu",
+	}
+	paths = []string{
+		"/", "/index.html", "/courses/list.php", "/search", "/news/article.php",
+		"/calendar/events.php", "/directory/person.php", "/library/catalog.php",
+		"/mail/inbox.php", "/payments/invoice.php", "/registration/enroll.php",
+		"/downloads/form.pdf", "/images/logo.png", "/css/main.css", "/js/app.js",
+	}
+	searchTerms = []string{
+		"union college transfer credits", "course selection spring",
+		"select committee minutes", "drop a class deadline",
+		"group by residence hall", "order of commencement events",
+		"where to park on campus", "union hall reservation",
+		"insert card reader locations", "database systems syllabus",
+		"introduction to sql", "joint degree programs", "o'brien hall hours",
+		"d'angelo scholarship", "men's soccer schedule", "rock & roll history",
+		"c++ programming course", "50% tuition waiver", "research (undergraduate)",
+		"what is a b+ grade", "email quota limit", "library -- quiet floors",
+		"excel concat( formula tutorial", "select union committee agenda",
+		"insert tabs into binder", "delete history from browser",
+		"table drop cloth sizes", "order by: 3 business days",
+	}
+	names = []string{
+		"smith", "johnson", "o'brien", "d'angelo", "garcia", "miller",
+		"chen", "patel", "kim", "nguyen", "o'connor",
+	}
+	sortFields = []string{"date", "title", "name", "price", "relevance"}
+	categories = []string{"news", "events", "sports", "academics", "research", "alumni"}
+)
+
+// nearMisses are rare benign payloads that resemble attack fragments —
+// the strings behind real-world IDS false positives. Their relative
+// weights shape the FPR ordering the paper reports (Snort highest, then
+// ModSec, then pSigene, Bro at zero).
+var nearMisses = []struct {
+	weight int
+	query  string
+}{
+	{12, "q=please+order+by+{N}+pm+today"},
+	{3, "q=the+term+%27or%27+%3D+logical+alternative"},
+	{7, "q=how+to+insert+into+pdf+a+signature"},
+	{7, "q=delete+from+history+in+browser"},
+	{4, "q=bobby+tables+xkcd+drop+table+meme"},
+	{2, "q=credit+union+select+committee+minutes"},
+	{5, "q=excel+concat%28+chapter+{N}--+examples"},
+}
+
+// nearMissProb is the probability of emitting a near-miss request;
+// calibrated so a 1-week-scale trace yields the paper's handful of false
+// alarms per engine.
+const nearMissProb = 0.002
+
+// Request draws one benign request.
+func (g *Generator) Request() httpx.Request {
+	r := httpx.Request{
+		Method: "GET",
+		Host:   hosts[g.rng.Intn(len(hosts))],
+		Tool:   "benign",
+	}
+	if g.rng.Float64() < nearMissProb {
+		var total int
+		for _, nm := range nearMisses {
+			total += nm.weight
+		}
+		x := g.rng.Intn(total)
+		for _, nm := range nearMisses {
+			if x < nm.weight {
+				r.Path = "/search"
+				r.RawQuery = nm.query
+				r.RawQuery = strings.ReplaceAll(r.RawQuery, "{N}", strconv.Itoa(1+g.rng.Intn(9)))
+				return r
+			}
+			x -= nm.weight
+		}
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1: // static asset or bare page
+		r.Path = paths[g.rng.Intn(len(paths))]
+	case 2, 3: // search
+		r.Path = "/search"
+		term := searchTerms[g.rng.Intn(len(searchTerms))]
+		r.RawQuery = "q=" + encodeQuery(term) + fmt.Sprintf("&page=%d", 1+g.rng.Intn(20))
+	case 4: // directory lookup with apostrophe-bearing names
+		r.Path = "/directory/person.php"
+		r.RawQuery = "last=" + encodeQuery(names[g.rng.Intn(len(names))]) + "&dept=" + categories[g.rng.Intn(len(categories))]
+	case 5: // listing with pagination and sorting
+		r.Path = "/courses/list.php"
+		r.RawQuery = fmt.Sprintf("cat=%s&sort=%s&order=%s&limit=%d&offset=%d",
+			categories[g.rng.Intn(len(categories))],
+			sortFields[g.rng.Intn(len(sortFields))],
+			pickDir(g.rng), 10+g.rng.Intn(90), g.rng.Intn(500))
+	case 6: // article by numeric id
+		r.Path = "/news/article.php"
+		r.RawQuery = fmt.Sprintf("id=%d", 1+g.rng.Intn(99999))
+	case 7: // calendar range
+		r.Path = "/calendar/events.php"
+		r.RawQuery = fmt.Sprintf("from=2012-%02d-%02d&to=2012-%02d-%02d&view=month",
+			1+g.rng.Intn(12), 1+g.rng.Intn(28), 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+	case 8: // payment/invoice with tokens
+		r.Path = "/payments/invoice.php"
+		r.RawQuery = fmt.Sprintf("invoice=INV-%06d&session=%x", g.rng.Intn(999999), g.rng.Uint64())
+	default: // free-text feedback form preview (GET)
+		r.Path = "/feedback/preview.php"
+		msg := searchTerms[g.rng.Intn(len(searchTerms))] + " " + names[g.rng.Intn(len(names))]
+		r.RawQuery = "msg=" + encodeQuery(msg) + "&rating=" + fmt.Sprint(1+g.rng.Intn(5))
+	}
+	return r
+}
+
+// Requests draws n benign requests.
+func (g *Generator) Requests(count int) []httpx.Request {
+	out := make([]httpx.Request, count)
+	for i := range out {
+		out[i] = g.Request()
+	}
+	return out
+}
+
+func pickDir(rng *rand.Rand) string {
+	if rng.Intn(2) == 0 {
+		return "asc"
+	}
+	return "desc"
+}
+
+// encodeQuery form-encodes a free-text value the way browsers do: spaces to
+// '+', reserved bytes percent-encoded.
+func encodeQuery(s string) string {
+	const hexDigits = "0123456789ABCDEF"
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			b.WriteByte('+')
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9',
+			c == '-' || c == '_' || c == '.' || c == '~':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('%')
+			b.WriteByte(hexDigits[c>>4])
+			b.WriteByte(hexDigits[c&0xf])
+		}
+	}
+	return b.String()
+}

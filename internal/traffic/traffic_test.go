@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"psigene/internal/normalize"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42).Requests(100)
+	b := NewGenerator(42).Requests(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestRequestsAreBenign(t *testing.T) {
+	for _, r := range NewGenerator(1).Requests(200) {
+		if r.Malicious {
+			t.Fatal("benign generator produced Malicious=true")
+		}
+		if r.Tool != "benign" {
+			t.Fatalf("tool=%q", r.Tool)
+		}
+		if r.Method != "GET" || r.Host == "" || r.Path == "" {
+			t.Fatalf("malformed request %+v", r)
+		}
+	}
+}
+
+func TestTrafficDiversity(t *testing.T) {
+	reqs := NewGenerator(2).Requests(500)
+	paths := map[string]bool{}
+	withQuery := 0
+	for _, r := range reqs {
+		paths[r.Path] = true
+		if r.RawQuery != "" {
+			withQuery++
+		}
+	}
+	if len(paths) < 8 {
+		t.Fatalf("only %d distinct paths", len(paths))
+	}
+	if withQuery < len(reqs)/2 {
+		t.Fatalf("only %d/%d requests carry query strings", withQuery, len(reqs))
+	}
+}
+
+func TestTrafficContainsNearMisses(t *testing.T) {
+	// The FPR stress content must actually appear: SQL keywords in benign
+	// search text and apostrophes in names.
+	var sawKeyword, sawApostrophe bool
+	for _, r := range NewGenerator(3).Requests(2000) {
+		p := normalize.Normalize(r.Payload())
+		if strings.Contains(p, "union") || strings.Contains(p, "select") ||
+			strings.Contains(p, "drop") || strings.Contains(p, "insert") {
+			sawKeyword = true
+		}
+		if strings.Contains(p, "'") {
+			sawApostrophe = true
+		}
+	}
+	if !sawKeyword {
+		t.Fatal("no SQL-keyword near-misses in benign traffic")
+	}
+	if !sawApostrophe {
+		t.Fatal("no apostrophes in benign traffic")
+	}
+}
+
+func TestEncodeQuery(t *testing.T) {
+	if got := encodeQuery("a b"); got != "a+b" {
+		t.Fatalf("encodeQuery=%q", got)
+	}
+	if got := encodeQuery("o'brien & co"); got != "o%27brien+%26+co" {
+		t.Fatalf("encodeQuery=%q", got)
+	}
+	if got := encodeQuery("safe-._~chars"); got != "safe-._~chars" {
+		t.Fatalf("encodeQuery=%q", got)
+	}
+}

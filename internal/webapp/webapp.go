@@ -1,0 +1,224 @@
+// Package webapp simulates the vulnerable three-tier web application the
+// paper scans to build its test datasets (a WAVSEP-style app on Apache
+// Tomcat + MySQL with 136 SQLi vulnerabilities). Each vulnerable page
+// interpolates a request parameter into a SQL statement template — the
+// injection flaw — and executes the result against internal/sqlmini's
+// in-memory MySQL. Scanners therefore observe genuine SQL error messages,
+// boolean differences, UNION-leaked rows and (simulated) time delays,
+// rather than heuristic stand-ins.
+package webapp
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"psigene/internal/normalize"
+	"psigene/internal/sqlmini"
+)
+
+// Vulnerability is one injectable page of the application.
+type Vulnerability struct {
+	// ID is 1-based, stable across runs.
+	ID int
+	// Path is the page path, e.g. /wavsep/Case12.jsp.
+	Path string
+	// Param is the injectable parameter name.
+	Param string
+	// Template is the SQL statement with a %s placeholder for the raw
+	// parameter value.
+	Template string
+	// Quoted records whether the injection point sits inside quotes.
+	Quoted bool
+	// BenignValue is a parameter value that exercises the page normally.
+	BenignValue string
+
+	baselineRows int
+}
+
+// App is the simulated vulnerable application.
+type App struct {
+	vulns  []Vulnerability
+	byPath map[string]*Vulnerability
+	db     *sqlmini.DB
+}
+
+// New builds an application with n vulnerabilities (the paper's app has
+// 136) over a populated database.
+func New(count int) *App {
+	if count < 1 {
+		count = 1
+	}
+	db := sqlmini.NewDB()
+	db.Create("users", []string{"id", "username", "password", "email"}, [][]sqlmini.Value{
+		{sqlmini.Number(1), sqlmini.Str("alice"), sqlmini.Str("s3cret"), sqlmini.Str("alice@example.com")},
+		{sqlmini.Number(2), sqlmini.Str("bob"), sqlmini.Str("hunter2"), sqlmini.Str("bob@example.com")},
+		{sqlmini.Number(3), sqlmini.Str("admin"), sqlmini.Str("root!pw"), sqlmini.Str("admin@example.com")},
+	})
+	db.Create("products", []string{"id", "title", "category", "price"}, [][]sqlmini.Value{
+		{sqlmini.Number(1), sqlmini.Str("widget"), sqlmini.Str("tools"), sqlmini.Number(9.99)},
+		{sqlmini.Number(2), sqlmini.Str("gadget"), sqlmini.Str("tools"), sqlmini.Number(19.99)},
+		{sqlmini.Number(3), sqlmini.Str("gizmo"), sqlmini.Str("toys"), sqlmini.Number(4.99)},
+	})
+	db.Create("articles", []string{"id", "title", "body"}, [][]sqlmini.Value{
+		{sqlmini.Number(1), sqlmini.Str("welcome"), sqlmini.Str("hello world")},
+		{sqlmini.Number(2), sqlmini.Str("news"), sqlmini.Str("nothing happened")},
+	})
+	db.Create("sessions", []string{"token", "user_id"}, [][]sqlmini.Value{
+		{sqlmini.Str("tok-1"), sqlmini.Number(1)},
+	})
+
+	templates := []struct {
+		tmpl   string
+		quoted bool
+		benign string
+	}{
+		{"SELECT * FROM users WHERE id = %s", false, "1"},
+		{"SELECT * FROM users WHERE username = '%s'", true, "alice"},
+		{"SELECT title, body FROM articles WHERE id = %s ORDER BY title", false, "1"},
+		{"SELECT * FROM products WHERE category = '%s' LIMIT 20", true, "toys"},
+		{"UPDATE sessions SET user_id = 1 WHERE token = '%s'", true, "tok-1"},
+		{"SELECT count(*) FROM users WHERE username = '%s' AND id > 0", true, "bob"},
+	}
+	params := []string{"id", "username", "msgid", "target", "transactionId", "item", "q", "ref"}
+	a := &App{byPath: make(map[string]*Vulnerability, count), db: db}
+	for i := 0; i < count; i++ {
+		t := templates[i%len(templates)]
+		v := Vulnerability{
+			ID:          i + 1,
+			Path:        fmt.Sprintf("/wavsep/Case%d.jsp", i+1),
+			Param:       params[i%len(params)],
+			Template:    t.tmpl,
+			Quoted:      t.quoted,
+			BenignValue: t.benign,
+		}
+		a.vulns = append(a.vulns, v)
+	}
+	// Index and record baselines only after the slice is fully built:
+	// pointers into a growing slice go stale on reallocation.
+	for i := range a.vulns {
+		v := &a.vulns[i]
+		a.byPath[v.Path] = v
+		v.baselineRows = a.execute(v, v.BenignValue).RowCount
+	}
+	return a
+}
+
+// DB exposes the backing database (examples use it to show what an
+// injection actually read or changed).
+func (a *App) DB() *sqlmini.DB { return a.db }
+
+// Vulnerabilities returns the page inventory (copy).
+func (a *App) Vulnerabilities() []Vulnerability {
+	return append([]Vulnerability(nil), a.vulns...)
+}
+
+// Observation is what a client can see from one request: HTTP status, the
+// response body, the number of result rows rendered, and the (simulated)
+// extra latency the query incurred.
+type Observation struct {
+	Status       int
+	Body         string
+	RowCount     int
+	DelaySeconds float64
+	Statements   int
+	Err          error // *sqlmini.SyntaxError or *sqlmini.ExecError, nil when the query ran
+}
+
+// Outcome classifies what a request did to the backing SQL statement.
+type Outcome int
+
+// Outcomes of evaluating a request against a vulnerable page.
+const (
+	OutcomeNormal   Outcome = iota + 1 // behaves like the benign baseline
+	OutcomeSQLError                    // the statement failed (syntax or runtime)
+	OutcomeInjected                    // structure changed: extra rows, stacked statements, or induced delay
+	OutcomeNotFound                    // no such page/parameter
+)
+
+// execute interpolates and runs the value against the page's template.
+func (a *App) execute(v *Vulnerability, value string) Observation {
+	stmt := fmt.Sprintf(v.Template, normalize.URLDecode(value))
+	res, err := a.db.Exec(stmt)
+	if err != nil {
+		return Observation{
+			Status: http.StatusInternalServerError,
+			Body:   err.Error(),
+			Err:    err,
+		}
+	}
+	obs := Observation{
+		Status:       http.StatusOK,
+		RowCount:     len(res.Rows),
+		DelaySeconds: a.db.SleepSeconds,
+		Statements:   res.Statements,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h1>case %d</h1>", v.ID)
+	if res.Cols != nil {
+		fmt.Fprintf(&b, "<p>%d row(s)</p><table>", len(res.Rows))
+		for _, row := range res.Rows {
+			b.WriteString("<tr>")
+			for _, cell := range row {
+				fmt.Fprintf(&b, "<td>%s</td>", htmlEscape(cell.AsString()))
+			}
+			b.WriteString("</tr>")
+		}
+		b.WriteString("</table>")
+	} else {
+		fmt.Fprintf(&b, "<p>%d row(s) affected</p>", res.Affected)
+	}
+	b.WriteString("</body></html>")
+	obs.Body = b.String()
+	return obs
+}
+
+// Query runs value against the page and returns the raw observation.
+func (a *App) Query(path, param, value string) (Observation, bool) {
+	v, ok := a.byPath[path]
+	if !ok || !strings.EqualFold(param, v.Param) {
+		return Observation{Status: http.StatusNotFound}, false
+	}
+	return a.execute(v, value), true
+}
+
+// Evaluate classifies what the value did to the page's SQL statement.
+func (a *App) Evaluate(path, param, value string) Outcome {
+	v, ok := a.byPath[path]
+	if !ok || !strings.EqualFold(param, v.Param) {
+		return OutcomeNotFound
+	}
+	obs := a.execute(v, value)
+	switch {
+	case obs.Err != nil:
+		return OutcomeSQLError
+	case obs.Statements > 1, obs.DelaySeconds > 0, obs.RowCount > v.baselineRows:
+		return OutcomeInjected
+	default:
+		return OutcomeNormal
+	}
+}
+
+// ServeHTTP implements http.Handler: vulnerable pages render their result
+// set (200) or the database error (500), exactly what a scanner keys on.
+// Simulated query delay is exposed in the X-Query-Seconds header — the
+// stand-in for real latency in the time-based channel.
+func (a *App) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	v, ok := a.byPath[r.URL.Path]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	value := r.URL.Query().Get(v.Param)
+	obs := a.execute(v, value)
+	if obs.DelaySeconds > 0 {
+		w.Header().Set("X-Query-Seconds", fmt.Sprintf("%.3f", obs.DelaySeconds))
+	}
+	w.WriteHeader(obs.Status)
+	_, _ = w.Write([]byte(obs.Body))
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

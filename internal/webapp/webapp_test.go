@@ -1,0 +1,209 @@
+package webapp
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/httpx"
+	"psigene/internal/sqlmini"
+)
+
+func TestNewInventory(t *testing.T) {
+	a := New(136)
+	vs := a.Vulnerabilities()
+	if len(vs) != 136 {
+		t.Fatalf("got %d vulnerabilities, want 136", len(vs))
+	}
+	seen := map[string]bool{}
+	for i, v := range vs {
+		if v.ID != i+1 {
+			t.Fatalf("vulnerability %d has ID %d", i, v.ID)
+		}
+		if seen[v.Path] {
+			t.Fatalf("duplicate path %s", v.Path)
+		}
+		seen[v.Path] = true
+	}
+	if got := len(New(0).Vulnerabilities()); got != 1 {
+		t.Fatalf("New(0) should clamp to 1, got %d", got)
+	}
+}
+
+func TestBenignBaselinesAreNormal(t *testing.T) {
+	a := New(12)
+	for _, v := range a.Vulnerabilities() {
+		if got := a.Evaluate(v.Path, v.Param, v.BenignValue); got != OutcomeNormal {
+			t.Fatalf("page %s benign value %q: outcome %v", v.Path, v.BenignValue, got)
+		}
+	}
+}
+
+func TestEvaluateOutcomes(t *testing.T) {
+	a := New(6)
+	vs := a.Vulnerabilities()
+	numeric := vs[0] // SELECT * FROM users WHERE id = %s
+	quoted := vs[1]  // SELECT * FROM users WHERE username = '%s'
+
+	cases := []struct {
+		name  string
+		vuln  Vulnerability
+		value string
+		want  Outcome
+	}{
+		{"normal numeric", numeric, "2", OutcomeNormal},
+		{"normal string", quoted, "bob", OutcomeNormal},
+		{"missing row still normal", numeric, "999", OutcomeNormal},
+		{"apostrophe breaks syntax", quoted, "o'brien", OutcomeSQLError},
+		{"quoted tautology", quoted, "x' or '1'='1", OutcomeInjected},
+		{"numeric tautology", numeric, "0 or 1=1", OutcomeInjected},
+		{"union injection", numeric, "-1 union select id, username, password, email from users", OutcomeInjected},
+		{"union column mismatch errors", numeric, "-1 union select username from users", OutcomeSQLError},
+		{"comment truncation", quoted, "x' or 1=1-- ", OutcomeInjected},
+		{"stacked drop", numeric, "1; drop table articles", OutcomeInjected},
+		{"time blind", numeric, "1 and sleep(5)", OutcomeInjected},
+		{"conditional sleep false arm", numeric, "1 and if(1=2, sleep(5), 0)", OutcomeNormal},
+		{"url-encoded tautology", quoted, "x%27%20or%20%271%27=%271", OutcomeInjected},
+		{"benign keyword in value", quoted, "union college", OutcomeNormal},
+		{"error-based extractvalue", numeric, "extractvalue(1, concat(0x7e, version()))", OutcomeSQLError},
+	}
+	for _, c := range cases {
+		got := a.Evaluate(c.vuln.Path, c.vuln.Param, c.value)
+		if got != c.want {
+			t.Fatalf("%s: Evaluate(%q)=%v, want %v", c.name, c.value, got, c.want)
+		}
+	}
+}
+
+func TestInjectionActuallyLeaksData(t *testing.T) {
+	a := New(6)
+	v := a.Vulnerabilities()[0] // numeric users lookup
+	obs, ok := a.Query(v.Path, v.Param, "-1 union select id, username, password, email from users where username = 'admin'")
+	if !ok {
+		t.Fatal("query rejected")
+	}
+	if obs.Err != nil {
+		t.Fatalf("union failed: %v", obs.Err)
+	}
+	if !strings.Contains(obs.Body, "root!pw") {
+		t.Fatalf("admin password not leaked in body:\n%s", obs.Body)
+	}
+}
+
+func TestErrorBasedLeaksViaMessage(t *testing.T) {
+	a := New(6)
+	v := a.Vulnerabilities()[0]
+	obs, _ := a.Query(v.Path, v.Param, "extractvalue(1, concat(0x7e, (select password from users where username='admin')))")
+	var ee *sqlmini.ExecError
+	if !errors.As(obs.Err, &ee) {
+		t.Fatalf("want ExecError, got %v", obs.Err)
+	}
+	if !strings.Contains(obs.Body, "root!pw") {
+		t.Fatalf("error message must leak the subquery:\n%s", obs.Body)
+	}
+}
+
+func TestStackedInjectionMutatesDatabase(t *testing.T) {
+	a := New(6)
+	v := a.Vulnerabilities()[0]
+	if out := a.Evaluate(v.Path, v.Param, "1; update users set password = 'pwned' where username = 'admin'"); out != OutcomeInjected {
+		t.Fatalf("stacked update outcome: %v", out)
+	}
+	r, err := a.DB().Exec("SELECT password FROM users WHERE username = 'admin'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].AsString() != "pwned" {
+		t.Fatal("stacked update did not run against the database")
+	}
+}
+
+func TestBooleanBlindDifference(t *testing.T) {
+	// The boolean channel: TRUE and FALSE probes give different row counts.
+	a := New(6)
+	v := a.Vulnerabilities()[1] // quoted username lookup
+	trueObs, _ := a.Query(v.Path, v.Param, "alice' and '1'='1")
+	falseObs, _ := a.Query(v.Path, v.Param, "alice' and '1'='2")
+	if trueObs.Err != nil || falseObs.Err != nil {
+		t.Fatalf("probes errored: %v / %v", trueObs.Err, falseObs.Err)
+	}
+	if trueObs.RowCount <= falseObs.RowCount {
+		t.Fatalf("boolean difference missing: true=%d false=%d", trueObs.RowCount, falseObs.RowCount)
+	}
+}
+
+func TestEvaluateNotFound(t *testing.T) {
+	a := New(2)
+	if got := a.Evaluate("/nope", "id", "1"); got != OutcomeNotFound {
+		t.Fatalf("unknown path: %v", got)
+	}
+	v := a.Vulnerabilities()[0]
+	if got := a.Evaluate(v.Path, "wrongparam", "1"); got != OutcomeNotFound {
+		t.Fatalf("wrong param: %v", got)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	a := New(3)
+	v := a.Vulnerabilities()[0]
+	srv := httptest.NewServer(a)
+	defer srv.Close()
+
+	get := func(url string) (int, string, string) {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("X-Query-Seconds")
+	}
+
+	code, body, _ := get(srv.URL + v.Path + "?" + v.Param + "=1")
+	if code != 200 || !strings.Contains(body, "row(s)") {
+		t.Fatalf("normal request: %d %q", code, body)
+	}
+	code, body, _ = get(srv.URL + v.Path + "?" + v.Param + "=1%27")
+	if code != 500 || !strings.Contains(body, "SQL syntax") {
+		t.Fatalf("syntax-breaking request: %d %q", code, body)
+	}
+	_, _, delay := get(srv.URL + v.Path + "?" + v.Param + "=1+and+sleep(3)")
+	if delay == "" {
+		t.Fatal("time-based injection must surface simulated delay")
+	}
+	code, _, _ = get(srv.URL + "/missing")
+	if code != 404 {
+		t.Fatalf("missing page: status %d", code)
+	}
+}
+
+// TestGeneratedPayloadsNeverPanic feeds every attack-generator payload
+// through the app's SQL execution path: the engine must always return a
+// result or a typed error, never panic, and the classification must be
+// deterministic.
+func TestGeneratedPayloadsNeverPanic(t *testing.T) {
+	app := New(6)
+	vs := app.Vulnerabilities()
+	for _, profile := range []attackgen.Profile{
+		attackgen.CrawlProfile(), attackgen.SQLMapProfile(),
+		attackgen.ArachniProfile(), attackgen.VegaProfile(),
+	} {
+		gen := attackgen.NewGenerator(profile, 99)
+		for i := 0; i < 300; i++ {
+			s := gen.Sample()
+			params := httpx.ParseParams(s.Request.RawQuery)
+			if len(params) == 0 {
+				continue
+			}
+			v := vs[i%len(vs)]
+			o1 := app.Evaluate(v.Path, v.Param, params[0].Value)
+			o2 := app.Evaluate(v.Path, v.Param, params[0].Value)
+			if o1 != o2 {
+				t.Fatalf("nondeterministic outcome for %q: %v then %v", params[0].Value, o1, o2)
+			}
+		}
+	}
+}
