@@ -1,0 +1,30 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+
+GO ?= go
+
+.PHONY: check vet build test race bench smoke
+
+check: vet build test smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full race-enabled run; slower, so separate from `test` but part of CI.
+# internal/experiments regenerates every table under a ~30x race slowdown,
+# hence the long timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Sparse-vs-dense and pipeline micro benchmarks (EXPERIMENTS.md numbers).
+bench:
+	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|DenseMatch|SparseMatch' -benchmem .
+
+# End-to-end smoke test: the quickstart example must train and classify.
+smoke:
+	$(GO) run ./examples/quickstart

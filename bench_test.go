@@ -434,3 +434,125 @@ func BenchmarkScannerFullScan(b *testing.B) {
 		}
 	}
 }
+
+// --- sparse-substrate micro benchmarks --------------------------------------
+//
+// Dense/sparse pairs over the same inputs; the sparse side is the pipeline
+// default, the dense side the reference backing. EXPERIMENTS.md records the
+// measured ratios.
+
+func sparseBenchSamples(n, seed int) []string {
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), int64(seed))
+	samples := make([]string, n)
+	for i := range samples {
+		samples[i] = normalize.Normalize(gen.Sample().Request.Payload())
+	}
+	return samples
+}
+
+func BenchmarkDenseFeaturize(b *testing.B) {
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := sparseBenchSamples(64, 5)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.Vector(samples[i%len(samples)])
+	}
+}
+
+func BenchmarkSparseFeaturize(b *testing.B) {
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := sparseBenchSamples(64, 5)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.SparseVector(samples[i%len(samples)])
+	}
+}
+
+func BenchmarkDensePairwiseDistances(b *testing.B) {
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ex.Matrix(sparseBenchSamples(500, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		matrix.PairwiseDistances(m)
+	}
+}
+
+func BenchmarkSparsePairwiseDistances(b *testing.B) {
+	ex, err := feature.NewExtractor(feature.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ex.SparseMatrix(sparseBenchSamples(500, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		matrix.PairwiseDistances(m)
+	}
+}
+
+func sparseBenchModel(b *testing.B) *core.Model {
+	b.Helper()
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 31).Requests(800)
+	benign := traffic.NewGenerator(32).Requests(1500)
+	m, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkDenseMatch scores mixed traffic through the dense reference
+// path: full observed-feature vector, then each signature's restricted dot
+// product.
+func BenchmarkDenseMatch(b *testing.B) {
+	m := sparseBenchModel(b)
+	probes := append(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), 33).Requests(100),
+		traffic.NewGenerator(34).Requests(400)...,
+	)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := probes[i%len(probes)]
+		full := m.Vector(req)
+		for _, s := range m.Signatures {
+			if s.Probability(full) >= s.Threshold {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkSparseMatch scores the same traffic through the serving hot
+// path: pooled sparse extraction plus per-signature weight-index lookups,
+// O(request nonzeros) per request.
+func BenchmarkSparseMatch(b *testing.B) {
+	m := sparseBenchModel(b)
+	probes := append(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), 33).Requests(100),
+		traffic.NewGenerator(34).Requests(400)...,
+	)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Inspect(probes[i%len(probes)])
+	}
+}

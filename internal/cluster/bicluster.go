@@ -102,10 +102,11 @@ func (r *Result) ActiveBiclusters() []Bicluster {
 }
 
 // Run performs the paper's two-way biclustering on the sample×feature
-// matrix m: UPGMA over rows, ≥5% cluster selection, black-hole detection,
-// then per-cluster discriminating-feature identification with UPGMA column
-// ordering. weights gives row multiplicities (nil for all ones).
-func Run(m *matrix.Dense, weights []float64, opts Options) (*Result, error) {
+// matrix m (dense or CSR): UPGMA over rows, ≥5% cluster selection,
+// black-hole detection, then per-cluster discriminating-feature
+// identification with UPGMA column ordering. weights gives row
+// multiplicities (nil for all ones).
+func Run(m matrix.RowMatrix, weights []float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if m.Rows() < 2 {
 		return nil, fmt.Errorf("cluster: need at least 2 rows, have %d", m.Rows())
@@ -118,7 +119,10 @@ func Run(m *matrix.Dense, weights []float64, opts Options) (*Result, error) {
 	// rare-feature dimensions and flattens the family structure, so the
 	// standardization the paper describes is applied only for the heat-map
 	// display and for the column (feature-profile) clustering below.
-	std, _ := m.Standardize()
+	// Standardization is *virtual*: only the column stats are computed, and
+	// all standardized column distances come from the algebraic expansion
+	// in matrix.StandardizedColumnDistances — the matrix is never densified.
+	st := m.ColumnStats()
 	rowDist := matrix.PairwiseDistances(m)
 	rowDend, err := Agglomerate(rowDist, weights, opts.Linkage)
 	if err != nil {
@@ -129,7 +133,7 @@ func Run(m *matrix.Dense, weights []float64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("cophenetic: %w", err)
 	}
 
-	colDend, err := columnDendrogram(std)
+	colDend, err := columnDendrogram(m, st)
 	if err != nil {
 		return nil, fmt.Errorf("column clustering: %w", err)
 	}
@@ -147,27 +151,21 @@ func Run(m *matrix.Dense, weights []float64, opts Options) (*Result, error) {
 		b.ZeroFraction = weightedZeroFraction(m, leaves, rowDend.Weights)
 		b.BlackHole = b.ZeroFraction > opts.BlackHoleZeroFrac
 		b.Features = discriminatingFeatures(m, leaves, rowDend.Weights, opts.FeatureSupport)
-		b.FeatureOrder = orderFeatures(std, leaves, b.Features)
+		b.FeatureOrder = orderFeatures(m, st, leaves, b.Features)
 		res.Biclusters = append(res.Biclusters, b)
 	}
 	return res, nil
 }
 
-// columnDendrogram clusters the columns of the standardized matrix.
-func columnDendrogram(std *matrix.Dense) (*Dendrogram, error) {
-	cols := std.Cols()
-	if cols == 1 {
+// columnDendrogram clusters the standardized feature columns without
+// materializing the standardized matrix.
+func columnDendrogram(m matrix.RowMatrix, st matrix.ColStats) (*Dendrogram, error) {
+	if m.Cols() == 1 {
 		return &Dendrogram{NLeaves: 1, Weights: []float64{1}}, nil
 	}
-	d := matrix.NewCondensed(cols)
-	colVecs := make([][]float64, cols)
-	for j := 0; j < cols; j++ {
-		colVecs[j] = std.Col(j)
-	}
-	for i := 0; i < cols; i++ {
-		for j := i + 1; j < cols; j++ {
-			d.Set(i, j, math.Sqrt(matrix.SquaredEuclidean(colVecs[i], colVecs[j])))
-		}
+	d, err := matrix.StandardizedColumnDistances(m, st, nil, nil)
+	if err != nil {
+		return nil, err
 	}
 	return UPGMA(d, nil)
 }
@@ -275,17 +273,15 @@ func allLeaves(d *Dendrogram) []int {
 }
 
 // weightedZeroFraction is the weighted fraction of zero cells in the rows
-// of m given by leaves, over all columns.
-func weightedZeroFraction(m *matrix.Dense, leaves []int, weights []float64) float64 {
+// of m given by leaves, over all columns. Only the nonzero count per row
+// is needed, so the CSR backing pays O(1) per row.
+func weightedZeroFraction(m matrix.RowMatrix, leaves []int, weights []float64) float64 {
+	cols := float64(m.Cols())
 	var zeros, total float64
 	for _, i := range leaves {
 		w := weights[i]
-		for _, v := range m.Row(i) {
-			if v == 0 {
-				zeros += w
-			}
-			total += w
-		}
+		zeros += w * (cols - float64(matrix.RowNNZ(m, i)))
+		total += w * cols
 	}
 	if total == 0 {
 		return 0
@@ -296,16 +292,23 @@ func weightedZeroFraction(m *matrix.Dense, leaves []int, weights []float64) floa
 // discriminatingFeatures returns the columns whose weighted support (the
 // fraction of the cluster's samples in which the feature is nonzero) meets
 // minSupport, sorted by column index.
-func discriminatingFeatures(m *matrix.Dense, leaves []int, weights []float64, minSupport float64) []int {
+func discriminatingFeatures(m matrix.RowMatrix, leaves []int, weights []float64, minSupport float64) []int {
 	var totalW float64
 	support := make([]float64, m.Cols())
 	for _, i := range leaves {
 		w := weights[i]
 		totalW += w
-		for j, v := range m.Row(i) {
-			if v != 0 {
-				support[j] += w
+		cols, vals := m.RowNonZeros(i)
+		if cols == nil {
+			for j, v := range vals {
+				if v != 0 {
+					support[j] += w
+				}
 			}
+			continue
+		}
+		for _, j := range cols {
+			support[j] += w
 		}
 	}
 	var out []int
@@ -318,26 +321,18 @@ func discriminatingFeatures(m *matrix.Dense, leaves []int, weights []float64, mi
 	return out
 }
 
-// orderFeatures orders the selected features by clustering their profiles
-// restricted to the cluster's rows — the within-cluster column dendrogram
-// of the biclustering procedure.
-func orderFeatures(std *matrix.Dense, leaves, features []int) []int {
+// orderFeatures orders the selected features by clustering their
+// standardized profiles restricted to the cluster's rows — the
+// within-cluster column dendrogram of the biclustering procedure. The
+// global column statistics are used, matching a standardize-then-restrict
+// pipeline, and nothing is densified.
+func orderFeatures(m matrix.RowMatrix, st matrix.ColStats, leaves, features []int) []int {
 	if len(features) <= 2 {
 		return append([]int(nil), features...)
 	}
-	sub, err := std.SelectRows(leaves)
+	d, err := matrix.StandardizedColumnDistances(m, st, leaves, features)
 	if err != nil {
 		return append([]int(nil), features...)
-	}
-	d := matrix.NewCondensed(len(features))
-	vecs := make([][]float64, len(features))
-	for k, j := range features {
-		vecs[k] = sub.Col(j)
-	}
-	for a := 0; a < len(features); a++ {
-		for b := a + 1; b < len(features); b++ {
-			d.Set(a, b, math.Sqrt(matrix.SquaredEuclidean(vecs[a], vecs[b])))
-		}
 	}
 	dend, err := UPGMA(d, nil)
 	if err != nil {

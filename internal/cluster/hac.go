@@ -203,8 +203,8 @@ func Agglomerate(d *matrix.Condensed, weights []float64, linkage Linkage) (*Dend
 }
 
 // UPGMARows is a convenience wrapper: it computes pairwise Euclidean
-// distances over the rows of m and clusters them.
-func UPGMARows(m *matrix.Dense, weights []float64) (*Dendrogram, error) {
+// distances over the rows of m (dense or CSR) and clusters them.
+func UPGMARows(m matrix.RowMatrix, weights []float64) (*Dendrogram, error) {
 	return UPGMA(matrix.PairwiseDistances(m), weights)
 }
 

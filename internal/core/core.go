@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"psigene/internal/cluster"
 	"psigene/internal/feature"
@@ -62,6 +63,12 @@ type Config struct {
 	// what lets the pipeline scale to the paper's 30,000-sample corpus.
 	// 0 means 2500; negative disables the cap.
 	MaxClusterSamples int
+	// DenseBacking carries the training matrices as dense row-major
+	// storage (the reference implementation) instead of the default
+	// compressed-sparse-row backing. The two produce bit-identical
+	// signatures — the parity tests train both ways and compare — so this
+	// exists for verification, not tuning.
+	DenseBacking bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +111,9 @@ type Signature struct {
 	Model *ml.LogisticModel
 	// Threshold is the alert probability cutoff.
 	Threshold float64
+
+	indexOnce   sync.Once
+	weightByCol map[int]float64 // observed column -> weight, for sparse scoring
 }
 
 // Probability evaluates the signature on a full observed-feature vector.
@@ -113,6 +123,39 @@ func (s *Signature) Probability(full []float64) float64 {
 		x[i] = full[j]
 	}
 	return s.Model.Predict(x)
+}
+
+// ProbabilitySparse evaluates the signature on a sparse observed-feature
+// vector (ascending column indices with their nonzero counts). Cost is
+// O(request nonzeros): each firing feature is looked up in the signature's
+// column→weight index, so benign traffic — which fires almost nothing —
+// is scored almost for free. This is the serving hot path.
+func (s *Signature) ProbabilitySparse(cols []int, vals []float64) float64 {
+	idx := s.weightIndex()
+	// Accumulate the dot product first and add the bias afterwards — the
+	// same association Probability uses — so both paths produce identical
+	// bits.
+	var dot float64
+	for k, j := range cols {
+		if w, ok := idx[j]; ok {
+			dot += w * vals[k]
+		}
+	}
+	return ml.Sigmoid(s.Model.Bias + dot)
+}
+
+// weightIndex lazily builds the observed-column → model-weight map. The
+// sync.Once makes it safe under ids.ParallelEvaluate's concurrent Inspect
+// calls.
+func (s *Signature) weightIndex() map[int]float64 {
+	s.indexOnce.Do(func() {
+		m := make(map[int]float64, len(s.Features))
+		for k, j := range s.Features {
+			m[j] = s.Model.Weights[k]
+		}
+		s.weightByCol = m
+	})
+	return s.weightByCol
 }
 
 // Model is a trained pSigene signature set.
@@ -133,9 +176,9 @@ type Model struct {
 
 	// Retained training state for incremental updates (Experiment 2).
 	cfg           Config
-	trainObserved *matrix.Dense
+	trainObserved matrix.RowMatrix
 	trainWeights  []float64
-	benignMat     *matrix.Dense
+	benignMat     matrix.RowMatrix
 	benignW       []float64
 	extra         map[int][]extraSample // bicluster ID -> appended samples
 }
@@ -192,7 +235,14 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("extractor: %w", err)
 	}
-	full, err := ex.Matrix(uniq)
+	// The training matrix is CSR by default; cfg.DenseBacking selects the
+	// dense reference path, which must produce bit-identical signatures.
+	var full matrix.RowMatrix
+	if cfg.DenseBacking {
+		full, err = ex.Matrix(uniq)
+	} else {
+		full, err = ex.SparseMatrix(uniq)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("feature matrix: %w", err)
 	}
@@ -252,7 +302,12 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 		normBenign[i] = normalize.Normalize(r.Payload())
 	}
 	benignUniq, benignW := feature.Dedupe(normBenign)
-	benignMat, err := obsEx.Matrix(benignUniq)
+	var benignMat matrix.RowMatrix
+	if cfg.DenseBacking {
+		benignMat, err = obsEx.Matrix(benignUniq)
+	} else {
+		benignMat, err = obsEx.SparseMatrix(benignUniq)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("benign matrix: %w", err)
 	}
@@ -300,7 +355,7 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 // trainSignature fits the bicluster's logistic model: bicluster samples
 // (label 1) against the benign corpus (label 0), restricted to the
 // bicluster's features, followed by coefficient pruning and a refit.
-func trainSignature(observed *matrix.Dense, weights []float64, benignMat *matrix.Dense, benignW []float64, b cluster.Bicluster, extras []extraSample, cfg Config) (*Signature, error) {
+func trainSignature(observed matrix.RowMatrix, weights []float64, benignMat matrix.RowMatrix, benignW []float64, b cluster.Bicluster, extras []extraSample, cfg Config) (*Signature, error) {
 	feats := b.Features
 	if len(feats) == 0 {
 		return nil, errors.New("bicluster has no discriminating features")
@@ -319,33 +374,36 @@ func trainSignature(observed *matrix.Dense, weights []float64, benignMat *matrix
 		return nil, err
 	}
 
+	// Stitch the per-signature training matrix block by block in whichever
+	// backing the pipeline runs on: bicluster rows (label 1), incrementally
+	// added samples (label 1), benign corpus (label 0).
 	n := attackCols.Rows() + len(extras) + benignCols.Rows()
-	x, err := matrix.New(n, len(feats))
-	if err != nil {
-		return nil, err
-	}
+	bld := matrix.NewBuilder(len(feats), !cfg.DenseBacking)
 	y := make([]float64, n)
 	w := make([]float64, n)
 	row := 0
 	for i := 0; i < attackCols.Rows(); i++ {
-		copy(x.Row(row), attackCols.Row(i))
+		bld.AppendRowOf(attackCols, i)
 		y[row] = 1
 		w[row] = weights[b.RowLeaves[i]]
 		row++
 	}
+	scratch := make([]float64, len(feats))
 	for _, e := range extras {
 		for k, j := range feats {
-			x.Row(row)[k] = e.vec[j]
+			scratch[k] = e.vec[j]
 		}
+		bld.AppendDense(scratch)
 		y[row] = 1
 		w[row] = e.w
 		row++
 	}
 	for i := 0; i < benignCols.Rows(); i++ {
-		copy(x.Row(row), benignCols.Row(i))
+		bld.AppendRowOf(benignCols, i)
 		w[row] = benignW[i] * cfg.BenignWeight
 		row++
 	}
+	x := bld.Build()
 
 	model, err := ml.TrainLogistic(x, y, w, cfg.Train)
 	if err != nil {
@@ -380,7 +438,8 @@ func (m *Model) Name() string {
 
 // Vector runs phase-2 extraction on one request: normalize the payload and
 // count every observed feature (the paper's count_all over each signature's
-// regexes, done once for all).
+// regexes, done once for all). It returns the full dense observed-feature
+// vector; the serving hot path uses SparseVector instead.
 func (m *Model) Vector(req httpx.Request) []float64 {
 	v := m.extractor.Vector(normalize.Normalize(req.Payload()))
 	if m.binary {
@@ -393,24 +452,40 @@ func (m *Model) Vector(req httpx.Request) []float64 {
 	return v
 }
 
+// SparseVector runs phase-2 extraction on one request and returns only the
+// features that fired: ascending observed-column indices with their counts.
+// Allocation is O(nonzeros), which for benign traffic is typically a handful
+// of entries out of the full observed set.
+func (m *Model) SparseVector(req httpx.Request) (cols []int, vals []float64) {
+	cols, vals = m.extractor.SparseVector(normalize.Normalize(req.Payload()))
+	if m.binary {
+		for i := range vals {
+			vals[i] = 1
+		}
+	}
+	return cols, vals
+}
+
 // Probabilities returns each signature's probability for the request, in
 // signature order.
 func (m *Model) Probabilities(req httpx.Request) []float64 {
-	full := m.Vector(req)
+	cols, vals := m.SparseVector(req)
 	out := make([]float64, len(m.Signatures))
 	for i, s := range m.Signatures {
-		out[i] = s.Probability(full)
+		out[i] = s.ProbabilitySparse(cols, vals)
 	}
 	return out
 }
 
 // Inspect implements ids.Detector: alert when any signature's probability
-// crosses its threshold.
+// crosses its threshold. Matching goes through the sparse feature vector, so
+// per-request cost scales with the number of firing features rather than the
+// observed-feature count.
 func (m *Model) Inspect(req httpx.Request) ids.Verdict {
-	full := m.Vector(req)
+	cols, vals := m.SparseVector(req)
 	var v ids.Verdict
 	for _, s := range m.Signatures {
-		if p := s.Probability(full); p >= s.Threshold {
+		if p := s.ProbabilitySparse(cols, vals); p >= s.Threshold {
 			v.Alert = true
 			v.Score++
 			v.Matched = append(v.Matched, fmt.Sprintf("psigene:%d", s.ID))

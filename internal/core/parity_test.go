@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/traffic"
+)
+
+// TestTrainBackingParity trains the full pipeline twice on the same corpus —
+// once on the default CSR backing, once on the dense reference — and demands
+// bit-identical signatures. The sparse kernels are written so that they
+// accumulate the same floating-point terms in the same order as the dense
+// code (skipped terms are exact zeros), which is what makes == comparison
+// possible instead of a tolerance.
+func TestTrainBackingParity(t *testing.T) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 11).Requests(600)
+	benign := traffic.NewGenerator(12).Requests(800)
+
+	sparse, err := Train(attacks, benign, Config{})
+	if err != nil {
+		t.Fatalf("sparse Train: %v", err)
+	}
+	dense, err := Train(attacks, benign, Config{DenseBacking: true})
+	if err != nil {
+		t.Fatalf("dense Train: %v", err)
+	}
+
+	if len(sparse.Signatures) != len(dense.Signatures) {
+		t.Fatalf("signature counts differ: sparse %d, dense %d", len(sparse.Signatures), len(dense.Signatures))
+	}
+	if sparse.Stats != dense.Stats {
+		t.Fatalf("training stats differ:\nsparse %+v\ndense  %+v", sparse.Stats, dense.Stats)
+	}
+	for i, ss := range sparse.Signatures {
+		ds := dense.Signatures[i]
+		if ss.ID != ds.ID || ss.SampleWeight != ds.SampleWeight || ss.BiclusterFeatures != ds.BiclusterFeatures {
+			t.Fatalf("signature %d metadata differs: sparse %+v, dense %+v", i, ss, ds)
+		}
+		if len(ss.Features) != len(ds.Features) {
+			t.Fatalf("signature %d: feature counts differ (sparse %d, dense %d)", ss.ID, len(ss.Features), len(ds.Features))
+		}
+		for k := range ss.Features {
+			if ss.Features[k] != ds.Features[k] {
+				t.Fatalf("signature %d: feature %d differs (sparse %d, dense %d)", ss.ID, k, ss.Features[k], ds.Features[k])
+			}
+		}
+		if ss.Model.Bias != ds.Model.Bias {
+			t.Fatalf("signature %d: bias differs (sparse %v, dense %v)", ss.ID, ss.Model.Bias, ds.Model.Bias)
+		}
+		for k := range ss.Model.Weights {
+			if ss.Model.Weights[k] != ds.Model.Weights[k] {
+				t.Fatalf("signature %d: weight %d differs (sparse %v, dense %v)", ss.ID, k, ss.Model.Weights[k], ds.Model.Weights[k])
+			}
+		}
+	}
+
+	// The two models must also agree verdict for verdict at serve time.
+	probes := append(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), 13).Requests(150),
+		traffic.NewGenerator(14).Requests(300)...,
+	)
+	for _, req := range probes {
+		sp := sparse.Probabilities(req)
+		dp := dense.Probabilities(req)
+		for i := range sp {
+			if sp[i] != dp[i] {
+				t.Fatalf("probability differs on %q: sparse %v, dense %v", req.Payload(), sp[i], dp[i])
+			}
+		}
+	}
+}
+
+// TestSparseScoringMatchesDenseScoring pins the serving hot path (sparse
+// feature vector + per-signature weight index) to the dense reference
+// (full vector + restricted dot product) on one trained model.
+func TestSparseScoringMatchesDenseScoring(t *testing.T) {
+	m := smallModel(t)
+	probes := append(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), 21).Requests(200),
+		traffic.NewGenerator(22).Requests(400)...,
+	)
+	for _, req := range probes {
+		full := m.Vector(req)
+		cols, vals := m.SparseVector(req)
+		for _, s := range m.Signatures {
+			dense := s.Probability(full)
+			sparse := s.ProbabilitySparse(cols, vals)
+			if dense != sparse {
+				t.Fatalf("signature %d on %q: dense %v, sparse %v", s.ID, req.Payload(), dense, sparse)
+			}
+		}
+	}
+}

@@ -29,13 +29,16 @@ func remapBiclusters(bic *cluster.Result, clusterIdx []int) {
 // Rows closer to no centroid than the farthest intra-cluster spread would
 // be equally fine as noise; keeping the rule simple (always assign to the
 // nearest) matches LR's tolerance for label noise.
-func assignLeftovers(bic *cluster.Result, observed *matrix.Dense, weights []float64, clusterIdx []int) {
+func assignLeftovers(bic *cluster.Result, observed matrix.RowMatrix, weights []float64, clusterIdx []int) {
 	used := make(map[int]bool, len(clusterIdx))
 	for _, i := range clusterIdx {
 		used[i] = true
 	}
 
-	// Centroids over the clustered members (weighted means).
+	// Centroids over the clustered members (weighted means). Accumulating
+	// only a row's nonzeros adds the same terms as the dense loop (the
+	// skipped terms are exact zeros), so both backings build identical
+	// centroids.
 	cols := observed.Cols()
 	centroids := make([][]float64, len(bic.Biclusters))
 	for bi := range bic.Biclusters {
@@ -44,8 +47,15 @@ func assignLeftovers(bic *cluster.Result, observed *matrix.Dense, weights []floa
 		for _, l := range bic.Biclusters[bi].RowLeaves {
 			w := weights[l]
 			wsum += w
-			for j, v := range observed.Row(l) {
-				c[j] += w * v
+			rc, rv := observed.RowNonZeros(l)
+			if rc == nil {
+				for j, v := range rv {
+					c[j] += w * v
+				}
+			} else {
+				for k, j := range rc {
+					c[j] += w * rv[k]
+				}
 			}
 		}
 		if wsum > 0 {
@@ -63,10 +73,9 @@ func assignLeftovers(bic *cluster.Result, observed *matrix.Dense, weights []floa
 		if used[i] {
 			continue
 		}
-		row := observed.Row(i)
-		best, bestD := 0, matrix.SquaredEuclidean(row, centroids[0])
+		best, bestD := 0, rowSquaredDistToVec(observed, i, centroids[0])
 		for bi := 1; bi < len(centroids); bi++ {
-			if d := matrix.SquaredEuclidean(row, centroids[bi]); d < bestD {
+			if d := rowSquaredDistToVec(observed, i, centroids[bi]); d < bestD {
 				best, bestD = bi, d
 			}
 		}
@@ -74,4 +83,27 @@ func assignLeftovers(bic *cluster.Result, observed *matrix.Dense, weights []floa
 		b.RowLeaves = append(b.RowLeaves, i)
 		b.SampleWeight += weights[i]
 	}
+}
+
+// rowSquaredDistToVec is ‖m[i] − c‖². The sparse branch walks every column
+// in ascending order with a cursor into the row's nonzeros so the terms are
+// accumulated in exactly the dense order (centroids are dense, so the
+// distance itself is inherently O(cols)).
+func rowSquaredDistToVec(m matrix.RowMatrix, i int, c []float64) float64 {
+	cols, vals := m.RowNonZeros(i)
+	if cols == nil {
+		return matrix.SquaredEuclidean(vals, c)
+	}
+	var d float64
+	k := 0
+	for j := range c {
+		var v float64
+		if k < len(cols) && cols[k] == j {
+			v = vals[k]
+			k++
+		}
+		diff := v - c[j]
+		d += diff * diff
+	}
+	return d
 }

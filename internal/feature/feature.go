@@ -15,8 +15,10 @@ package feature
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"psigene/internal/matrix"
 )
@@ -122,6 +124,15 @@ type Extractor struct {
 	set      Set
 	words    map[string][]int // token -> feature columns
 	patterns []compiledPattern
+	scratch  sync.Pool // *sparseScratch, reused across SparseVector calls
+}
+
+// sparseScratch is the reusable per-call state of SparseVector: a
+// full-width accumulator plus the list of touched columns, so building a
+// sparse vector allocates only the O(nnz) result.
+type sparseScratch struct {
+	v       []float64
+	touched []int
 }
 
 type compiledPattern struct {
@@ -164,9 +175,26 @@ func NewExtractor(set Set) (*Extractor, error) {
 // Set returns the feature set the extractor was built from.
 func (e *Extractor) Set() Set { return e.set }
 
-// Vector extracts the count vector of one (normalized) sample.
+// Vector extracts the count vector of one (normalized) sample. It
+// allocates a fresh full-width vector per call; on matching hot paths
+// prefer VectorInto with a caller-owned buffer, or SparseVector, which
+// allocates only O(nonzeros).
 func (e *Extractor) Vector(sample string) []float64 {
-	v := make([]float64, len(e.set.Features))
+	return e.VectorInto(sample, make([]float64, len(e.set.Features)))
+}
+
+// VectorInto extracts the count vector of one (normalized) sample into v,
+// which must have length Set().Len(); previous contents are overwritten.
+// It returns v. Reusing one buffer across calls keeps the matching hot
+// path allocation-free; the buffer must not be retained across calls that
+// reuse it.
+func (e *Extractor) VectorInto(sample string, v []float64) []float64 {
+	if len(v) != len(e.set.Features) {
+		panic(fmt.Sprintf("feature: vector buffer has %d slots, want %d", len(v), len(e.set.Features)))
+	}
+	for i := range v {
+		v[i] = 0
+	}
 	e.countWords(sample, v)
 	for _, cp := range e.patterns {
 		if m := cp.re.FindAllStringIndex(sample, -1); m != nil {
@@ -174,6 +202,54 @@ func (e *Extractor) Vector(sample string) []float64 {
 		}
 	}
 	return v
+}
+
+// SparseVector extracts only the nonzero feature counts of one
+// (normalized) sample, returning ascending column indices and their
+// counts. The per-call cost and allocation are proportional to the number
+// of features that actually fire — on benign serving traffic (the paper's
+// FPR-dominated workload) that is a handful out of hundreds.
+func (e *Extractor) SparseVector(sample string) (cols []int, vals []float64) {
+	sc, _ := e.scratch.Get().(*sparseScratch)
+	if sc == nil || len(sc.v) != len(e.set.Features) {
+		sc = &sparseScratch{v: make([]float64, len(e.set.Features))}
+	}
+	i := 0
+	for i < len(sample) {
+		if !isWordByte(sample[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(sample) && isWordByte(sample[j]) {
+			j++
+		}
+		tok := strings.ToLower(sample[i:j])
+		for _, col := range e.words[tok] {
+			if sc.v[col] == 0 {
+				sc.touched = append(sc.touched, col)
+			}
+			sc.v[col]++
+		}
+		i = j
+	}
+	for _, cp := range e.patterns {
+		if m := cp.re.FindAllStringIndex(sample, -1); m != nil {
+			sc.v[cp.col] = float64(len(m))
+			sc.touched = append(sc.touched, cp.col)
+		}
+	}
+	sort.Ints(sc.touched)
+	cols = make([]int, len(sc.touched))
+	vals = make([]float64, len(sc.touched))
+	for k, j := range sc.touched {
+		cols[k] = j
+		vals[k] = sc.v[j]
+		sc.v[j] = 0
+	}
+	sc.touched = sc.touched[:0]
+	e.scratch.Put(sc)
+	return cols, vals
 }
 
 func isWordByte(c byte) bool {
@@ -201,31 +277,52 @@ func (e *Extractor) countWords(sample string, v []float64) {
 	}
 }
 
-// Matrix extracts all samples into an n×d count matrix.
+// Matrix extracts all samples into an n×d dense count matrix — the
+// reference backing used for parity testing.
 func (e *Extractor) Matrix(samples []string) (*matrix.Dense, error) {
 	m, err := matrix.New(len(samples), len(e.set.Features))
 	if err != nil {
 		return nil, err
 	}
 	for i, s := range samples {
-		copy(m.Row(i), e.Vector(s))
+		e.VectorInto(s, m.Row(i))
 	}
 	return m, nil
 }
 
+// SparseMatrix extracts all samples into an n×d CSR count matrix, storing
+// only the features that fired — the pipeline's working backing.
+func (e *Extractor) SparseMatrix(samples []string) (*matrix.Sparse, error) {
+	b := matrix.NewSparseBuilder(len(e.set.Features))
+	for _, s := range samples {
+		cols, vals := e.SparseVector(s)
+		if err := b.AppendSparse(cols, vals); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
 // PruneUnobserved drops features whose column is zero in every sample of m
-// (the 477 → 159 step). It returns the reduced matrix, the reduced set, and
-// the kept column indices into the original set.
-func PruneUnobserved(m *matrix.Dense, set Set) (*matrix.Dense, Set, []int, error) {
+// (the 477 → 159 step). It returns the reduced matrix (same backing), the
+// reduced set, and the kept column indices into the original set.
+func PruneUnobserved(m matrix.RowMatrix, set Set) (matrix.RowMatrix, Set, []int, error) {
 	if m.Cols() != set.Len() {
 		return nil, Set{}, nil, fmt.Errorf("feature: matrix has %d columns, set %d", m.Cols(), set.Len())
 	}
 	observed := make([]bool, m.Cols())
 	for i := 0; i < m.Rows(); i++ {
-		for j, v := range m.Row(i) {
-			if v != 0 {
-				observed[j] = true
+		cols, vals := m.RowNonZeros(i)
+		if cols == nil {
+			for j, v := range vals {
+				if v != 0 {
+					observed[j] = true
+				}
 			}
+			continue
+		}
+		for _, j := range cols {
+			observed[j] = true
 		}
 	}
 	var kept []int
@@ -265,40 +362,49 @@ func Dedupe(samples []string) (unique []string, weights []float64) {
 
 // BinaryizeInPlace clamps every positive count to 1 — used by the
 // binary-vs-count ablation the paper mentions ("this did not produce good
-// results").
-func BinaryizeInPlace(m *matrix.Dense) {
-	for i := 0; i < m.Rows(); i++ {
-		r := m.Row(i)
-		for j, v := range r {
-			if v != 0 {
-				r[j] = 1
-			}
-		}
-	}
+// results"). Both matrix backings implement the clamp natively.
+func BinaryizeInPlace(m matrix.RowMatrix) {
+	m.Binaryize()
 }
 
 // PruneDuplicateColumns removes features whose observed count column is
 // identical to an earlier feature's — the "overlapping features" the paper
 // removes on the way from 477 candidates to 159 (two regexes that always
 // fire the same number of times on the training corpus carry no independent
-// signal). It returns the reduced matrix, the reduced set, and the kept
-// column indices.
-func PruneDuplicateColumns(m *matrix.Dense, set Set) (*matrix.Dense, Set, []int, error) {
+// signal). It returns the reduced matrix (same backing), the reduced set,
+// and the kept column indices. Columns are compared by their nonzero
+// (row, value) profile, accumulated in one O(nnz) pass.
+func PruneDuplicateColumns(m matrix.RowMatrix, set Set) (matrix.RowMatrix, Set, []int, error) {
 	if m.Cols() != set.Len() {
 		return nil, Set{}, nil, fmt.Errorf("feature: matrix has %d columns, set %d", m.Cols(), set.Len())
 	}
-	type colKey string
-	seen := make(map[colKey]bool, m.Cols())
-	var kept []int
-	buf := make([]byte, 0, m.Rows()*8)
-	for j := 0; j < m.Cols(); j++ {
-		buf = buf[:0]
-		for i := 0; i < m.Rows(); i++ {
-			v := m.At(i, j)
-			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
-			buf = append(buf, ',')
+	sigs := make([][]byte, m.Cols())
+	appendCell := func(i, j int, v float64) {
+		buf := sigs[j]
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		buf = append(buf, ',')
+		sigs[j] = buf
+	}
+	for i := 0; i < m.Rows(); i++ {
+		cols, vals := m.RowNonZeros(i)
+		if cols == nil {
+			for j, v := range vals {
+				if v != 0 {
+					appendCell(i, j, v)
+				}
+			}
+			continue
 		}
-		k := colKey(buf)
+		for k, j := range cols {
+			appendCell(i, j, vals[k])
+		}
+	}
+	seen := make(map[string]bool, m.Cols())
+	var kept []int
+	for j := 0; j < m.Cols(); j++ {
+		k := string(sigs[j])
 		if seen[k] {
 			continue
 		}

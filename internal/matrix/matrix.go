@@ -1,12 +1,15 @@
-// Package matrix provides the small dense linear-algebra substrate used by
-// the pSigene pipeline: a row-major float64 matrix with the column
-// statistics, standardization, and pairwise-distance operations that the
-// biclustering and logistic-regression stages are built on.
+// Package matrix provides the linear-algebra substrate used by the pSigene
+// pipeline: row-major matrices with the column statistics, standardization,
+// and pairwise-distance operations that the biclustering and
+// logistic-regression stages are built on.
 //
 // The matrices handled here are sample×feature matrices: rows are attack (or
-// benign) samples and columns are feature counts. They are small enough that
-// a dense representation is the simplest correct choice, but sparse enough
-// (the paper reports ~85% zeros) that Sparsity is worth reporting.
+// benign) samples and columns are feature counts. The paper's corpus is
+// ~85% zeros, so the pipeline's working representation is the compressed
+// sparse row Sparse type; Dense remains as the reference implementation,
+// and both are used through the shared RowMatrix interface so every
+// consumer is backing-agnostic and the two can be parity-tested against
+// each other.
 package matrix
 
 import (
@@ -22,6 +25,8 @@ type Dense struct {
 	rows, cols int
 	data       []float64 // len == rows*cols, row-major
 }
+
+var _ RowMatrix = (*Dense)(nil)
 
 // New returns a rows×cols matrix of zeros.
 func New(rows, cols int) (*Dense, error) {
@@ -99,6 +104,32 @@ func (m *Dense) RowCopy(i int) []float64 {
 	return out
 }
 
+// RowNonZeros implements RowMatrix with the dense convention: cols is nil
+// and vals is the full row (zeros included), aliasing the matrix storage.
+func (m *Dense) RowNonZeros(i int) (cols []int, vals []float64) {
+	return nil, m.Row(i)
+}
+
+// RowDot returns row i · v.
+func (m *Dense) RowDot(i int, v []float64) float64 {
+	return Dot(m.Row(i), v)
+}
+
+// RowSquaredEuclidean returns the squared Euclidean distance between rows
+// i and j.
+func (m *Dense) RowSquaredEuclidean(i, j int) float64 {
+	return SquaredEuclidean(m.Row(i), m.Row(j))
+}
+
+// Binaryize clamps every nonzero cell to 1 in place.
+func (m *Dense) Binaryize() {
+	for k, v := range m.data {
+		if v != 0 {
+			m.data[k] = 1
+		}
+	}
+}
+
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {
@@ -119,7 +150,7 @@ func (m *Dense) Clone() *Dense {
 }
 
 // SelectRows returns a new matrix containing the given rows, in order.
-func (m *Dense) SelectRows(idx []int) (*Dense, error) {
+func (m *Dense) SelectRows(idx []int) (RowMatrix, error) {
 	out := &Dense{rows: len(idx), cols: m.cols, data: make([]float64, 0, len(idx)*m.cols)}
 	for _, i := range idx {
 		if i < 0 || i >= m.rows {
@@ -131,7 +162,7 @@ func (m *Dense) SelectRows(idx []int) (*Dense, error) {
 }
 
 // SelectCols returns a new matrix containing the given columns, in order.
-func (m *Dense) SelectCols(idx []int) (*Dense, error) {
+func (m *Dense) SelectCols(idx []int) (RowMatrix, error) {
 	for _, j := range idx {
 		if j < 0 || j >= m.cols {
 			return nil, fmt.Errorf("matrix: select column %d out of range %d", j, m.cols)
@@ -174,35 +205,10 @@ type ColStats struct {
 }
 
 // ColumnStats computes the mean and population standard deviation of every
-// column.
-func (m *Dense) ColumnStats() ColStats {
-	mean := make([]float64, m.cols)
-	std := make([]float64, m.cols)
-	if m.rows == 0 {
-		return ColStats{Mean: mean, Std: std}
-	}
-	for i := 0; i < m.rows; i++ {
-		r := m.Row(i)
-		for j, v := range r {
-			mean[j] += v
-		}
-	}
-	n := float64(m.rows)
-	for j := range mean {
-		mean[j] /= n
-	}
-	for i := 0; i < m.rows; i++ {
-		r := m.Row(i)
-		for j, v := range r {
-			d := v - mean[j]
-			std[j] += d * d
-		}
-	}
-	for j := range std {
-		std[j] = math.Sqrt(std[j] / n)
-	}
-	return ColStats{Mean: mean, Std: std}
-}
+// column. Dense and Sparse share one accumulation (over nonzero cells, the
+// zero cells' variance contribution folded in per column) so the two
+// backings agree bit for bit.
+func (m *Dense) ColumnStats() ColStats { return columnStats(m) }
 
 // Standardize returns a new matrix with every column z-score standardized:
 // the column mean subtracted and the result divided by the column standard
@@ -293,13 +299,28 @@ func Scale(alpha float64, v []float64) {
 
 // PairwiseDistances returns the condensed upper-triangular Euclidean
 // distance matrix over the rows of m: the returned Condensed holds
-// d(i,j) for all i<j.
-func PairwiseDistances(m *Dense) *Condensed {
-	c := NewCondensed(m.rows)
-	for i := 0; i < m.rows; i++ {
-		ri := m.Row(i)
-		for j := i + 1; j < m.rows; j++ {
-			c.Set(i, j, math.Sqrt(SquaredEuclidean(ri, m.Row(j))))
+// d(i,j) for all i<j. The condensed layout is written sequentially in one
+// pass (row i's entries are contiguous), so no per-cell index arithmetic
+// or bounds checks are paid. For the Sparse backing each pair costs
+// O(nnz_i + nnz_j) instead of O(cols).
+func PairwiseDistances(m RowMatrix) *Condensed {
+	n := m.Rows()
+	c := NewCondensed(n)
+	pos := 0
+	if d, ok := m.(*Dense); ok { // fast path: hoist the row slice fetch
+		for i := 0; i < n; i++ {
+			ri := d.Row(i)
+			for j := i + 1; j < n; j++ {
+				c.data[pos] = math.Sqrt(SquaredEuclidean(ri, d.Row(j)))
+				pos++
+			}
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.data[pos] = math.Sqrt(m.RowSquaredEuclidean(i, j))
+			pos++
 		}
 	}
 	return c
@@ -312,10 +333,14 @@ type Condensed struct {
 	data []float64
 }
 
-// NewCondensed returns a zeroed condensed distance matrix over n items.
+// NewCondensed returns a zeroed condensed distance matrix over n items,
+// pre-sized to exactly n*(n-1)/2 entries. n = 0 and n = 1 are valid edge
+// cases (a dendrogram over one leaf has no pairs) and yield an empty
+// matrix on which At and Set always panic; negative n panics immediately
+// with a clear message.
 func NewCondensed(n int) *Condensed {
 	if n < 0 {
-		panic("matrix: negative size")
+		panic(fmt.Sprintf("matrix: condensed distance matrix size %d is negative", n))
 	}
 	return &Condensed{n: n, data: make([]float64, n*(n-1)/2)}
 }
@@ -324,6 +349,9 @@ func NewCondensed(n int) *Condensed {
 func (c *Condensed) N() int { return c.n }
 
 func (c *Condensed) index(i, j int) int {
+	if c.n < 2 {
+		panic(fmt.Sprintf("matrix: condensed matrix over %d item(s) has no pairs", c.n))
+	}
 	if i == j || i < 0 || j < 0 || i >= c.n || j >= c.n {
 		panic(fmt.Sprintf("matrix: condensed index (%d,%d) invalid for n=%d", i, j, c.n))
 	}

@@ -84,15 +84,18 @@ var ErrNoData = errors.New("ml: no training samples")
 // ErrOneClass is returned when all training labels are identical.
 var ErrOneClass = errors.New("ml: training labels contain a single class")
 
-// TrainLogistic fits a logistic-regression model on the rows of x with
-// binary labels y (0 or 1) and optional per-sample weights w (nil for all
-// ones). Sample weights let a deduplicated corpus train identically to the
-// expanded one.
+// TrainLogistic fits a logistic-regression model on the rows of x (dense
+// or CSR) with binary labels y (0 or 1) and optional per-sample weights w
+// (nil for all ones). Sample weights let a deduplicated corpus train
+// identically to the expanded one.
 //
 // The optimizer is truncated Newton: each outer step solves the Newton
 // system H·s = -∇L with Jacobi-preconditioned conjugate gradients and then
 // backtracking line search on the L2-regularized negative log-likelihood.
-func TrainLogistic(x *matrix.Dense, y, w []float64, opts TrainOptions) (*LogisticModel, error) {
+// All inner products against the data — margins, gradient scatter,
+// Hessian-vector products — go through the RowMatrix nonzero structure, so
+// a sparse training matrix costs O(nnz) per pass instead of O(rows×cols).
+func TrainLogistic(x matrix.RowMatrix, y, w []float64, opts TrainOptions) (*LogisticModel, error) {
 	opts = opts.withDefaults()
 	n, d := x.Rows(), x.Cols()
 	if n == 0 || d == 0 {
@@ -133,7 +136,7 @@ func TrainLogistic(x *matrix.Dense, y, w []float64, opts TrainOptions) (*Logisti
 	diag := make([]float64, d+1) // Jacobi preconditioner / Hessian diagonal
 
 	margin := func(th []float64, i int) float64 {
-		return th[0] + matrix.Dot(th[1:], x.Row(i))
+		return th[0] + x.RowDot(i, th[1:])
 	}
 	loss := func(th []float64) float64 {
 		var l float64
@@ -167,10 +170,18 @@ func TrainLogistic(x *matrix.Dense, y, w []float64, opts TrainOptions) (*Logisti
 			s := w[i] * p[i] * (1 - p[i])
 			grad[0] += r
 			diag[0] += s
-			row := x.Row(i)
-			for j, v := range row {
-				grad[j+1] += r * v
-				diag[j+1] += s * v * v
+			cols, vals := x.RowNonZeros(i)
+			if cols == nil {
+				for j, v := range vals {
+					grad[j+1] += r * v
+					diag[j+1] += s * v * v
+				}
+			} else {
+				for k, j := range cols {
+					v := vals[k]
+					grad[j+1] += r * v
+					diag[j+1] += s * v * v
+				}
 			}
 		}
 		for j := 1; j <= d; j++ {
@@ -188,12 +199,18 @@ func TrainLogistic(x *matrix.Dense, y, w []float64, opts TrainOptions) (*Logisti
 				out[j] = 0
 			}
 			for i := 0; i < n; i++ {
-				row := x.Row(i)
-				xv := v[0] + matrix.Dot(v[1:], row)
+				xv := v[0] + x.RowDot(i, v[1:])
 				s := w[i] * p[i] * (1 - p[i]) * xv
 				out[0] += s
-				for j, rv := range row {
-					out[j+1] += s * rv
+				cols, vals := x.RowNonZeros(i)
+				if cols == nil {
+					for j, rv := range vals {
+						out[j+1] += s * rv
+					}
+				} else {
+					for k, j := range cols {
+						out[j+1] += s * vals[k]
+					}
 				}
 			}
 			for j := 1; j <= d; j++ {
@@ -293,7 +310,7 @@ type PruneResult struct {
 // kept columns. This reproduces the paper's observation that logistic
 // regression "throws out" most biclustering features (Table VI). A
 // threshold of 0 keeps everything; typical values are 0.01–0.1.
-func Prune(x *matrix.Dense, y, w []float64, model *LogisticModel, opts TrainOptions, threshold float64) (*PruneResult, error) {
+func Prune(x matrix.RowMatrix, y, w []float64, model *LogisticModel, opts TrainOptions, threshold float64) (*PruneResult, error) {
 	if len(model.Weights) != x.Cols() {
 		return nil, fmt.Errorf("ml: model has %d weights, matrix %d columns", len(model.Weights), x.Cols())
 	}

@@ -19,15 +19,16 @@ type Heatmap struct {
 }
 
 // NewHeatmap builds the heat map model from the raw (unstandardized) count
-// matrix and its biclustering result.
-func NewHeatmap(m *matrix.Dense, res *cluster.Result) (*Heatmap, error) {
+// matrix — dense or CSR — and its biclustering result. Rendering touches
+// every cell anyway, so this is the one consumer that densifies on purpose.
+func NewHeatmap(m matrix.RowMatrix, res *cluster.Result) (*Heatmap, error) {
 	if m.Rows() != res.RowDendrogram.NLeaves {
 		return nil, fmt.Errorf("report: matrix has %d rows, dendrogram %d leaves", m.Rows(), res.RowDendrogram.NLeaves)
 	}
 	if m.Cols() != res.ColDendrogram.NLeaves {
 		return nil, fmt.Errorf("report: matrix has %d cols, dendrogram %d leaves", m.Cols(), res.ColDendrogram.NLeaves)
 	}
-	std, _ := m.Standardize()
+	std, _ := matrix.ToDense(m).Standardize()
 	return &Heatmap{
 		std:      std,
 		rowOrder: res.RowDendrogram.LeafOrder(),
