@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench smoke
+.PHONY: check vet build test race race-parallel bench smoke
 
 check: vet build test smoke
 
@@ -17,13 +17,21 @@ test:
 
 # The full race-enabled run; slower, so separate from `test` but part of CI.
 # internal/experiments regenerates every table under a ~30x race slowdown,
-# hence the long timeout.
-race:
+# hence the long timeout. The serial-vs-parallel parity tests (matrix,
+# feature, cluster, core, ids) run here too, exercising the parallel train
+# path under the race detector.
+race: race-parallel
 	$(GO) test -race -timeout 45m ./...
 
-# Sparse-vs-dense and pipeline micro benchmarks (EXPERIMENTS.md numbers).
+# Fast race pass over just the parallel kernels and their parity tests —
+# the worker pools, disjoint-slot writes, and ownership partitioning.
+race-parallel:
+	$(GO) test -race -timeout 20m -run 'Parallel' ./internal/...
+
+# Sparse-vs-dense, serial-vs-parallel train, and pipeline micro benchmarks
+# (EXPERIMENTS.md numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|DenseMatch|SparseMatch' -benchmem .
+	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|TrainParallel|DenseMatch|SparseMatch' -benchmem .
 
 # End-to-end smoke test: the quickstart example must train and classify.
 smoke:

@@ -365,6 +365,30 @@ func BenchmarkFullPipelineTrain(b *testing.B) {
 	}
 }
 
+// --- serial-vs-parallel training pairs ---------------------------------------
+//
+// The same default corpus as BenchmarkFullPipelineTrain, trained at fixed
+// worker counts. The models are bit-identical (the parity tests enforce ==),
+// so the pairs measure wall clock only; EXPERIMENTS.md records them.
+
+func benchTrainParallel(b *testing.B, workers int) {
+	b.Helper()
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(800)
+	benign := traffic.NewGenerator(2).Requests(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(attacks, benign, core.Config{Parallelism: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainParallel1(b *testing.B) { benchTrainParallel(b, 1) }
+
+func BenchmarkTrainParallel2(b *testing.B) { benchTrainParallel(b, 2) }
+
+func BenchmarkTrainParallelMax(b *testing.B) { benchTrainParallel(b, 0) }
+
 func BenchmarkPerdisciTrain(b *testing.B) {
 	train := attackgen.NewGenerator(attackgen.CrawlProfile(), 1).Requests(400)
 	b.ResetTimer()

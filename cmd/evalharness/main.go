@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"psigene/internal/experiments"
+	"psigene/internal/profiling"
 	"psigene/internal/report"
 )
 
@@ -28,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("evalharness", flag.ContinueOnError)
 	var (
 		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, all)")
@@ -39,10 +40,21 @@ func run(args []string, w io.Writer) error {
 		trainBenign  = fs.Int("train-benign", 0, "override training benign count")
 		benignTests  = fs.Int("benign-tests", 0, "override benign test count")
 		seed         = fs.Int64("seed", 0, "override RNG seed")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	scale := experiments.DefaultScale()
 	if *paperScale {

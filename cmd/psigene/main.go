@@ -29,6 +29,7 @@ import (
 	"psigene/internal/crawl"
 	"psigene/internal/httpx"
 	"psigene/internal/ids"
+	"psigene/internal/profiling"
 	"psigene/internal/traffic"
 )
 
@@ -39,10 +40,31 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
-	if len(args) == 0 {
-		return fmt.Errorf("usage: psigene <train|crawl|inspect|eval|export|tune> [flags]")
+func run(args []string, w io.Writer) (retErr error) {
+	const usage = "usage: psigene [-cpuprofile file] [-memprofile file] <train|crawl|inspect|eval|export|tune> [flags]"
+	global := flag.NewFlagSet("psigene", flag.ContinueOnError)
+	var (
+		cpuProfile = global.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = global.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	// Parsing stops at the first non-flag argument, so global flags sit
+	// before the subcommand and subcommand flags are untouched.
+	if err := global.Parse(args); err != nil {
+		return err
 	}
+	args = global.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stop(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	switch args[0] {
 	case "train":
 		return runTrain(args[1:], w)
@@ -70,6 +92,7 @@ func runTrain(args []string, w io.Writer) error {
 		portals  = fs.String("portals", "", "comma-separated portal base URLs to crawl for attacks instead of generating")
 		seed     = fs.Int64("seed", 1, "RNG seed for generated corpora")
 		out      = fs.String("out", "model.json", "output model path")
+		par      = fs.Int("parallelism", 0, "training worker count (0 = all cores, 1 = serial); the model is bit-identical either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +123,7 @@ func runTrain(args []string, w io.Writer) error {
 	benign := traffic.NewGenerator(*seed + 1).Requests(*nBenign)
 
 	fmt.Fprintf(w, "training on %d attack and %d benign samples...\n", len(attacks), len(benign))
-	model, err := core.Train(attacks, benign, core.Config{})
+	model, err := core.Train(attacks, benign, core.Config{Parallelism: *par})
 	if err != nil {
 		return err
 	}

@@ -39,13 +39,23 @@ func TestTrainInspectEvalCycle(t *testing.T) {
 		t.Fatalf("train output missing summary:\n%s", out.String())
 	}
 
+	// The global profiling flags sit before the subcommand and must leave
+	// subcommand behavior untouched while writing both profile files.
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
 	out.Reset()
-	err = run([]string{"inspect", "-model", model, "-url", "/p.php?id=1%27+or+%271%27=%271"}, &out)
+	err = run([]string{"-cpuprofile", cpu, "-memprofile", mem,
+		"inspect", "-model", model, "-url", "/p.php?id=1%27+or+%271%27=%271"}, &out)
 	if err != nil {
 		t.Fatalf("inspect: %v", err)
 	}
 	if !strings.Contains(out.String(), "ALERT") {
 		t.Fatalf("tautology should alert:\n%s", out.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", p, err)
+		}
 	}
 
 	out.Reset()

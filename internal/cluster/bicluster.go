@@ -28,6 +28,12 @@ type Options struct {
 	// to LinkageAverage (the paper's UPGMA); the alternatives exist for the
 	// linkage ablation.
 	Linkage Linkage
+	// Parallelism is the worker count for the distance kernels (pairwise
+	// row distances and standardized column distances): 0 means GOMAXPROCS,
+	// 1 forces the serial path. The parallel kernels fill disjoint regions
+	// with unchanged per-entry accumulation order, so the biclustering
+	// result is bit-identical for any value.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +129,7 @@ func Run(m matrix.RowMatrix, weights []float64, opts Options) (*Result, error) {
 	// all standardized column distances come from the algebraic expansion
 	// in matrix.StandardizedColumnDistances — the matrix is never densified.
 	st := m.ColumnStats()
-	rowDist := matrix.PairwiseDistances(m)
+	rowDist := matrix.PairwiseDistancesParallel(m, opts.Parallelism)
 	rowDend, err := Agglomerate(rowDist, weights, opts.Linkage)
 	if err != nil {
 		return nil, fmt.Errorf("row clustering: %w", err)
@@ -133,7 +139,7 @@ func Run(m matrix.RowMatrix, weights []float64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("cophenetic: %w", err)
 	}
 
-	colDend, err := columnDendrogram(m, st)
+	colDend, err := columnDendrogram(m, st, opts.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("column clustering: %w", err)
 	}
@@ -151,7 +157,7 @@ func Run(m matrix.RowMatrix, weights []float64, opts Options) (*Result, error) {
 		b.ZeroFraction = weightedZeroFraction(m, leaves, rowDend.Weights)
 		b.BlackHole = b.ZeroFraction > opts.BlackHoleZeroFrac
 		b.Features = discriminatingFeatures(m, leaves, rowDend.Weights, opts.FeatureSupport)
-		b.FeatureOrder = orderFeatures(m, st, leaves, b.Features)
+		b.FeatureOrder = orderFeatures(m, st, leaves, b.Features, opts.Parallelism)
 		res.Biclusters = append(res.Biclusters, b)
 	}
 	return res, nil
@@ -159,11 +165,11 @@ func Run(m matrix.RowMatrix, weights []float64, opts Options) (*Result, error) {
 
 // columnDendrogram clusters the standardized feature columns without
 // materializing the standardized matrix.
-func columnDendrogram(m matrix.RowMatrix, st matrix.ColStats) (*Dendrogram, error) {
+func columnDendrogram(m matrix.RowMatrix, st matrix.ColStats, workers int) (*Dendrogram, error) {
 	if m.Cols() == 1 {
 		return &Dendrogram{NLeaves: 1, Weights: []float64{1}}, nil
 	}
-	d, err := matrix.StandardizedColumnDistances(m, st, nil, nil)
+	d, err := matrix.StandardizedColumnDistancesParallel(m, st, nil, nil, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -326,11 +332,11 @@ func discriminatingFeatures(m matrix.RowMatrix, leaves []int, weights []float64,
 // within-cluster column dendrogram of the biclustering procedure. The
 // global column statistics are used, matching a standardize-then-restrict
 // pipeline, and nothing is densified.
-func orderFeatures(m matrix.RowMatrix, st matrix.ColStats, leaves, features []int) []int {
+func orderFeatures(m matrix.RowMatrix, st matrix.ColStats, leaves, features []int, workers int) []int {
 	if len(features) <= 2 {
 		return append([]int(nil), features...)
 	}
-	d, err := matrix.StandardizedColumnDistances(m, st, leaves, features)
+	d, err := matrix.StandardizedColumnDistancesParallel(m, st, leaves, features, workers)
 	if err != nil {
 		return append([]int(nil), features...)
 	}

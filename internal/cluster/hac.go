@@ -101,17 +101,24 @@ func Agglomerate(d *matrix.Condensed, weights []float64, linkage Linkage) (*Dend
 		return dend, nil
 	}
 
-	// Working distance matrix, full square for O(1) row scans. Slot i holds
-	// the current cluster occupying slot i; clusterID maps slot → linkage id.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
+	// Working distance matrix, full square for O(1) row scans, backed by a
+	// single flat allocation (n slice headers would cost n allocations and
+	// scatter the rows across the heap). Slot i holds the current cluster
+	// occupying slot i; clusterID maps slot → linkage id. The upper
+	// triangle is bulk-copied straight out of the condensed storage — row
+	// i's entries are contiguous there — so initialization pays no per-cell
+	// index arithmetic or mirrored writes; one transpose pass then fills
+	// the lower triangle, which recompute's full-row scans rely on.
+	dist := make([]float64, n*n)
+	vals := d.Values()
+	pos := 0
+	for i := 0; i < n; i++ {
+		copy(dist[i*n+i+1:(i+1)*n], vals[pos:pos+n-1-i])
+		pos += n - 1 - i
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v := d.At(i, j)
-			dist[i][j] = v
-			dist[j][i] = v
+			dist[j*n+i] = dist[i*n+j]
 		}
 	}
 	active := make([]bool, n)
@@ -130,12 +137,13 @@ func Agglomerate(d *matrix.Condensed, weights []float64, linkage Linkage) (*Dend
 	nnd := make([]float64, n)
 	recompute := func(i int) {
 		best, bestD := -1, math.Inf(1)
+		row := dist[i*n : (i+1)*n]
 		for k := 0; k < n; k++ {
 			if k == i || !active[k] {
 				continue
 			}
-			if dist[i][k] < bestD {
-				best, bestD = k, dist[i][k]
+			if row[k] < bestD {
+				best, bestD = k, row[k]
 			}
 		}
 		nni[i], nnd[i] = best, bestD
@@ -167,11 +175,14 @@ func Agglomerate(d *matrix.Condensed, weights []float64, linkage Linkage) (*Dend
 
 		si, sj := size[bi], size[bj]
 		dend.Merges = append(dend.Merges, Merge{
-			A: clusterID[bi], B: clusterID[bj], Height: dist[bi][bj], Size: si + sj,
+			A: clusterID[bi], B: clusterID[bj], Height: dist[bi*n+bj], Size: si + sj,
 		})
 
 		// Merge slot bj into slot bi with the linkage's distance update.
+		// The mirrored dist[k][bi] write is load-bearing here — recompute(k)
+		// scans row k — so only the initialization above can skip mirrors.
 		active[bj] = false
+		rowI, rowJ := dist[bi*n:(bi+1)*n], dist[bj*n:(bj+1)*n]
 		for k := 0; k < n; k++ {
 			if !active[k] || k == bi {
 				continue
@@ -179,14 +190,14 @@ func Agglomerate(d *matrix.Condensed, weights []float64, linkage Linkage) (*Dend
 			var nd float64
 			switch linkage {
 			case LinkageSingle:
-				nd = math.Min(dist[bi][k], dist[bj][k])
+				nd = math.Min(rowI[k], rowJ[k])
 			case LinkageComplete:
-				nd = math.Max(dist[bi][k], dist[bj][k])
+				nd = math.Max(rowI[k], rowJ[k])
 			default:
-				nd = (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
+				nd = (si*rowI[k] + sj*rowJ[k]) / (si + sj)
 			}
-			dist[bi][k] = nd
-			dist[k][bi] = nd
+			rowI[k] = nd
+			dist[k*n+bi] = nd
 			// The new distance may undercut k's cached candidate.
 			if nd < nnd[k] {
 				nnd[k], nni[k] = nd, bi
@@ -203,9 +214,19 @@ func Agglomerate(d *matrix.Condensed, weights []float64, linkage Linkage) (*Dend
 }
 
 // UPGMARows is a convenience wrapper: it computes pairwise Euclidean
-// distances over the rows of m (dense or CSR) and clusters them.
+// distances over the rows of m (dense or CSR) and clusters them. The
+// distance fill runs on every core; because the parallel kernel is
+// bit-identical to the serial one, so is the dendrogram.
 func UPGMARows(m matrix.RowMatrix, weights []float64) (*Dendrogram, error) {
-	return UPGMA(matrix.PairwiseDistances(m), weights)
+	return UPGMARowsParallel(m, weights, 0)
+}
+
+// UPGMARowsParallel is UPGMARows with an explicit worker count for the
+// pairwise-distance fill (0 = GOMAXPROCS, 1 = serial). The result is
+// bit-identical for any worker count; the agglomeration itself is
+// inherently sequential and stays serial.
+func UPGMARowsParallel(m matrix.RowMatrix, weights []float64, workers int) (*Dendrogram, error) {
+	return UPGMA(matrix.PairwiseDistancesParallel(m, workers), weights)
 }
 
 // node is the tree view of a dendrogram, built on demand.

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"psigene/internal/matrix"
+)
+
+// randomCountMatrix builds a seeded sample×feature count matrix with
+// paper-like sparsity for the parallel parity tests.
+func randomCountMatrix(t *testing.T, rows, cols int, seed int64) *matrix.Dense {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.MustNew(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < 0.25 {
+				m.Set(i, j, float64(1+rng.Intn(6)))
+			}
+		}
+	}
+	return m
+}
+
+// TestUPGMARowsParallelParity: the dendrogram must be identical — merge
+// for merge, height for height, with == — for any worker count, because
+// the parallel distance fill writes the exact serial values.
+func TestUPGMARowsParallelParity(t *testing.T) {
+	m := randomCountMatrix(t, 40, 12, 7)
+	weights := make([]float64, m.Rows())
+	for i := range weights {
+		weights[i] = float64(1 + i%3)
+	}
+	want, err := UPGMARowsParallel(m, weights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8, 0} {
+		got, err := UPGMARowsParallel(m, weights, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(want.Merges, got.Merges) {
+			t.Fatalf("workers=%d: merges differ from serial", w)
+		}
+	}
+	// The default wrapper routes through the parallel kernel; it must agree too.
+	def, err := UPGMARows(m, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Merges, def.Merges) {
+		t.Fatal("UPGMARows differs from serial UPGMARowsParallel")
+	}
+}
+
+// TestRunParallelismParity: the whole biclustering Result — row/column
+// dendrograms, bicluster membership, features, ordering, cophenetic
+// correlation — must be identical across Parallelism settings.
+func TestRunParallelismParity(t *testing.T) {
+	m := randomCountMatrix(t, 35, 14, 11)
+	weights := make([]float64, m.Rows())
+	for i := range weights {
+		weights[i] = float64(1 + i%4)
+	}
+	want, err := Run(m, weights, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8, 0} {
+		got, err := Run(m, weights, Options{Parallelism: w})
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", w, err)
+		}
+		if want.CopheneticCorrelation != got.CopheneticCorrelation {
+			t.Fatalf("Parallelism=%d: cophenetic %v, want %v", w, got.CopheneticCorrelation, want.CopheneticCorrelation)
+		}
+		if !reflect.DeepEqual(want.RowDendrogram.Merges, got.RowDendrogram.Merges) {
+			t.Fatalf("Parallelism=%d: row dendrogram differs", w)
+		}
+		if !reflect.DeepEqual(want.ColDendrogram.Merges, got.ColDendrogram.Merges) {
+			t.Fatalf("Parallelism=%d: column dendrogram differs", w)
+		}
+		if !reflect.DeepEqual(want.Biclusters, got.Biclusters) {
+			t.Fatalf("Parallelism=%d: biclusters differ", w)
+		}
+		if !reflect.DeepEqual(want.Unclustered, got.Unclustered) {
+			t.Fatalf("Parallelism=%d: unclustered rows differ", w)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"psigene/internal/cluster"
 	"psigene/internal/feature"
@@ -69,6 +70,15 @@ type Config struct {
 	// signatures — the parity tests train both ways and compare — so this
 	// exists for verification, not tuning.
 	DenseBacking bool
+	// Parallelism is the worker count for the training pipeline: feature
+	// extraction, the distance kernels inside biclustering, and the
+	// per-bicluster logistic regressions. 0 means GOMAXPROCS, 1 forces the
+	// serial path. Every parallel stage partitions work into disjoint
+	// output regions with unchanged per-entry float accumulation order, so
+	// models trained at any Parallelism are bit-identical — the parity
+	// tests compare them with ==. Cluster.Parallelism, when left zero,
+	// inherits this value.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -239,9 +249,9 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 	// dense reference path, which must produce bit-identical signatures.
 	var full matrix.RowMatrix
 	if cfg.DenseBacking {
-		full, err = ex.Matrix(uniq)
+		full, err = ex.MatrixParallel(uniq, cfg.Parallelism)
 	} else {
-		full, err = ex.SparseMatrix(uniq)
+		full, err = ex.SparseMatrixParallel(uniq, cfg.Parallelism)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("feature matrix: %w", err)
@@ -286,7 +296,14 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 		}
 		clusterRows, clusterWeights = sub, subW
 	}
-	bic, err := cluster.Run(clusterRows, clusterWeights, cfg.Cluster)
+	// The biclustering distance kernels inherit the pipeline knob unless
+	// the caller pinned their own worker count (both are bit-identical at
+	// any setting, so this only affects wall clock).
+	clOpts := cfg.Cluster
+	if clOpts.Parallelism == 0 {
+		clOpts.Parallelism = cfg.Parallelism
+	}
+	bic, err := cluster.Run(clusterRows, clusterWeights, clOpts)
 	if err != nil {
 		return nil, fmt.Errorf("biclustering: %w", err)
 	}
@@ -304,9 +321,9 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 	benignUniq, benignW := feature.Dedupe(normBenign)
 	var benignMat matrix.RowMatrix
 	if cfg.DenseBacking {
-		benignMat, err = obsEx.Matrix(benignUniq)
+		benignMat, err = obsEx.MatrixParallel(benignUniq, cfg.Parallelism)
 	} else {
-		benignMat, err = obsEx.SparseMatrix(benignUniq)
+		benignMat, err = obsEx.SparseMatrixParallel(benignUniq, cfg.Parallelism)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("benign matrix: %w", err)
@@ -339,17 +356,60 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 		extra:         make(map[int][]extraSample),
 	}
 
-	for _, b := range bic.ActiveBiclusters() {
-		sig, err := trainSignature(observed, weights, benignMat, benignW, b, nil, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("signature %d: %w", b.ID, err)
-		}
-		m.Signatures = append(m.Signatures, sig)
+	sigs, err := trainSignatures(observed, weights, benignMat, benignW, bic.ActiveBiclusters(), cfg)
+	if err != nil {
+		return nil, err
 	}
+	m.Signatures = sigs
 	if len(m.Signatures) == 0 {
 		return nil, errors.New("core: biclustering produced no active clusters")
 	}
 	return m, nil
+}
+
+// trainSignatures fits one logistic signature per active bicluster,
+// concurrently when cfg.Parallelism allows. Each bicluster's problem is
+// independent — trainSignature only reads the shared matrices — and every
+// result lands in its bicluster's preassigned slot, so signature order
+// and every trained coefficient are identical to the serial loop. Errors
+// are reported for the lowest bicluster index that failed, matching the
+// serial loop's first-error semantics.
+func trainSignatures(observed matrix.RowMatrix, weights []float64, benignMat matrix.RowMatrix, benignW []float64, active []cluster.Bicluster, cfg Config) ([]*Signature, error) {
+	workers := matrix.ResolveWorkers(cfg.Parallelism, len(active))
+	sigs := make([]*Signature, len(active))
+	if workers <= 1 {
+		for i, b := range active {
+			sig, err := trainSignature(observed, weights, benignMat, benignW, b, nil, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("signature %d: %w", b.ID, err)
+			}
+			sigs[i] = sig
+		}
+		return sigs, nil
+	}
+	errs := make([]error, len(active))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				sigs[i], errs[i] = trainSignature(observed, weights, benignMat, benignW, active[i], nil, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("signature %d: %w", active[i].ID, err)
+		}
+	}
+	return sigs, nil
 }
 
 // trainSignature fits the bicluster's logistic model: bicluster samples

@@ -4,8 +4,56 @@ import (
 	"testing"
 
 	"psigene/internal/attackgen"
+	"psigene/internal/httpx"
 	"psigene/internal/traffic"
 )
+
+// requireIdenticalModels demands bit-identical trained models: same stats,
+// same signature metadata, features, bias and weights, compared with ==
+// rather than a tolerance. It then replays probe traffic through both and
+// demands identical probabilities verdict for verdict. Shared by the
+// sparse-vs-dense and serial-vs-parallel parity tests, which uphold the
+// same exactness discipline.
+func requireIdenticalModels(t *testing.T, label string, want, got *Model, probes []httpx.Request) {
+	t.Helper()
+	if len(want.Signatures) != len(got.Signatures) {
+		t.Fatalf("%s: signature counts differ: want %d, got %d", label, len(want.Signatures), len(got.Signatures))
+	}
+	if want.Stats != got.Stats {
+		t.Fatalf("%s: training stats differ:\nwant %+v\ngot  %+v", label, want.Stats, got.Stats)
+	}
+	for i, ws := range want.Signatures {
+		gs := got.Signatures[i]
+		if ws.ID != gs.ID || ws.SampleWeight != gs.SampleWeight || ws.BiclusterFeatures != gs.BiclusterFeatures {
+			t.Fatalf("%s: signature %d metadata differs: want %+v, got %+v", label, i, ws, gs)
+		}
+		if len(ws.Features) != len(gs.Features) {
+			t.Fatalf("%s: signature %d: feature counts differ (want %d, got %d)", label, ws.ID, len(ws.Features), len(gs.Features))
+		}
+		for k := range ws.Features {
+			if ws.Features[k] != gs.Features[k] {
+				t.Fatalf("%s: signature %d: feature %d differs (want %d, got %d)", label, ws.ID, k, ws.Features[k], gs.Features[k])
+			}
+		}
+		if ws.Model.Bias != gs.Model.Bias {
+			t.Fatalf("%s: signature %d: bias differs (want %v, got %v)", label, ws.ID, ws.Model.Bias, gs.Model.Bias)
+		}
+		for k := range ws.Model.Weights {
+			if ws.Model.Weights[k] != gs.Model.Weights[k] {
+				t.Fatalf("%s: signature %d: weight %d differs (want %v, got %v)", label, ws.ID, k, ws.Model.Weights[k], gs.Model.Weights[k])
+			}
+		}
+	}
+	for _, req := range probes {
+		wp := want.Probabilities(req)
+		gp := got.Probabilities(req)
+		for i := range wp {
+			if wp[i] != gp[i] {
+				t.Fatalf("%s: probability differs on %q: want %v, got %v", label, req.Payload(), wp[i], gp[i])
+			}
+		}
+	}
+}
 
 // TestTrainBackingParity trains the full pipeline twice on the same corpus —
 // once on the default CSR backing, once on the dense reference — and demands
@@ -26,49 +74,12 @@ func TestTrainBackingParity(t *testing.T) {
 		t.Fatalf("dense Train: %v", err)
 	}
 
-	if len(sparse.Signatures) != len(dense.Signatures) {
-		t.Fatalf("signature counts differ: sparse %d, dense %d", len(sparse.Signatures), len(dense.Signatures))
-	}
-	if sparse.Stats != dense.Stats {
-		t.Fatalf("training stats differ:\nsparse %+v\ndense  %+v", sparse.Stats, dense.Stats)
-	}
-	for i, ss := range sparse.Signatures {
-		ds := dense.Signatures[i]
-		if ss.ID != ds.ID || ss.SampleWeight != ds.SampleWeight || ss.BiclusterFeatures != ds.BiclusterFeatures {
-			t.Fatalf("signature %d metadata differs: sparse %+v, dense %+v", i, ss, ds)
-		}
-		if len(ss.Features) != len(ds.Features) {
-			t.Fatalf("signature %d: feature counts differ (sparse %d, dense %d)", ss.ID, len(ss.Features), len(ds.Features))
-		}
-		for k := range ss.Features {
-			if ss.Features[k] != ds.Features[k] {
-				t.Fatalf("signature %d: feature %d differs (sparse %d, dense %d)", ss.ID, k, ss.Features[k], ds.Features[k])
-			}
-		}
-		if ss.Model.Bias != ds.Model.Bias {
-			t.Fatalf("signature %d: bias differs (sparse %v, dense %v)", ss.ID, ss.Model.Bias, ds.Model.Bias)
-		}
-		for k := range ss.Model.Weights {
-			if ss.Model.Weights[k] != ds.Model.Weights[k] {
-				t.Fatalf("signature %d: weight %d differs (sparse %v, dense %v)", ss.ID, k, ss.Model.Weights[k], ds.Model.Weights[k])
-			}
-		}
-	}
-
 	// The two models must also agree verdict for verdict at serve time.
 	probes := append(
 		attackgen.NewGenerator(attackgen.SQLMapProfile(), 13).Requests(150),
 		traffic.NewGenerator(14).Requests(300)...,
 	)
-	for _, req := range probes {
-		sp := sparse.Probabilities(req)
-		dp := dense.Probabilities(req)
-		for i := range sp {
-			if sp[i] != dp[i] {
-				t.Fatalf("probability differs on %q: sparse %v, dense %v", req.Payload(), sp[i], dp[i])
-			}
-		}
-	}
+	requireIdenticalModels(t, "sparse-vs-dense", sparse, dense, probes)
 }
 
 // TestSparseScoringMatchesDenseScoring pins the serving hot path (sparse

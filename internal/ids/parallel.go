@@ -17,6 +17,9 @@ func ParallelEvaluate(d Detector, reqs []httpx.Request, workers int) EvalResult 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Guard against len(reqs) < workers: a ceil-sized chunking would hand
+	// the first shards everything and leave trailing workers with empty —
+	// or out-of-range — shards, so clamp first and then split balanced.
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
@@ -26,16 +29,11 @@ func ParallelEvaluate(d Detector, reqs []httpx.Request, workers int) EvalResult 
 
 	results := make([]EvalResult, workers)
 	var wg sync.WaitGroup
-	chunk := (len(reqs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(reqs) {
-			hi = len(reqs)
-		}
-		if lo >= hi {
-			continue
-		}
+		// Balanced split: shard w covers [w*n/workers, (w+1)*n/workers),
+		// which is never empty once workers <= len(reqs).
+		lo := w * len(reqs) / workers
+		hi := (w + 1) * len(reqs) / workers
 		wg.Add(1)
 		go func(slot int, part []httpx.Request) {
 			defer wg.Done()

@@ -31,6 +31,25 @@ func TestParallelEvaluateMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelEvaluateFewerRequestsThanWorkers pins the empty-shard guard:
+// with len(reqs) < workers the worker count clamps to the request count and
+// the balanced split leaves no shard empty, so the merged counts still
+// match the serial evaluation exactly.
+func TestParallelEvaluateFewerRequestsThanWorkers(t *testing.T) {
+	e := mustEngine(t, ruleset.Snort(), Options{})
+	all := mixedWorkload(10)
+	for _, n := range []int{1, 2, 3, 5} {
+		reqs := all[:n]
+		seq := Evaluate(e, reqs)
+		for _, workers := range []int{4, 8, 1000} {
+			par := ParallelEvaluate(e, reqs, workers)
+			if par != seq {
+				t.Fatalf("n=%d workers=%d: %+v != sequential %+v", n, workers, par, seq)
+			}
+		}
+	}
+}
+
 func TestParallelEvaluateEmpty(t *testing.T) {
 	e := mustEngine(t, ruleset.Bro(), Options{})
 	r := ParallelEvaluate(e, nil, 4)
@@ -46,20 +65,26 @@ func TestParallelEvaluateRace(t *testing.T) {
 	ParallelEvaluate(e, reqs, runtime.GOMAXPROCS(0)*2)
 }
 
+// BenchmarkParallelEvaluate pairs the serial Evaluate baseline against
+// ParallelEvaluate at several worker counts on the same workload.
 func BenchmarkParallelEvaluate(b *testing.B) {
 	e, err := NewRuleEngine(ruleset.ModSecCRS(), Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	reqs := mixedWorkload(2000)
-	for _, workers := range []int{1, 4} {
-		name := "workers1"
-		if workers == 4 {
-			name = "workers4"
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Evaluate(e, reqs)
 		}
-		b.Run(name, func(b *testing.B) {
+	})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers1", 1}, {"workers4", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ParallelEvaluate(e, reqs, workers)
+				ParallelEvaluate(e, reqs, bc.workers)
 			}
 		})
 	}

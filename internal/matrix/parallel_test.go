@@ -1,0 +1,154 @@
+package matrix
+
+import (
+	"testing"
+)
+
+// fixedWorkerCounts covers the serial path (1), a small pool (2), more
+// workers than most generated cases have rows (8), and the GOMAXPROCS
+// default (0).
+var fixedWorkerCounts = []int{1, 2, 8, 0}
+
+func TestTriangleSplitCoversAllRows(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for parts := 1; parts <= 9; parts++ {
+			bounds := triangleSplit(n, parts)
+			if len(bounds) != parts+1 {
+				t.Fatalf("triangleSplit(%d, %d): %d bounds, want %d", n, parts, len(bounds), parts+1)
+			}
+			if bounds[0] != 0 || bounds[parts] != n {
+				t.Fatalf("triangleSplit(%d, %d) = %v: want 0..%d", n, parts, bounds, n)
+			}
+			for g := 0; g < parts; g++ {
+				if bounds[g] > bounds[g+1] {
+					t.Fatalf("triangleSplit(%d, %d) = %v: decreasing bounds", n, parts, bounds)
+				}
+			}
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(4, 100); got != 4 {
+		t.Errorf("ResolveWorkers(4, 100) = %d, want 4", got)
+	}
+	if got := ResolveWorkers(16, 3); got != 3 {
+		t.Errorf("ResolveWorkers(16, 3) = %d, want 3", got)
+	}
+	if got := ResolveWorkers(0, 0); got != 1 {
+		t.Errorf("ResolveWorkers(0, 0) = %d, want 1", got)
+	}
+	if got := ResolveWorkers(0, 1000); got < 1 {
+		t.Errorf("ResolveWorkers(0, 1000) = %d, want >= 1", got)
+	}
+}
+
+// TestParallelPairwiseDistancesParity demands == equality between the
+// serial and parallel condensed fills for both backings: the workers
+// compute the exact same expression per entry into disjoint regions, so
+// there is no tolerance to grant.
+func TestParallelPairwiseDistancesParity(t *testing.T) {
+	quickCheck(t, func(c parityCase) bool {
+		for _, m := range []RowMatrix{c.dense, c.sparse} {
+			want := PairwiseDistances(m)
+			for _, w := range fixedWorkerCounts {
+				got := PairwiseDistancesParallel(m, w)
+				if !condensedEqual(want, got) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TestParallelPairwiseDistancesRandomWorkers is the testing/quick property
+// over random worker counts the issue asks for.
+func TestParallelPairwiseDistancesRandomWorkers(t *testing.T) {
+	quickCheck(t, func(c parityCase, workers uint8) bool {
+		w := int(workers%16) + 1
+		return condensedEqual(PairwiseDistances(c.sparse), PairwiseDistancesParallel(c.sparse, w))
+	})
+}
+
+// TestParallelStandardizedColumnDistancesParity checks the ownership-
+// partitioned accumulation against the serial pass with ==, across both
+// backings, full and restricted row/column selections.
+func TestParallelStandardizedColumnDistancesParity(t *testing.T) {
+	quickCheck(t, func(c parityCase) bool {
+		st := c.dense.ColumnStats()
+		rowIdx := c.randIdx(c.dense.Rows())
+		colIdx := c.randIdx(c.dense.Cols())
+		for _, m := range []RowMatrix{c.dense, c.sparse} {
+			for _, sel := range []struct{ rows, cols []int }{
+				{nil, nil},
+				{rowIdx, colIdx},
+				{rowIdx, nil},
+				{nil, colIdx},
+			} {
+				want, werr := StandardizedColumnDistances(m, st, sel.rows, sel.cols)
+				for _, w := range fixedWorkerCounts {
+					got, gerr := StandardizedColumnDistancesParallel(m, st, sel.rows, sel.cols, w)
+					if (werr == nil) != (gerr == nil) {
+						return false
+					}
+					if werr != nil {
+						continue
+					}
+					if !condensedEqual(want, got) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestParallelStandardizedColumnDistancesRandomWorkers(t *testing.T) {
+	quickCheck(t, func(c parityCase, workers uint8) bool {
+		w := int(workers%16) + 1
+		st := c.sparse.ColumnStats()
+		want, werr := StandardizedColumnDistances(c.sparse, st, nil, nil)
+		got, gerr := StandardizedColumnDistancesParallel(c.sparse, st, nil, nil, w)
+		if (werr == nil) != (gerr == nil) {
+			return false
+		}
+		if werr != nil {
+			return true
+		}
+		return condensedEqual(want, got)
+	})
+}
+
+// TestParallelStandardizedColumnDistancesErrors pins the parallel path to
+// the serial error contract: bad stats, bad columns, and bad rows must be
+// reported the same way regardless of worker count.
+func TestParallelStandardizedColumnDistancesErrors(t *testing.T) {
+	d := MustNew(4, 3)
+	st := d.ColumnStats()
+	for _, w := range []int{2, 8} {
+		if _, err := StandardizedColumnDistancesParallel(d, ColStats{}, nil, nil, w); err == nil {
+			t.Errorf("workers=%d: want error for mismatched stats", w)
+		}
+		if _, err := StandardizedColumnDistancesParallel(d, st, nil, []int{0, 7}, w); err == nil {
+			t.Errorf("workers=%d: want error for out-of-range column", w)
+		}
+		if _, err := StandardizedColumnDistancesParallel(d, st, []int{0, 9}, nil, w); err == nil {
+			t.Errorf("workers=%d: want error for out-of-range row", w)
+		}
+	}
+}
+
+func condensedEqual(a, b *Condensed) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	av, bv := a.Values(), b.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+// Package profiling wires runtime/pprof CPU and heap profiles into the
+// command-line tools, so perf work can attach pprof evidence without each
+// command reimplementing the start/stop/flush dance.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths:
+// a CPU profile streamed to cpuPath for the life of the run, and a heap
+// profile snapshotted to memPath when the returned stop function is
+// called. Either path may be empty to skip that profile. stop is never
+// nil and must be called exactly once — typically deferred — and returns
+// the first error hit while flushing.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() error { return nil }, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	stop = func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("mem profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}
