@@ -2,12 +2,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-parallel bench smoke
+.PHONY: check vet fmt lint build test race race-parallel bench smoke
 
-check: vet build test smoke
+check: vet fmt build lint test smoke
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: fails listing the offending files, fixes nothing.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The repository analyzer suite (code invariants + catalog flaws); exits
+# nonzero on any unsuppressed finding. See DESIGN.md "Analysis".
+lint:
+	$(GO) run ./cmd/psigenelint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psigene/internal/analysis"
+)
+
+// TestFixtureGolden runs the suite over the fixture module, which holds
+// one deliberate violation per code analyzer plus one suppressed
+// violation, and compares the report to the golden file. The suppressed
+// os.Remove in errs.Quiet must NOT appear — its absence from the golden
+// output is the suppression test.
+func TestFixtureGolden(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{"./..."}, filepath.Join("testdata", "src"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("report differs from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if n != 7 {
+		t.Errorf("run returned %d findings, want 7 (one per code analyzer)", n)
+	}
+}
+
+// TestFixtureJSON exercises -json and -checks together: only the two
+// error-discipline findings survive the filter, as valid JSON.
+func TestFixtureJSON(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{"-json", "-checks", "errcheck,errwrap", "./..."}, filepath.Join("testdata", "src"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("filtered run returned %d findings, want 2", n)
+	}
+	var ds []analysis.Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &ds); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, d := range ds {
+		if d.Check != "errcheck" && d.Check != "errwrap" {
+			t.Errorf("-checks let through %q: %s", d.Check, d)
+		}
+	}
+}
+
+// TestCleanTree runs the full suite — code analyzers plus the
+// corpus-driven catalog checks at their default size and seed — over the
+// real repository and requires a clean report: every known flaw must be
+// fixed or carry a lint:ignore with a reason.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module and extracts the probe corpus")
+	}
+	var buf bytes.Buffer
+	n, err := run([]string{"./..."}, filepath.Join("..", ".."), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("repository is not lint-clean (%d findings):\n%s", n, buf.String())
+	}
+}
+
+// TestScopedRun checks package selection: a run scoped away from
+// internal/feature must skip the catalog checks and report nothing on a
+// clean package.
+func TestScopedRun(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{"./errs"}, filepath.Join("testdata", "src"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scoped run returned %d findings, want 2", n)
+	}
+	if strings.Contains(buf.String(), "matrix.go") {
+		t.Errorf("scoped run leaked findings from unselected packages:\n%s", buf.String())
+	}
+}

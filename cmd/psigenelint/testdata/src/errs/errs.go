@@ -1,0 +1,25 @@
+// Package errs is a fixture for the error-discipline analyzers.
+package errs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Cleanup discards the error from os.Remove (errcheck).
+func Cleanup(path string) {
+	os.Remove(path)
+}
+
+// Describe flattens err out of the chain with %v (errwrap).
+func Describe(err error) error {
+	return fmt.Errorf("describe: %v", err)
+}
+
+// Quiet also discards an error, but the suppression directive keeps it
+// out of the report — the golden test proves lint:ignore works by the
+// absence of a finding on this line.
+func Quiet(path string) {
+	//lint:ignore errcheck fixture demonstrating suppression
+	os.Remove(path)
+}

@@ -1,0 +1,30 @@
+// Package matrix is a fixture kernel package: its import-path suffix
+// matches the analyzer's kernel list, so the determinism checks apply.
+// Every function below carries exactly one deliberate violation.
+package matrix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SumWeights accumulates floats out of a map range — iteration order is
+// random, so the sum's bits vary run to run (maporder).
+func SumWeights(ws map[string]float64) float64 {
+	var sum float64
+	for _, w := range ws {
+		sum += w
+	}
+	return sum
+}
+
+// Stamp reads the wall clock inside a kernel (walltime).
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Noise draws from math/rand inside a kernel; the import itself is the
+// violation (randsource).
+func Noise() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,25 @@
+// Package pool is a fixture worker pool; the *parallel*.go file name
+// opts this file into the parallel-hygiene analyzers.
+package pool
+
+import "sync"
+
+// Total fans out over parts and accumulates into captured shared state:
+// the goroutine's direct use of the loop variable is flagged
+// (loopcapture) and the non-indexed write to total is flagged
+// (sharedwrite).
+func Total(parts [][]float64) float64 {
+	var total float64
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range part {
+				total += v
+			}
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,222 @@
+// Package analysis implements psigenelint: a stdlib-only analyzer suite
+// (go/ast, go/parser, go/token, go/types) enforcing this repository's
+// hand-written invariants by machine.
+//
+// Two analyzer families:
+//
+//   - Code analyzers walk the module's own source: determinism in the
+//     kernel packages (no map-iteration feeding float accumulation, no
+//     wall-clock or math/rand — ordering nondeterminism would break the
+//     bit-identical parallel-training guarantee), parallel hygiene in
+//     *parallel*.go files (goroutines may write shared state only through
+//     preassigned index slots), and error discipline everywhere (no
+//     discarded error returns, fmt.Errorf wrapping uses %w).
+//
+//   - Catalog analyzers load the compiled feature catalog and trained
+//     signatures and report the signature-set flaws of Agarwal & Hussain
+//     ("Identification of Flaws in the Design of Signatures for Intrusion
+//     Detection Systems"): duplicate and corpus-subsumed patterns,
+//     never-matching features, redundant case-insensitive character
+//     classes, and dead signatures whose weights zero out every feature.
+//
+// Any diagnostic can be suppressed in source with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the flagged line or the line above it, or file-wide with
+// //lint:file-ignore <check> <reason>.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a named check, a position, and a message.
+type Diagnostic struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+// String renders the diagnostic in file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	pos := d.Pos.String()
+	if d.Pos.Filename == "" && !d.Pos.IsValid() {
+		pos = "-"
+	}
+	return fmt.Sprintf("%s: %s: %s", pos, d.Check, d.Message)
+}
+
+// SortDiagnostics orders findings by file, line, column, then check name.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// CodeAnalyzer is one source-walking check over a type-checked package.
+type CodeAnalyzer struct {
+	// Name is the check identifier used in output and lint:ignore comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the findings for one package.
+	Run func(prog *Program, pkg *Package) []Diagnostic
+}
+
+// CodeAnalyzers returns the full code-analyzer suite with the default
+// kernel-package set.
+func CodeAnalyzers() []*CodeAnalyzer {
+	return []*CodeAnalyzer{
+		MapOrderAnalyzer(DefaultKernelPackages),
+		WallTimeAnalyzer(DefaultKernelPackages),
+		RandSourceAnalyzer(DefaultKernelPackages),
+		SharedWriteAnalyzer(),
+		LoopCaptureAnalyzer(),
+		ErrCheckAnalyzer(),
+		ErrWrapAnalyzer(),
+	}
+}
+
+// RunCode applies the analyzers to the given packages, drops suppressed
+// findings, and returns the rest sorted by position.
+func (prog *Program) RunCode(pkgs []*Package, analyzers []*CodeAnalyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Run(prog, pkg) {
+				if !prog.Suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// Filter keeps only diagnostics whose check name is in the allow set; an
+// empty set keeps everything.
+func Filter(ds []Diagnostic, checks map[string]bool) []Diagnostic {
+	if len(checks) == 0 {
+		return ds
+	}
+	out := ds[:0]
+	for _, d := range ds {
+		if checks[d.Check] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressionIndex records every lint:ignore directive found while
+// parsing, keyed by file and line.
+type suppressionIndex struct {
+	// byLine maps file -> line -> set of suppressed check names. A
+	// directive on line L covers diagnostics on L (end-of-line comment)
+	// and L+1 (comment on its own line above the flagged statement).
+	byLine map[string]map[int]map[string]bool
+	// byFile maps file -> checks suppressed for the whole file.
+	byFile map[string]map[string]bool
+}
+
+const (
+	ignorePrefix     = "lint:ignore "
+	fileIgnorePrefix = "lint:file-ignore "
+)
+
+func buildSuppressionIndex(fset *token.FileSet, pkgs []*Package) *suppressionIndex {
+	idx := &suppressionIndex{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx.addComment(fset.Position(c.Pos()), c.Text)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *suppressionIndex) addComment(pos token.Position, text string) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(strings.TrimSuffix(text, "*/"), "/*")
+	text = strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(text, ignorePrefix):
+		check, reason := splitDirective(text[len(ignorePrefix):])
+		if check == "" || reason == "" {
+			return // a reason is mandatory; a bare ignore suppresses nothing
+		}
+		lines := idx.byLine[pos.Filename]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			idx.byLine[pos.Filename] = lines
+		}
+		if lines[pos.Line] == nil {
+			lines[pos.Line] = make(map[string]bool)
+		}
+		lines[pos.Line][check] = true
+	case strings.HasPrefix(text, fileIgnorePrefix):
+		check, reason := splitDirective(text[len(fileIgnorePrefix):])
+		if check == "" || reason == "" {
+			return
+		}
+		if idx.byFile[pos.Filename] == nil {
+			idx.byFile[pos.Filename] = make(map[string]bool)
+		}
+		idx.byFile[pos.Filename][check] = true
+	}
+}
+
+func splitDirective(s string) (check, reason string) {
+	s = strings.TrimSpace(s)
+	check, reason, _ = strings.Cut(s, " ")
+	return check, strings.TrimSpace(reason)
+}
+
+// Suppressed reports whether a lint:ignore directive covers the
+// diagnostic: same check name on the diagnostic's line, the line directly
+// above it, or a file-wide directive.
+func (prog *Program) Suppressed(d Diagnostic) bool {
+	if prog.suppression == nil || d.Pos.Filename == "" {
+		return false
+	}
+	if prog.suppression.byFile[d.Pos.Filename][d.Check] {
+		return true
+	}
+	lines := prog.suppression.byLine[d.Pos.Filename]
+	return lines[d.Pos.Line][d.Check] || lines[d.Pos.Line-1][d.Check]
+}
+
+// diag builds a Diagnostic at a token.Pos.
+func (prog *Program) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Check: check, Pos: prog.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}
+
+// inspectFiles runs fn over every node of every file in the package.
+func inspectFiles(pkg *Package, fn func(f *ast.File, n ast.Node) bool) {
+	for _, f := range pkg.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool { return fn(file, n) })
+	}
+}

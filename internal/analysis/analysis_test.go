@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressionSrc = `package p
+
+//lint:file-ignore nevermatch the whole file opts out with a reason
+
+func f() {
+	_ = 1 //lint:ignore errcheck same-line directive with a reason
+	//lint:ignore errwrap directive above the flagged line
+	_ = 2
+	//lint:ignore maporder
+	_ = 3
+}
+`
+
+func progWithFile(t *testing.T, src string) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p/p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Name: "p", Files: []*ast.File{f}}
+	return &Program{Fset: fset, Pkgs: []*Package{pkg}, suppression: buildSuppressionIndex(fset, []*Package{pkg})}
+}
+
+func TestSuppression(t *testing.T) {
+	prog := progWithFile(t, suppressionSrc)
+	at := func(check string, line int) Diagnostic {
+		return Diagnostic{Check: check, Pos: token.Position{Filename: "p/p.go", Line: line}}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{at("errcheck", 6), true},   // same-line directive
+		{at("errwrap", 8), true},    // directive on the line above
+		{at("errwrap", 9), false},   // one line too far
+		{at("errcheck", 8), false},  // different check than the directive names
+		{at("maporder", 10), false}, // bare directive without a reason suppresses nothing
+		{at("nevermatch", 6), true}, // file-wide directive
+		{at("nevermatch", 99), true},
+		{Diagnostic{Check: "nevermatch", Pos: token.Position{Filename: "q/q.go", Line: 6}}, false},
+	}
+	for _, c := range cases {
+		if got := prog.Suppressed(c.d); got != c.want {
+			t.Errorf("Suppressed(%s at %s:%d) = %v, want %v", c.d.Check, c.d.Pos.Filename, c.d.Pos.Line, got, c.want)
+		}
+	}
+}
+
+func TestLhsRoot(t *testing.T) {
+	cases := []struct {
+		expr    string
+		root    string
+		indexed bool
+	}{
+		{`s`, "s", false},
+		{`s[i]`, "s", true},
+		{`c.data[pos]`, "c", true},
+		{`c.field`, "c", false},
+		{`(*p)`, "p", false},
+		{`m[k].f`, "m", true},
+		{`f()`, "", false},
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, indexed := lhsRoot(e)
+		name := ""
+		if root != nil {
+			name = root.Name
+		}
+		if name != c.root || indexed != c.indexed {
+			t.Errorf("lhsRoot(%s) = (%q, %v), want (%q, %v)", c.expr, name, indexed, c.root, c.indexed)
+		}
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pat, dir string
+		want     bool
+	}{
+		{"./...", "internal/feature", true},
+		{"./...", ".", true},
+		{"./internal/...", "internal/feature", true},
+		{"./internal/...", "internal", true},
+		{"./internal/...", "cmd/psigene", false},
+		{"./internal/feature", "internal/feature", true},
+		{"./internal/feature", "internal/featurex", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pat, c.dir); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pat, c.dir, got, c.want)
+		}
+	}
+}
+
+func TestSortAndFilterDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{Check: "b", Pos: token.Position{Filename: "z.go", Line: 1}},
+		{Check: "a", Pos: token.Position{Filename: "a.go", Line: 9}},
+		{Check: "a", Pos: token.Position{Filename: "a.go", Line: 2}},
+	}
+	SortDiagnostics(ds)
+	if ds[0].Pos.Line != 2 || ds[1].Pos.Line != 9 || ds[2].Pos.Filename != "z.go" {
+		t.Errorf("sort order wrong: %v", ds)
+	}
+	if got := Filter(ds, nil); len(got) != 3 {
+		t.Errorf("empty filter dropped findings: %v", got)
+	}
+	// Filter reuses the backing array, so this is the last use of ds.
+	kept := Filter(ds, map[string]bool{"b": true})
+	if len(kept) != 1 || kept[0].Check != "b" {
+		t.Errorf("filter kept %v", kept)
+	}
+}

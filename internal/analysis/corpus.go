@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"psigene/internal/attackgen"
+	"psigene/internal/normalize"
+)
+
+// DefaultProbeSamples is the per-profile sample count of the default
+// probe corpus. The corpus-driven catalog checks (nevermatch, subsumed)
+// are statements about this corpus, so the size is part of the check's
+// contract: `make lint`, the golden tests and the lint:ignore
+// annotations in catalog.go all assume the default.
+const DefaultProbeSamples = 1000
+
+// DefaultProbeSeed seeds the generators; attackgen is deterministic given
+// the seed, which keeps lint output identical run to run.
+const DefaultProbeSeed = 42
+
+// ProbeCorpus synthesizes the catalog analyzers' test corpus: perProfile
+// samples from each attackgen tool profile (the crawl corpus plus the
+// SQLmap/Arachni/Vega test generators), normalized exactly as the
+// pipeline normalizes training samples.
+func ProbeCorpus(perProfile int, seed int64) []string {
+	profiles := []attackgen.Profile{
+		attackgen.CrawlProfile(),
+		attackgen.SQLMapProfile(),
+		attackgen.ArachniProfile(),
+		attackgen.VegaProfile(),
+	}
+	out := make([]string, 0, perProfile*len(profiles))
+	for _, p := range profiles {
+		g := attackgen.NewGenerator(p, seed)
+		for _, r := range g.Requests(perProfile) {
+			out = append(out, normalize.Normalize(r.Payload()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// errorType is the built-in error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType) && !types.Identical(t, types.Typ[types.UntypedNil])
+}
+
+// resultHasError reports whether a call's result includes an error value.
+func resultHasError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// calleeFunc resolves the called function object, or nil for indirect
+// calls and conversions.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// errCheckExempt lists callees whose discarded errors are accepted
+// policy: printing (the error belongs to the writer's owner, and the CLIs
+// write to stdout) and the never-failing in-memory writers.
+func errCheckExempt(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	name := fn.FullName()
+	if strings.HasPrefix(name, "fmt.Print") || strings.HasPrefix(name, "fmt.Fprint") {
+		return true
+	}
+	return strings.HasPrefix(name, "(*strings.Builder).") ||
+		strings.HasPrefix(name, "(*bytes.Buffer).")
+}
+
+// ErrCheckAnalyzer flags call statements that discard an error result
+// (check "errcheck"): a dropped error is a silently ignored failure.
+// Deferred calls are exempt (the convention for best-effort cleanup), as
+// are explicit `_ =` discards, which at least make the decision visible.
+func ErrCheckAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "errcheck",
+		Doc:  "no discarded error returns",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			flag := func(call *ast.CallExpr) {
+				if !resultHasError(pkg, call) {
+					return
+				}
+				fn := calleeFunc(pkg, call)
+				if errCheckExempt(fn) {
+					return
+				}
+				name := "call"
+				if fn != nil {
+					name = fn.FullName()
+				}
+				out = append(out, prog.diag("errcheck", call.Pos(),
+					"result of %s includes an error that is discarded", name))
+			}
+			inspectFiles(pkg, func(f *ast.File, n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						flag(call)
+					}
+				case *ast.GoStmt:
+					flag(st.Call)
+				}
+				return true
+			})
+			return out
+		},
+	}
+}
+
+// ErrWrapAnalyzer flags fmt.Errorf calls that format an error argument
+// without a %w verb (check "errwrap"): %v flattens the chain, so
+// errors.Is/As on the result stop working.
+func ErrWrapAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "errwrap",
+		Doc:  "fmt.Errorf must wrap error arguments with %w",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			inspectFiles(pkg, func(f *ast.File, n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.FullName() != "fmt.Errorf" {
+					return true
+				}
+				format, ok := constantString(pkg, call.Args[0])
+				if !ok || strings.Contains(format, "%w") {
+					return true
+				}
+				for _, arg := range call.Args[1:] {
+					tv, ok := pkg.Info.Types[arg]
+					if ok && tv.Type != nil && isErrorType(tv.Type) {
+						out = append(out, prog.diag("errwrap", call.Pos(),
+							"fmt.Errorf formats an error argument without %%w: the cause is flattened out of the error chain"))
+						break
+					}
+				}
+				return true
+			})
+			return out
+		},
+	}
+}
+
+// constantString evaluates an expression to a compile-time string.
+func constantString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Test files (*_test.go) are excluded: the analyzers enforce
+// invariants on production code, and tests legitimately use math/rand,
+// discarded errors and the rest.
+type Package struct {
+	// Path is the import path (module path + slash-separated directory).
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the directory relative to the module root ("." for the root).
+	Dir string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info hold the go/types results for the package.
+	Types *types.Package
+	// Info records types, definitions and uses for every expression.
+	Info *types.Info
+
+	checking bool // import-cycle guard during type checking
+}
+
+// Program is a loaded module: every package parsed, type-checked against
+// the standard library (via the source importer) and each other, with one
+// shared FileSet so positions are comparable across packages.
+type Program struct {
+	// Root is the absolute module root directory (where go.mod lives).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+	// Fset is the shared position table; diagnostic positions and
+	// suppression comments both resolve through it.
+	Fset *token.FileSet
+	// Pkgs are the loaded packages sorted by import path.
+	Pkgs []*Package
+
+	byPath      name2pkg
+	suppression *suppressionIndex
+	std         types.Importer
+}
+
+type name2pkg map[string]*Package
+
+// Load parses and type-checks every package under root (the directory
+// containing go.mod). Directories named "testdata", hidden directories and
+// underscore-prefixed directories are skipped, mirroring the go tool.
+func Load(root string) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Root:   abs,
+		Module: modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(name2pkg),
+	}
+	prog.std = importer.ForCompiler(prog.Fset, "source", nil)
+
+	var dirs []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		pkg, err := prog.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+			prog.byPath[pkg.Path] = pkg
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		if err := prog.check(pkg); err != nil {
+			return nil, err
+		}
+	}
+	prog.suppression = buildSuppressionIndex(prog.Fset, prog.Pkgs)
+	return prog, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// parseDir parses the non-test Go files of one directory into a Package,
+// or returns nil when the directory holds no non-test Go files.
+func (prog *Program) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(prog.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: filepath.ToSlash(rel)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Positions are recorded root-relative so diagnostics print stable
+		// paths regardless of where the driver runs from.
+		relFile := filepath.ToSlash(filepath.Join(pkg.Dir, name))
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(prog.Fset, relFile, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Path = prog.Module
+	if pkg.Dir != "." {
+		pkg.Path = prog.Module + "/" + pkg.Dir
+	}
+	return pkg, nil
+}
+
+// check type-checks a package, resolving module-internal imports from the
+// program and everything else through the source importer.
+func (prog *Program) check(pkg *Package) error {
+	if pkg.Types != nil {
+		return nil
+	}
+	if pkg.checking {
+		return fmt.Errorf("analysis: import cycle through %s", pkg.Path)
+	}
+	pkg.checking = true
+	defer func() { pkg.checking = false }()
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*progImporter)(prog)}
+	tpkg, err := conf.Check(pkg.Path, prog.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// progImporter resolves imports during type checking: module-internal
+// paths come from the loaded program (checked on demand), everything else
+// from the standard-library source importer.
+type progImporter Program
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	prog := (*Program)(im)
+	if path == prog.Module || strings.HasPrefix(path, prog.Module+"/") {
+		pkg := prog.byPath[path]
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: unknown module package %q", path)
+		}
+		if err := prog.check(pkg); err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return prog.std.Import(path)
+}
+
+// Package returns the loaded package whose import path ends with the given
+// module-relative suffix (e.g. "internal/feature"), or nil.
+func (prog *Program) Package(suffix string) *Package {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == suffix || strings.HasSuffix(pkg.Path, "/"+suffix) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Select returns the packages matched by go-style directory patterns
+// relative to the module root: "./..." matches everything, "./dir/..."
+// matches a subtree, "./dir" matches one package. An empty pattern list
+// matches everything.
+func (prog *Program) Select(patterns []string) []*Package {
+	if len(patterns) == 0 {
+		return prog.Pkgs
+	}
+	var out []*Package
+	for _, pkg := range prog.Pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pat, pkg.Dir) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(pat, dir string) bool {
+	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		return dir == rest || strings.HasPrefix(dir, rest+"/")
+	}
+	return dir == pat
+}

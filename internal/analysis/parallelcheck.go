@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// isParallelFile reports whether the file is one of the worker-pool
+// kernels, named *parallel*.go by repository convention.
+func isParallelFile(prog *Program, f *ast.File) bool {
+	base := path.Base(prog.Fset.Position(f.Pos()).Filename)
+	return strings.Contains(strings.ToLower(base), "parallel")
+}
+
+// SharedWriteAnalyzer enforces the disjoint-slot convention inside
+// *parallel*.go goroutines (check "sharedwrite"): a goroutine body may
+// write captured (outer-scope) state only through an index expression —
+// `rows[i] = ...`, `c.data[pos] = ...` — because the worker pools
+// partition output into preassigned disjoint slots. A wholesale write to
+// a captured variable (`total += x`, `s = append(s, ...)`) is either a
+// data race or a float-reduction reorder, both of which break the
+// bit-identical parity guarantee.
+func SharedWriteAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "sharedwrite",
+		Doc:  "goroutines in *parallel*.go must write shared state only via preassigned index slots",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			inspectFiles(pkg, func(f *ast.File, n ast.Node) bool {
+				if !isParallelFile(prog, f) {
+					return false
+				}
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				out = append(out, checkGoroutineWrites(prog, pkg, lit)...)
+				return true
+			})
+			return out
+		},
+	}
+}
+
+// checkGoroutineWrites walks one goroutine body flagging non-indexed
+// writes to variables captured from outside the goroutine's func literal.
+func checkGoroutineWrites(prog *Program, pkg *Package, lit *ast.FuncLit) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, root *ast.Ident) {
+		out = append(out, prog.diag("sharedwrite", pos,
+			"goroutine writes captured variable %q without an index: shared writes must go through preassigned disjoint slots", root.Name))
+	}
+	check := func(pos token.Pos, lhs ast.Expr) {
+		root, indexed := lhsRoot(lhs)
+		if root == nil || indexed {
+			return
+		}
+		obj := pkg.Info.Uses[root]
+		if obj == nil {
+			obj = pkg.Info.Defs[root]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		if insideNode(v.Pos(), lit) {
+			return // declared inside the goroutine: worker-local
+		}
+		report(pos, root)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				check(st.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			check(st.Pos(), st.X)
+		}
+		return true
+	})
+	return out
+}
+
+// lhsRoot unwraps an assignment target to its root identifier and reports
+// whether the path to it goes through an index expression. `s[i]` and
+// `c.data[pos]` are indexed; `s`, `c.field` and `*p` are not.
+func lhsRoot(e ast.Expr) (root *ast.Ident, indexed bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, indexed
+		}
+	}
+}
+
+// LoopCaptureAnalyzer flags goroutines in *parallel*.go that reference an
+// enclosing loop's iteration variable directly (check "loopcapture"). Go
+// 1.22 made the capture per-iteration, but the repository convention is
+// to pass loop state as parameters (`go func(slot int) {...}(w)`) so a
+// reader can see at the spawn site exactly which iteration state the
+// worker owns.
+func LoopCaptureAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "loopcapture",
+		Doc:  "goroutines in *parallel*.go must take loop variables as parameters",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				if !isParallelFile(prog, f) {
+					continue
+				}
+				out = append(out, checkLoopCaptures(prog, pkg, f)...)
+			}
+			return out
+		},
+	}
+}
+
+func checkLoopCaptures(prog *Program, pkg *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	// The Inspect callback receives nil after a node's children, so a
+	// push-on-node / pop-on-nil stack tracks the loops enclosing each
+	// goroutine statement.
+	var loops []map[types.Object]bool
+	defVar := func(vars map[types.Object]bool, e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	var depth []int // stack of node depths at which a loop frame was pushed
+	level := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			level--
+			if len(depth) > 0 && depth[len(depth)-1] == level {
+				depth = depth[:len(depth)-1]
+				loops = loops[:len(loops)-1]
+			}
+			return true
+		}
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			vars := make(map[types.Object]bool)
+			defVar(vars, st.Key)
+			defVar(vars, st.Value)
+			loops = append(loops, vars)
+			depth = append(depth, level)
+		case *ast.ForStmt:
+			vars := make(map[types.Object]bool)
+			if init, ok := st.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					defVar(vars, e)
+				}
+			}
+			loops = append(loops, vars)
+			depth = append(depth, level)
+		case *ast.GoStmt:
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok && len(loops) > 0 {
+				enclosing := make(map[types.Object]bool)
+				for _, vars := range loops {
+					for obj := range vars {
+						enclosing[obj] = true
+					}
+				}
+				ast.Inspect(lit, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj := pkg.Info.Uses[id]; obj != nil && enclosing[obj] {
+						out = append(out, prog.diag("loopcapture", id.Pos(),
+							"goroutine references loop variable %q; pass it as a parameter so the worker's slot is explicit", id.Name))
+					}
+					return true
+				})
+			}
+		}
+		level++
+		return true
+	})
+	SortDiagnostics(out)
+	return dedupeDiagnostics(out)
+}
+
+func dedupeDiagnostics(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	var last Diagnostic
+	for i, d := range ds {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}

@@ -1,8 +1,13 @@
 package feature
 
-// This file holds the raw feature catalog (Table II). The census —
-// 477 candidate features across the three sources — is asserted by tests;
-// keep the lists and the test in sync when editing.
+// This file holds the raw feature catalog (Table II). The census — 477
+// candidate features across the three sources — plus pattern validity and
+// uniqueness are enforced by executable checks: TestCatalogIntegrity in
+// catalog_test.go and the catalog analyzers of cmd/psigenelint (run by
+// `make lint`). The lint:ignore comments below answer specific analyzer
+// findings; keep their reasons current when editing the lists.
+//
+//lint:file-ignore nevermatch the catalog is the paper's candidate census and intentionally over-approximates; features unobserved on a corpus are dropped by the train-time PruneUnobserved step (477 -> 159 in the paper), so a pattern without a probe-corpus match is expected inventory, not a flaw
 
 // mysqlReservedWords is the MySQL 5.5 reserved-word list (reference manual
 // §9.2), the paper's first feature source. Each word becomes a
@@ -53,20 +58,23 @@ var mysqlReservedWords = []string{
 // (no backreferences) and compiled case-insensitively.
 var signatureFragments = []string{
 	// --- Fragments quoted directly in the paper. ---
-	`=`,                               // Table III, feature 25
+	`=`, // Table III, feature 25
+	//lint:ignore subsumed its optional class suffix makes every match start where a bare = matches, so the fire sets coincide; kept byte-for-byte from Table III and collapsed by the train-time duplicate-column prune
 	`=[-0-9\%]*`,                      // Table III, feature 37
 	`<=>|r?like|sounds\s+like|regexp`, // Table III, feature 53
-	`([^a-zA-Z&]+)?&|exists`,          // Table III, feature 36
-	`[\?&][^\s\t\x00-\x37\|]+?`,       // Table III, feature 28
-	`\)?;`,                            // Table III, feature 32
-	`in\s*?\(+\s*?select`,             // Table II example
-	`[^a-zA-Z&]+=`,                    // Table II example
-	`is\s+null`,                       // ModSec CRS group example
-	`like\s+null`,                     // ModSec CRS group example
-	`ch(a)?r\s*?\(\s*?\d`,             // §IV signature 4 pattern
-	`@`,                               // §IV signature 4 pattern
-	`information_schema`,              // §IV signature 4 pattern
-	`\.+union\s+select`,               // Snort's overly simple regex, §I
+	//lint:ignore caseclass kept byte-for-byte from the paper's Table III fragment; the extractor's (?i) makes the double-cased class harmless
+	`([^a-zA-Z&]+)?&|exists`,    // Table III, feature 36
+	`[\?&][^\s\t\x00-\x37\|]+?`, // Table III, feature 28
+	`\)?;`,                      // Table III, feature 32
+	`in\s*?\(+\s*?select`,       // Table II example
+	//lint:ignore caseclass kept byte-for-byte from the paper's fragment list; the extractor's (?i) makes the double-cased class harmless
+	`[^a-zA-Z&]+=`,        // Table II example
+	`is\s+null`,           // ModSec CRS group example
+	`like\s+null`,         // ModSec CRS group example
+	`ch(a)?r\s*?\(\s*?\d`, // §IV signature 4 pattern
+	`@`,                   // §IV signature 4 pattern
+	`information_schema`,  // §IV signature 4 pattern
+	`\.+union\s+select`,   // Snort's overly simple regex, §I
 
 	// --- UNION-based extraction. ---
 	`union\s+select`,
@@ -95,6 +103,7 @@ var signatureFragments = []string{
 	`&&`,
 	`!\s*=`,
 	`<\s*>`,
+	//lint:ignore subsumed probe-corpus coincidence with the or-equality reference pattern: generated quote tautologies always carry both shapes; the languages differ
 	`'\s*or\s*'`,
 	`"\s*or\s*"`,
 	`'\s*and\s*'`,
@@ -106,16 +115,22 @@ var signatureFragments = []string{
 	`;\s*--`,
 	`;\s*#`,
 	`/\*`,
+	//lint:ignore subsumed every generated comment both opens and closes, so this always fires with /\*; the languages differ (unclosed comments exist in the wild)
 	`\*/`,
+	//lint:ignore subsumed fires wherever /\* does on generated payloads; the closed-comment language is strictly narrower and the match counts differ
 	`/\*.*?\*/`,
 	`/\*!`,
 	`/\*/`,
 
 	// --- Stacked queries. ---
+	//lint:ignore subsumed stacked-query templates always emit '; delete from ... where N=N', making this corpus-identical with delete\s+from and the numeric-tautology WHERE; the languages differ
 	`;\s*delete`,
+	//lint:ignore subsumed stacked-query templates always emit '; drop table', so this and drop\s+table are corpus-identical; the languages differ
 	`;\s*drop`,
 	`insert\s+into`,
+	//lint:ignore subsumed corpus-identical with ;\s*delete by template construction; the languages differ
 	`delete\s+from`,
+	//lint:ignore subsumed corpus-identical with ;\s*drop by template construction; the languages differ
 	`drop\s+table`,
 	`drop\s+database`,
 
@@ -135,6 +150,7 @@ var signatureFragments = []string{
 	`cast\s*\(`,
 
 	// --- String construction / obfuscation. ---
+	//lint:ignore subsumed every generated char( call carries a digit argument, so this fires exactly with the ch(a)?r-digit reference pattern; the language without a digit requirement is strictly wider
 	`char\s*?\(`,
 	`concat\s*?\(`,
 	`concat_ws\s*?\(`,
@@ -150,7 +166,9 @@ var signatureFragments = []string{
 	`strcmp\s*?\(`,
 
 	// --- Environment and schema probing. ---
+	//lint:ignore subsumed every @ in the probe corpus comes from an @@server-variable, so @ and @@ fire together; plain @ also matches payloads the generators do not emit and the counts differ
 	`@@`,
+	//lint:ignore subsumed fires exactly where @ does on the probe corpus because version is the generators' dominant @@variable; the language is far narrower
 	`@@version`,
 	`@@datadir`,
 	`@@hostname`,
@@ -171,6 +189,7 @@ var signatureFragments = []string{
 	`information_schema\.columns`,
 	`information_schema\.schemata`,
 	`table_name`,
+	//lint:ignore subsumed schema-probe templates always pair column_name with information_schema.columns; the languages differ
 	`column_name`,
 	`table_schema`,
 	`mysql\.user`,
@@ -211,6 +230,7 @@ var signatureFragments = []string{
 	`having\s+\d+\s*=\s*\d+`,
 	`group\s+by\s+.+\s+having`,
 	`select\s+.*\s+from\s+.*\s+where`,
+	//lint:ignore subsumed corpus-identical with ;\s*delete because stacked deletes always carry a numeric-tautology WHERE; the languages differ
 	`where\s+\d+\s*=\s*\d+`,
 
 	// --- Quoting and delimiter anomalies. ---
@@ -221,6 +241,7 @@ var signatureFragments = []string{
 	`"\s*\)`,
 	`\)\s*'`,
 	`''`,
+	//lint:ignore subsumed degenerates to '' on every generated payload; the whitespace-tolerant language is strictly wider
 	`'\s*'`,
 	`\\'`,
 	`'\d+'\s*=\s*'\d+`,
@@ -263,6 +284,7 @@ var referencePatterns = []string{
 	`'\s*or\s+''\s*=\s*'`,
 	`"\s*or\s+""\s*=\s*"`,
 	`\)\s*or\s*\('`,
+	//lint:ignore subsumed both paren-breakout reference strings fire on the same generated samples; this quoted variant is the narrower language
 	`'\s*\)\s*or\s*\(\s*'`,
 	`admin'\s*--`,
 	`admin'\s*#`,
@@ -278,6 +300,7 @@ var referencePatterns = []string{
 	`%00`,
 	`-1\s+union`,
 	`-\d+\s+union`,
+	//lint:ignore subsumed corpus-identical with from\s+dual: the union templates that emit 'null union' also probe dual; the languages are unrelated
 	`null\s+union`,
 	`'\s+union`,
 	`union\s*\(`,
@@ -292,15 +315,19 @@ var referencePatterns = []string{
 	`and\s+ord\s*\(`,
 	`and\s+\(\s*select`,
 	`or\s+\(\s*select`,
+	//lint:ignore subsumed exists-probe templates always expand to 'and exists (select * from ...)', pairing this with the select-star pattern; the languages differ
 	`and\s+exists\s*\(`,
 	`or\s+exists\s*\(`,
 	`and\s+if\s*\(`,
 	`or\s+if\s*\(`,
+	//lint:ignore subsumed language subset of and\s+sleep; every generated 'and sleep' is a call, so the fire sets coincide
 	`and\s+sleep\s*\(`,
 	`or\s+benchmark\s*\(`,
 	`or\s+updatexml\s*\(`,
 	`and\s+extractvalue\s*\(`,
+	//lint:ignore subsumed language subset of waitfor\s+delay; the generated MSSQL delay argument is always a quoted literal
 	`waitfor\s+delay\s+'`,
+	//lint:ignore subsumed corpus-identical with waitfor\s+delay: generated waitfors always follow a quote-break and take 'delay'; the languages differ
 	`';\s*waitfor`,
 	`declare\s+@`,
 	`select\s+@@`,
@@ -309,6 +336,7 @@ var referencePatterns = []string{
 	`concat\s*\(\s*version\s*\(`,
 	`concat\s*\(\s*user\s*\(`,
 	`char\s*\(\s*58\s*\)`,
+	//lint:ignore subsumed error-based templates always wrap char(58) in concat, so this fires with the bare char(58) pattern; the language is narrower and the counts differ
 	`concat\s*\(.*char\s*\(\s*58`,
 	`unhex\s*\(\s*hex\s*\(`,
 	`cast\s*\(.*as\s+char`,
@@ -329,6 +357,7 @@ var referencePatterns = []string{
 	`'\s*<\s*'`,
 	`%'\s+or\s+'`,
 	`'\s*or\s*\d+\s*=\s*\d+`,
+	//lint:ignore subsumed language subset of or\s+sleep; every generated 'or sleep' follows a quote-break
 	`'\s*or\s+sleep\s*\(`,
 	`or\s+pg_sleep\s*\(`,
 	`or\s+char\s*\(`,

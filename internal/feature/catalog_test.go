@@ -1,0 +1,36 @@
+package feature
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestCatalogIntegrity machine-checks what the catalog's header comment
+// used to ask of maintainers: no entry may duplicate another, and every
+// regex feature must compile the way the extractor compiles it — with
+// the (?i) prefix. cmd/psigenelint layers the corpus-driven checks
+// (nevermatch, subsumed) on top; this test is the dependency-free core
+// that runs with the ordinary package tests.
+func TestCatalogIntegrity(t *testing.T) {
+	s := Catalog()
+
+	seen := make(map[string]string) // literal -> feature name of first use
+	for _, f := range s.Features {
+		lit := f.Word
+		if lit == "" {
+			lit = f.Pattern
+		}
+		if first, dup := seen[lit]; dup {
+			t.Errorf("feature %s duplicates %s: literal %q appears twice", f.Name, first, lit)
+			continue
+		}
+		seen[lit] = f.Name
+
+		if f.Pattern == "" {
+			continue
+		}
+		if _, err := regexp.Compile("(?i)" + f.Pattern); err != nil {
+			t.Errorf("feature %s: pattern %q does not compile under (?i): %v", f.Name, f.Pattern, err)
+		}
+	}
+}

@@ -24,7 +24,9 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return func() error { return nil }, fmt.Errorf("cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			// Best-effort cleanup: the StartCPUProfile error is the one
+			// worth reporting, so the close error is explicitly dropped.
+			_ = cpuFile.Close()
 			return func() error { return nil }, fmt.Errorf("cpu profile: %w", err)
 		}
 	}
