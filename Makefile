@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race race-parallel bench smoke
+.PHONY: check vet fmt lint build test race race-parallel bench smoke chaos
 
-check: vet fmt build lint test smoke
+check: vet fmt build lint test smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -45,3 +45,10 @@ bench:
 # End-to-end smoke test: the quickstart example must train and classify.
 smoke:
 	$(GO) run ./examples/quickstart
+
+# Chaos gate: the deterministic fault-injection suite (golden replay,
+# recovery floor, kill-and-resume equivalence, breaker state machine) plus
+# the degraded end-to-end loop. All sleeps are injected, so this is fast.
+chaos:
+	$(GO) test -count=1 -run 'Chaos|Checkpoint|Breaker|RetryAfter|Quarantine|Timeout' ./internal/crawl/ ./internal/faultify/
+	$(GO) run ./examples/crawl-and-train -flaky

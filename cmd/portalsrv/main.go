@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"psigene/internal/attackgen"
+	"psigene/internal/faultify"
 	"psigene/internal/portal"
 )
 
@@ -33,9 +34,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("portalsrv", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8931", "listen address")
-		entries = fs.Int("entries", 40, "advisories per portal")
-		seed    = fs.Int64("seed", 1, "sample generator seed")
+		addr       = fs.String("addr", "127.0.0.1:8931", "listen address")
+		entries    = fs.Int("entries", 40, "advisories per portal")
+		seed       = fs.Int64("seed", 1, "sample generator seed")
+		faultRate  = fs.Float64("fault-rate", 0, "total injected-fault probability per request (0 disables, spread uniformly over fault classes)")
+		faultSeed  = fs.Int64("fault-seed", 1, "fault schedule seed (same seed, same faults)")
+		faultLives = fs.Int("fault-repeats", 2, "times an afflicted URL faults before recovering (<0: never recovers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +59,19 @@ func run(args []string) error {
 	for i, n := range names {
 		gen := attackgen.NewGenerator(attackgen.CrawlProfile(), seedFor(*seed, i))
 		p := portal.New(n.prefix, n.style, 10, portal.GenerateEntries(gen, *entries))
-		mux.Handle("/"+n.prefix+"/", http.StripPrefix("/"+n.prefix, p.Handler()))
+		h := p.Handler()
+		if *faultRate > 0 {
+			inj := faultify.New(faultify.Config{
+				Seed:    *faultSeed,
+				Rates:   faultify.Uniform(*faultRate),
+				Repeats: *faultLives,
+			})
+			h = p.FaultyHandler(inj)
+		}
+		mux.Handle("/"+n.prefix+"/", http.StripPrefix("/"+n.prefix, h))
+	}
+	if *faultRate > 0 {
+		fmt.Printf("fault injection on: rate %.0f%%, seed %d, repeats %d\n", *faultRate*100, *faultSeed, *faultLives)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -93,6 +93,7 @@ func runTrain(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 1, "RNG seed for generated corpora")
 		out      = fs.String("out", "model.json", "output model path")
 		par      = fs.Int("parallelism", 0, "training worker count (0 = all cores, 1 = serial); the model is bit-identical either way")
+		minSamp  = fs.Int("min-samples", 1, "refuse to train on fewer crawled/loaded attack samples (coverage floor for degraded crawls)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,11 +104,14 @@ func runTrain(args []string, w io.Writer) error {
 	case *portals != "":
 		c := crawl.New(crawl.Options{})
 		all, results, err := c.CrawlAll(strings.Split(*portals, ","))
-		if err != nil {
-			return err
-		}
 		for _, r := range results {
-			fmt.Fprintf(w, "crawled %s: %d pages, %d samples\n", r.Portal, r.PagesFetched, len(r.Samples))
+			fmt.Fprintf(w, "crawled %s: %d pages, %d samples%s\n",
+				r.Portal, r.PagesFetched, len(r.Samples), healthSuffix(r.Health))
+		}
+		if err != nil {
+			// Degraded portals are expected; train on what survived and let
+			// the -min-samples floor decide whether it is enough.
+			fmt.Fprintf(w, "crawl degraded: %v\n", err)
 		}
 		attacks = all
 	case *samples != "":
@@ -123,7 +127,7 @@ func runTrain(args []string, w io.Writer) error {
 	benign := traffic.NewGenerator(*seed + 1).Requests(*nBenign)
 
 	fmt.Fprintf(w, "training on %d attack and %d benign samples...\n", len(attacks), len(benign))
-	model, err := core.Train(attacks, benign, core.Config{Parallelism: *par})
+	model, err := core.Train(attacks, benign, core.Config{Parallelism: *par, MinAttackSamples: *minSamp})
 	if err != nil {
 		return err
 	}
@@ -169,9 +173,13 @@ func readSampleFile(path string) ([]httpx.Request, error) {
 func runCrawl(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
 	var (
-		portals  = fs.String("portals", "", "comma-separated portal base URLs (required)")
-		out      = fs.String("out", "samples.txt", "output file of sample URLs")
-		maxPages = fs.Int("max-pages", 200, "page budget per portal")
+		portals   = fs.String("portals", "", "comma-separated portal base URLs (required)")
+		out       = fs.String("out", "samples.txt", "output file of sample URLs")
+		maxPages  = fs.Int("max-pages", 200, "page budget per portal")
+		retries   = fs.Int("max-retries", 4, "retry budget per page (negative disables)")
+		ckpt      = fs.String("checkpoint", "", "checkpoint file (single portal only); written every -checkpoint-every pages")
+		ckptEvery = fs.Int("checkpoint-every", 10, "pages between checkpoints when -checkpoint is set")
+		resume    = fs.Bool("resume", false, "resume from the -checkpoint file instead of starting over")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,10 +187,53 @@ func runCrawl(args []string, w io.Writer) error {
 	if *portals == "" {
 		return fmt.Errorf("crawl: -portals is required")
 	}
-	c := crawl.New(crawl.Options{MaxPages: *maxPages})
-	all, results, err := c.CrawlAll(strings.Split(*portals, ","))
+	list := strings.Split(*portals, ",")
+	opts := crawl.Options{MaxPages: *maxPages, MaxRetries: *retries}
+	if *ckpt != "" {
+		if len(list) != 1 {
+			return fmt.Errorf("crawl: -checkpoint needs exactly one portal, got %d", len(list))
+		}
+		opts.CheckpointEvery = *ckptEvery
+		path := *ckpt
+		opts.Checkpoint = func(cp *crawl.Checkpoint) error {
+			return crawl.SaveCheckpoint(cp, path)
+		}
+	} else if *resume {
+		return fmt.Errorf("crawl: -resume requires -checkpoint")
+	}
+	c := crawl.New(opts)
+
+	var (
+		all     []httpx.Request
+		results []*crawl.Result
+		err     error
+	)
+	if *resume {
+		cp, lerr := crawl.LoadCheckpoint(*ckpt)
+		if lerr != nil {
+			return lerr
+		}
+		fmt.Fprintf(w, "resuming %s crawl of %s: %d samples, %d pages already done\n",
+			cp.Kind, cp.Portal, len(cp.Samples), cp.Health.PagesFetched)
+		var res *crawl.Result
+		res, err = c.Resume(cp)
+		if res != nil {
+			all, results = res.Samples, []*crawl.Result{res}
+		}
+	} else {
+		all, results, err = c.CrawlAll(list)
+	}
 	if err != nil {
-		return err
+		// Partial results are the normal outcome against degraded portals;
+		// report the damage and keep what was collected.
+		fmt.Fprintf(w, "crawl degraded: %v\n", err)
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s: %d pages, %d samples, CVEs: %s%s\n",
+			r.Portal, r.PagesFetched, len(r.Samples), strings.Join(r.CVEs, " "), healthSuffix(r.Health))
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("crawl: no samples collected from any portal")
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -192,12 +243,19 @@ func runCrawl(args []string, w io.Writer) error {
 	for _, s := range all {
 		fmt.Fprintf(f, "http://%s%s\n", s.Host, s.URL())
 	}
-	for _, r := range results {
-		fmt.Fprintf(w, "%s: %d pages, %d samples, CVEs: %s\n",
-			r.Portal, r.PagesFetched, len(r.Samples), strings.Join(r.CVEs, " "))
-	}
 	fmt.Fprintf(w, "%d unique samples written to %s\n", len(all), *out)
 	return nil
+}
+
+// healthSuffix renders a crawl Health as a compact annotation, empty when
+// the crawl saw no trouble at all.
+func healthSuffix(h crawl.Health) string {
+	if h.Retries == 0 && h.PagesSkipped == 0 && h.RateLimited == 0 &&
+		h.Malformed == 0 && h.BreakerTrips == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" [retries %d, rate-limited %d, malformed %d, quarantined %d, breaker trips %d]",
+		h.Retries, h.RateLimited, h.Malformed, h.PagesSkipped, h.BreakerTrips)
 }
 
 func runInspect(args []string, w io.Writer) error {

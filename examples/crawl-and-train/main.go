@@ -4,22 +4,37 @@
 // and the pipeline turns the crawl into generalized signatures.
 //
 //	go run ./examples/crawl-and-train
+//
+// With -flaky the portals degrade the way the paper's three-month crawl of
+// public sites did: every request has a 20% chance of a deterministic
+// injected fault (500s, rate limits, hangs, resets, truncated or garbled
+// pages; see internal/faultify). The crawler retries, backs off, honors
+// Retry-After, breaks circuits and quarantines — and still delivers the
+// corpus to train on.
+//
+//	go run ./examples/crawl-and-train -flaky
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"time"
 
 	"psigene/internal/attackgen"
 	"psigene/internal/core"
 	"psigene/internal/crawl"
+	"psigene/internal/faultify"
 	"psigene/internal/ids"
 	"psigene/internal/portal"
 	"psigene/internal/traffic"
 )
 
 func main() {
+	flaky := flag.Bool("flaky", false, "inject deterministic faults into the portals (20% of requests)")
+	flag.Parse()
+
 	// Phase 1a: stand up the public cybersecurity portals.
 	specs := []struct {
 		name    string
@@ -33,30 +48,65 @@ func main() {
 		{"osvdb", portal.StyleAPI, 35, 4},
 	}
 	var urls []string
+	var injectors []*faultify.Injector
 	for _, s := range specs {
 		gen := attackgen.NewGenerator(attackgen.CrawlProfile(), s.seed)
 		p := portal.New(s.name, s.style, 8, portal.GenerateEntries(gen, s.entries))
-		srv := httptest.NewServer(p.Handler())
+		h := p.Handler()
+		if *flaky {
+			inj := faultify.New(faultify.Config{
+				Seed:    100 + s.seed,
+				Rates:   faultify.Uniform(0.20),
+				Repeats: 2,
+			})
+			injectors = append(injectors, inj)
+			h = p.FaultyHandler(inj)
+		}
+		srv := httptest.NewServer(h)
 		defer srv.Close()
 		urls = append(urls, srv.URL)
 		fmt.Printf("portal %-14s at %s (%d advisories)\n", s.name, srv.URL, s.entries)
 	}
+	if *flaky {
+		fmt.Println("fault injection: 20% of requests, deterministic seeded schedule")
+	}
 
-	// Phase 1b: crawl them.
-	c := crawl.New(crawl.Options{})
+	// Phase 1b: crawl them. Under -flaky the crawl degrades gracefully:
+	// partial results come back with per-portal health instead of an abort.
+	// The tightened timeout and backoff keep the demo quick; against real
+	// remote portals the defaults (10s timeout, up to 5s backoff) apply.
+	var copts crawl.Options
+	if *flaky {
+		copts = crawl.Options{
+			Timeout:     time.Second,
+			BackoffBase: 50 * time.Millisecond,
+			BackoffMax:  500 * time.Millisecond,
+		}
+	}
+	c := crawl.New(copts)
 	samples, results, err := c.CrawlAll(urls)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Printf("crawl degraded: %v\n", err)
 	}
 	for i, r := range results {
-		fmt.Printf("crawled %-14s %3d pages -> %3d samples, CVEs seen: %d\n",
+		fmt.Printf("crawled %-14s %3d pages -> %3d samples, CVEs seen: %d",
 			specs[i].name, r.PagesFetched, len(r.Samples), len(r.CVEs))
+		h := r.Health
+		if h.Retries+h.PagesSkipped+h.RateLimited+h.Malformed > 0 {
+			fmt.Printf("  [retries %d, rate-limited %d, malformed %d, quarantined %d]",
+				h.Retries, h.RateLimited, h.Malformed, h.PagesSkipped)
+		}
+		fmt.Println()
+	}
+	for i, inj := range injectors {
+		fmt.Printf("faults  %-14s %s\n", specs[i].name, inj.Snapshot())
 	}
 	fmt.Printf("total: %d unique attack samples\n\n", len(samples))
 
-	// Phases 2-4: train on the crawl plus benign traffic.
+	// Phases 2-4: train on the (possibly degraded) crawl plus benign
+	// traffic, with a coverage floor so a gutted corpus refuses to train.
 	benign := traffic.NewGenerator(9).Requests(4000)
-	model, err := core.Train(samples, benign, core.Config{})
+	model, err := core.Train(samples, benign, core.Config{MinAttackSamples: 50})
 	if err != nil {
 		log.Fatal(err)
 	}

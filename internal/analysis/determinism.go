@@ -7,16 +7,20 @@ import (
 	"strings"
 )
 
-// DefaultKernelPackages are the packages under the bit-identical
-// parallel-training parity guarantee (Config.Parallelism trains ==-equal
-// models at every worker count). Nondeterministic iteration order or
-// nondeterministic inputs inside them would break that guarantee, so the
-// determinism analyzers are scoped here.
+// DefaultKernelPackages are the packages under a bit-identical output
+// guarantee: the training kernels (Config.Parallelism trains ==-equal
+// models at every worker count) and the crawl path (same seeds, same
+// corpus — including kill-and-resume and injected-fault replays).
+// Nondeterministic iteration order or nondeterministic inputs inside them
+// would break those guarantees, so the determinism analyzers are scoped
+// here.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
 	"internal/cluster",
 	"internal/feature",
+	"internal/crawl",
+	"internal/faultify",
 }
 
 func isKernelPackage(pkg *Package, kernel []string) bool {

@@ -70,6 +70,11 @@ type Config struct {
 	// signatures — the parity tests train both ways and compare — so this
 	// exists for verification, not tuning.
 	DenseBacking bool
+	// MinAttackSamples is the coverage floor for training on a degraded
+	// crawl: Train refuses (ErrInsufficientSamples) when fewer attack
+	// samples arrive, so a mostly-failed crawl cannot silently train a
+	// near-empty model. 0 means 1 (any non-empty corpus trains).
+	MinAttackSamples int
 	// Parallelism is the worker count for the training pipeline: feature
 	// extraction, the distance kernels inside biclustering, and the
 	// per-bicluster logistic regressions. 0 means GOMAXPROCS, 1 forces the
@@ -100,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxClusterSamples == 0 {
 		c.MaxClusterSamples = 2500
+	}
+	if c.MinAttackSamples <= 0 {
+		c.MinAttackSamples = 1
 	}
 	return c
 }
@@ -222,6 +230,10 @@ type TrainStats struct {
 var (
 	ErrNoAttacks = errors.New("core: no attack training samples")
 	ErrNoBenign  = errors.New("core: no benign training samples")
+	// ErrInsufficientSamples means the attack corpus is non-empty but below
+	// Config.MinAttackSamples — typically a crawl that lost most of its
+	// portals. Callers choose between lowering the floor and recrawling.
+	ErrInsufficientSamples = errors.New("core: attack corpus below the configured sample floor")
 )
 
 // Train runs the full pipeline on labeled training traffic.
@@ -229,6 +241,9 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if len(attacks) == 0 {
 		return nil, ErrNoAttacks
+	}
+	if len(attacks) < cfg.MinAttackSamples {
+		return nil, fmt.Errorf("%w: %d < %d", ErrInsufficientSamples, len(attacks), cfg.MinAttackSamples)
 	}
 	if len(benign) == 0 {
 		return nil, ErrNoBenign

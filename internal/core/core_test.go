@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"psigene/internal/attackgen"
@@ -87,6 +88,13 @@ func TestTrainErrors(t *testing.T) {
 	}
 	if _, err := Train(attacks, nil, Config{}); err != ErrNoBenign {
 		t.Fatalf("want ErrNoBenign, got %v", err)
+	}
+	// A degraded crawl below the coverage floor must refuse to train.
+	if _, err := Train(attacks, benign, Config{MinAttackSamples: 50}); !errors.Is(err, ErrInsufficientSamples) {
+		t.Fatalf("want ErrInsufficientSamples, got %v", err)
+	}
+	if _, err := Train(attacks, benign, Config{MinAttackSamples: 10}); errors.Is(err, ErrInsufficientSamples) {
+		t.Fatal("corpus at the floor must be allowed to train")
 	}
 }
 

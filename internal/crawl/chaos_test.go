@@ -1,0 +1,298 @@
+package crawl
+
+import (
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/faultify"
+	"psigene/internal/portal"
+)
+
+// startFaultyPortal serves a deterministic portal behind a fault injector.
+// Fault schedules key on method+path, so two servers built with the same
+// seeds present identical content AND identical faults regardless of port.
+func startFaultyPortal(t *testing.T, style portal.Style, entries int, portalSeed int64, cfg faultify.Config) (*httptest.Server, *faultify.Injector) {
+	t.Helper()
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), portalSeed)
+	p := portal.New("chaos", style, 5, portal.GenerateEntries(gen, entries))
+	inj := faultify.New(cfg)
+	srv := httptest.NewServer(inj.Wrap(p.Handler()))
+	t.Cleanup(srv.Close)
+	return srv, inj
+}
+
+// chaosOptions returns crawler options for fault runs: injected sleeper (no
+// wall-clock backoff waits) and a short timeout so hang faults resolve fast.
+func chaosOptions(srv *httptest.Server) Options {
+	return Options{
+		Client:  srv.Client(),
+		Sleep:   func(time.Duration) {},
+		Timeout: 150 * time.Millisecond,
+		Seed:    11,
+	}
+}
+
+// corpus reduces a result to the comparable crawl outcome: sample URLs in
+// first-seen order plus the sorted CVE list.
+func corpus(res *Result) ([]string, []string) {
+	urls := make([]string, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		urls = append(urls, s.URL())
+	}
+	return urls, res.CVEs
+}
+
+func TestChaosGoldenDeterminismAndRecovery(t *testing.T) {
+	const portalSeed = 21
+	faults := faultify.Config{Seed: 42, Rates: faultify.Uniform(0.20), Repeats: 2}
+
+	// Fault-free baseline.
+	clean, _ := startFaultyPortal(t, portal.StyleHTML, 30, portalSeed, faultify.Config{Seed: 42})
+	base, err := New(chaosOptions(clean)).CrawlHTML(clean.URL)
+	if err != nil {
+		t.Fatalf("baseline crawl: %v", err)
+	}
+	baseURLs, baseCVEs := corpus(base)
+	if len(baseURLs) == 0 {
+		t.Fatal("baseline collected no samples")
+	}
+
+	// Two independent faulted runs with identical seeds.
+	run := func() (*Result, faultify.Stats) {
+		srv, inj := startFaultyPortal(t, portal.StyleHTML, 30, portalSeed, faults)
+		res, err := New(chaosOptions(srv)).CrawlHTML(srv.URL)
+		if err != nil {
+			t.Fatalf("faulted crawl: %v", err)
+		}
+		return res, inj.Snapshot()
+	}
+	res1, stats1 := run()
+	res2, stats2 := run()
+
+	urls1, cves1 := corpus(res1)
+	urls2, cves2 := corpus(res2)
+	if !reflect.DeepEqual(urls1, urls2) || !reflect.DeepEqual(cves1, cves2) {
+		t.Fatalf("same seeds, different corpora:\nrun1: %d samples %v\nrun2: %d samples %v",
+			len(urls1), cves1, len(urls2), cves2)
+	}
+	if !reflect.DeepEqual(res1.Health, res2.Health) {
+		t.Fatalf("same seeds, different health:\nrun1: %+v\nrun2: %+v", res1.Health, res2.Health)
+	}
+	if stats1.Total() == 0 {
+		t.Fatalf("injector never fired (stats %v) — the run exercised nothing", stats1)
+	}
+	if stats1.Total() != stats2.Total() {
+		t.Fatalf("fault counts diverged: %v vs %v", stats1, stats2)
+	}
+
+	// Recovery floor: ≥95% of the fault-free corpus survives 20% faults.
+	got := map[string]bool{}
+	for _, u := range urls1 {
+		got[u] = true
+	}
+	recovered := 0
+	for _, u := range baseURLs {
+		if got[u] {
+			recovered++
+		}
+	}
+	ratio := float64(recovered) / float64(len(baseURLs))
+	t.Logf("chaos recovery at 20%% faults: %d/%d samples (%.1f%%), health %+v, faults %v",
+		recovered, len(baseURLs), 100*ratio, res1.Health, stats1)
+	if ratio < 0.95 {
+		t.Fatalf("recovered %.1f%% of baseline corpus, want >= 95%%", 100*ratio)
+	}
+	if !reflect.DeepEqual(cves1, baseCVEs) {
+		t.Fatalf("CVE set degraded: %v vs baseline %v", cves1, baseCVEs)
+	}
+	if res1.Health.Retries == 0 {
+		t.Fatalf("health %+v: faults were injected but nothing retried", res1.Health)
+	}
+}
+
+// TestChaosRecoverySweep logs the corpus recovery rate across fault rates;
+// EXPERIMENTS.md's fault-sweep table is produced from this output.
+func TestChaosRecoverySweep(t *testing.T) {
+	const portalSeed = 22
+	clean, _ := startFaultyPortal(t, portal.StyleHTML, 20, portalSeed, faultify.Config{Seed: 7})
+	base, err := New(chaosOptions(clean)).CrawlHTML(clean.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURLs, _ := corpus(base)
+
+	for _, rate := range []float64{0.10, 0.20, 0.30, 0.40} {
+		srv, inj := startFaultyPortal(t, portal.StyleHTML, 20, portalSeed,
+			faultify.Config{Seed: 7, Rates: faultify.Uniform(rate), Repeats: 2})
+		res, err := New(chaosOptions(srv)).CrawlHTML(srv.URL)
+		if err != nil {
+			t.Fatalf("rate %.2f: %v", rate, err)
+		}
+		urls, _ := corpus(res)
+		got := map[string]bool{}
+		for _, u := range urls {
+			got[u] = true
+		}
+		recovered := 0
+		for _, u := range baseURLs {
+			if got[u] {
+				recovered++
+			}
+		}
+		ratio := float64(recovered) / float64(len(baseURLs))
+		st := inj.Snapshot()
+		t.Logf("rate %.0f%%: recovery %d/%d (%.1f%%), retries %d, rate-limited %d, malformed %d, skipped %d, injected %d/%d",
+			100*rate, recovered, len(baseURLs), 100*ratio,
+			res.Health.Retries, res.Health.RateLimited, res.Health.Malformed,
+			res.Health.PagesSkipped, st.Total(), st.Requests)
+		if rate <= 0.20 && ratio < 0.95 {
+			t.Fatalf("rate %.2f: recovery %.1f%% below the 95%% floor", rate, 100*ratio)
+		}
+	}
+}
+
+// killAndResume runs a faulted crawl that stops itself at the stopAt-th
+// checkpoint, persists the checkpoint through the JSON round trip, then
+// resumes with a fresh crawler against the same server.
+func killAndResume(t *testing.T, srv *httptest.Server, kind string, every, stopAt int) *Result {
+	t.Helper()
+	var captured *Checkpoint
+	points := 0
+	opts := chaosOptions(srv)
+	opts.CheckpointEvery = every
+	opts.Checkpoint = func(cp *Checkpoint) error {
+		points++
+		if points == stopAt {
+			captured = cp
+			return ErrStop
+		}
+		return nil
+	}
+	c := New(opts)
+	var err error
+	if kind == "api" {
+		_, err = c.CrawlAPI(srv.URL)
+	} else {
+		_, err = c.CrawlHTML(srv.URL)
+	}
+	if !errors.Is(err, ErrStop) {
+		t.Fatalf("killed crawl: err = %v, want ErrStop", err)
+	}
+	if captured == nil {
+		t.Fatal("no checkpoint captured before stop")
+	}
+
+	// Round-trip through disk: resume must work from the serialized form.
+	path := t.TempDir() + "/resume.json"
+	if err := SaveCheckpoint(captured, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := New(chaosOptions(srv)).Resume(loaded)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	return res
+}
+
+func TestCheckpointResumeBitIdenticalHTML(t *testing.T) {
+	const portalSeed = 23
+	faults := faultify.Config{Seed: 13, Rates: faultify.Uniform(0.20), Repeats: 1}
+
+	// Uninterrupted faulted run.
+	srvA, _ := startFaultyPortal(t, portal.StyleHTML, 24, portalSeed, faults)
+	resA, err := New(chaosOptions(srvA)).CrawlHTML(srvA.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill-and-resume run on an identically seeded fresh server.
+	srvB, _ := startFaultyPortal(t, portal.StyleHTML, 24, portalSeed, faults)
+	resB := killAndResume(t, srvB, "html", 3, 2)
+
+	if !reflect.DeepEqual(resA.Samples, resB.Samples) {
+		t.Fatalf("resumed corpus differs:\nuninterrupted: %d samples\nresumed: %d samples",
+			len(resA.Samples), len(resB.Samples))
+	}
+	if !reflect.DeepEqual(resA.CVEs, resB.CVEs) {
+		t.Fatalf("resumed CVEs differ: %v vs %v", resB.CVEs, resA.CVEs)
+	}
+	if resA.PagesFetched != resB.PagesFetched {
+		t.Fatalf("pages fetched: %d vs %d", resA.PagesFetched, resB.PagesFetched)
+	}
+}
+
+func TestCheckpointResumeBitIdenticalAPI(t *testing.T) {
+	const portalSeed = 24
+	faults := faultify.Config{Seed: 17, Rates: faultify.Uniform(0.20), Repeats: 1}
+
+	srvA, _ := startFaultyPortal(t, portal.StyleAPI, 30, portalSeed, faults)
+	resA, err := New(chaosOptions(srvA)).CrawlAPI(srvA.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvB, _ := startFaultyPortal(t, portal.StyleAPI, 30, portalSeed, faults)
+	resB := killAndResume(t, srvB, "api", 1, 1)
+
+	if !reflect.DeepEqual(resA.Samples, resB.Samples) {
+		t.Fatalf("resumed API corpus differs: %d vs %d samples", len(resA.Samples), len(resB.Samples))
+	}
+	if !reflect.DeepEqual(resA.CVEs, resB.CVEs) {
+		t.Fatalf("resumed API CVEs differ: %v vs %v", resB.CVEs, resA.CVEs)
+	}
+}
+
+func TestCrawlAllSurvivesDeadPortal(t *testing.T) {
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), 25)
+	p := portal.New("healthy", portal.StyleHTML, 5, portal.GenerateEntries(gen, 10))
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	opts := chaosOptions(srv)
+	c := New(opts)
+	samples, results, err := c.CrawlAll([]string{srv.URL, "http://127.0.0.1:1"})
+	if err == nil || !errors.Is(err, ErrNoPages) {
+		t.Fatalf("err = %v, want joined error containing ErrNoPages", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want partial results for both portals", len(results))
+	}
+	if len(samples) == 0 {
+		t.Fatal("healthy portal's samples lost because a peer portal died")
+	}
+	dead := results[1]
+	if dead.Health.PagesSkipped == 0 || dead.PagesFetched != 0 {
+		t.Fatalf("dead portal health = %+v", dead.Health)
+	}
+}
+
+func TestChaosPersistentFaultQuarantine(t *testing.T) {
+	// Repeats<0: afflicted pages never recover. The crawl must still
+	// terminate, quarantine them, and keep everything else.
+	const portalSeed = 26
+	faults := faultify.Config{Seed: 19, Rates: faultify.Uniform(0.10), Repeats: -1}
+	srv, inj := startFaultyPortal(t, portal.StyleHTML, 25, portalSeed, faults)
+	res, err := New(chaosOptions(srv)).CrawlHTML(srv.URL)
+	if err != nil && !errors.Is(err, ErrNoPages) {
+		t.Fatalf("crawl: %v", err)
+	}
+	st := inj.Snapshot()
+	if st.Total() == 0 {
+		t.Skip("no request afflicted at this seed/rate — nothing to assert")
+	}
+	if res.Health.PagesSkipped == 0 {
+		t.Fatalf("health = %+v, want quarantined pages under persistent faults (stats %v)", res.Health, st)
+	}
+	if res.PagesFetched == 0 {
+		t.Fatalf("crawl collected nothing despite only 10%% persistent faults: %+v", res.Health)
+	}
+}

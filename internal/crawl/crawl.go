@@ -4,12 +4,28 @@
 // detail pages, and OSVDB-style JSON search APIs — extracts proof-of-concept
 // URLs from fetched pages, and converts each into an attack request by the
 // paper's rule: keep the query payload, drop address, port and path.
+//
+// The paper's crawl ran for three months against flaky public sites, so
+// degraded upstreams are the normal case here, not an error: every fetch
+// has a context timeout and a bounded-read body; retryable failures (5xx,
+// 429, timeouts, resets, truncated or garbled pages) are retried with
+// seeded full-jitter exponential backoff and Retry-After honoring; a
+// per-host circuit breaker fails fast when a host melts down; pages that
+// exhaust their retry budget are quarantined — counted and skipped — while
+// the crawl continues; and the whole crawl state checkpoints to JSON so a
+// killed crawl resumes with a bit-identical final corpus. All randomness
+// is seeded and all sleeps go through an injectable sleeper, so crawls are
+// deterministic functions of their inputs (psigenelint's walltime and
+// randsource checks cover this package).
+//
+// A Crawler is not safe for concurrent use; crawl portals sequentially or
+// give each goroutine its own Crawler.
 package crawl
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"regexp"
 	"sort"
@@ -19,14 +35,50 @@ import (
 	"psigene/internal/httpx"
 )
 
-// Options configures a crawler.
+// Options configures a crawler. Zero values take resilient defaults.
 type Options struct {
-	// MaxPages bounds the number of fetched pages per portal. 0 means 200.
+	// MaxPages bounds the number of pages processed (fetched or
+	// quarantined) per portal. 0 means 200.
 	MaxPages int
 	// Delay is the politeness delay between fetches. 0 means none (tests).
 	Delay time.Duration
 	// Client is the HTTP client; nil means http.DefaultClient.
 	Client *http.Client
+	// Timeout is the per-request context timeout. 0 means 10s.
+	Timeout time.Duration
+	// MaxRetries is the retry budget per page after the first attempt.
+	// 0 means 4; negative disables retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// retries (full jitter: uniform in [0, min(BackoffMax,
+	// BackoffBase·2^attempt))). 0 means 250ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxBodyBytes caps how much of a response body is read; larger
+	// bodies quarantine the page. 0 means 4 MiB.
+	MaxBodyBytes int64
+	// APILimit is the page size requested from JSON search APIs; knowing
+	// it lets the crawler skip past a quarantined window and keep paging.
+	// 0 means 20.
+	APILimit int
+	// Seed drives retry jitter. 0 means 1.
+	Seed int64
+	// Sleep is the sleeper behind every delay (politeness, backoff,
+	// Retry-After); nil means time.Sleep. Tests inject a recorder so
+	// chaos runs finish without wall-clock waits.
+	Sleep func(time.Duration)
+	// BreakerThreshold is how many consecutive failures on one host open
+	// its circuit breaker; BreakerCooldown is how many attempts the open
+	// breaker fails fast before admitting a half-open probe (counted in
+	// requests, not seconds, to keep crawls deterministic). 0 means 5
+	// and 8; negative BreakerThreshold disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  int
+	// CheckpointEvery is the page interval between Checkpoint callbacks;
+	// 0 disables checkpointing. Checkpoint receives a full serializable
+	// snapshot; returning ErrStop halts the crawl cleanly.
+	CheckpointEvery int
+	Checkpoint      func(*Checkpoint) error
 }
 
 func (o Options) withDefaults() Options {
@@ -36,17 +88,57 @@ func (o Options) withDefaults() Options {
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 250 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
+	if o.APILimit <= 0 {
+		o.APILimit = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 8
+	}
 	return o
 }
 
 // Crawler fetches portals and extracts attack samples.
 type Crawler struct {
-	opts Options
+	opts     Options
+	rng      splitmix64
+	breakers map[string]*breaker
 }
 
 // New returns a crawler.
 func New(opts Options) *Crawler {
-	return &Crawler{opts: opts.withDefaults()}
+	o := opts.withDefaults()
+	return &Crawler{
+		opts:     o,
+		rng:      splitmix64{state: uint64(o.Seed)},
+		breakers: map[string]*breaker{},
+	}
 }
 
 // Result is the outcome of crawling one portal.
@@ -56,10 +148,14 @@ type Result struct {
 	// Samples are the extracted attack requests (deduplicated, in
 	// first-seen order).
 	Samples []httpx.Request
-	// PagesFetched counts HTTP fetches performed.
+	// PagesFetched counts successful HTTP fetches (mirrors
+	// Health.PagesFetched).
 	PagesFetched int
 	// CVEs lists CVE identifiers seen on fetched pages.
 	CVEs []string
+	// Health counts the crawl's resilience events: retries, quarantined
+	// pages, honored rate limits, breaker activity.
+	Health Health
 }
 
 var (
@@ -70,117 +166,182 @@ var (
 
 // CrawlHTML breadth-first crawls an HTML portal starting at baseURL,
 // following same-site links, and extracts attack sample URLs from <pre>
-// proof-of-concept blocks.
+// proof-of-concept blocks. On a degraded portal the returned Result is
+// partial and err reports what was lost; only a portal yielding no pages
+// at all is a hard error (ErrNoPages).
 func (c *Crawler) CrawlHTML(baseURL string) (*Result, error) {
-	res := &Result{Portal: baseURL}
-	seenPages := map[string]bool{}
-	seenSamples := map[string]bool{}
-	cves := map[string]bool{}
-	queue := []string{baseURL + "/"}
-
-	for len(queue) > 0 && res.PagesFetched < c.opts.MaxPages {
-		page := queue[0]
-		queue = queue[1:]
-		if seenPages[page] {
-			continue
-		}
-		seenPages[page] = true
-
-		body, err := c.fetch(page)
-		if err != nil {
-			return nil, fmt.Errorf("fetch %s: %w", page, err)
-		}
-		res.PagesFetched++
-
-		for _, cve := range cveRe.FindAllString(body, -1) {
-			cves[cve] = true
-		}
-		for _, raw := range ExtractSampleURLs(body) {
-			if seenSamples[raw] {
-				continue
-			}
-			seenSamples[raw] = true
-			req, err := httpx.ParseURL(raw)
-			if err != nil || req.RawQuery == "" {
-				continue
-			}
-			req.Malicious = true
-			req.Tool = "crawl"
-			res.Samples = append(res.Samples, req)
-		}
-		for _, link := range extractLinks(body) {
-			abs, ok := resolveSameSite(baseURL, page, link)
-			if ok && !seenPages[abs] {
-				queue = append(queue, abs)
-			}
-		}
-		if c.opts.Delay > 0 {
-			time.Sleep(c.opts.Delay)
-		}
-	}
-	res.CVEs = sortedKeys(cves)
-	return res, nil
+	return c.crawlHTML(newState("html", baseURL))
 }
 
 // CrawlAPI pages through an OSVDB-style JSON search API at
-// baseURL/api/search, collecting samples from each result entry.
+// baseURL/api/search, collecting samples from each result entry. A
+// quarantined page window is skipped (the crawler controls the paging
+// limit, so it can advance past it) and the crawl continues.
 func (c *Crawler) CrawlAPI(baseURL string) (*Result, error) {
-	res := &Result{Portal: baseURL}
-	seenSamples := map[string]bool{}
-	cves := map[string]bool{}
-	offset := 0
-	for res.PagesFetched < c.opts.MaxPages {
-		body, err := c.fetch(fmt.Sprintf("%s/api/search?offset=%d", baseURL, offset))
-		if err != nil {
-			return nil, fmt.Errorf("api fetch offset %d: %w", offset, err)
-		}
-		res.PagesFetched++
+	return c.crawlAPI(newState("api", baseURL))
+}
 
-		var page struct {
-			Results []struct {
-				CVE     string   `json:"cve"`
-				Samples []string `json:"samples"`
-			} `json:"results"`
-			Next *int `json:"next"`
+// Resume continues a crawl from a checkpoint. Against the same portal
+// content, a killed-and-resumed crawl produces the same corpus as one
+// that never stopped: the checkpoint carries the frontier, dedup sets,
+// collected samples, health counters, and breaker states.
+func (c *Crawler) Resume(cp *Checkpoint) (*Result, error) {
+	st := stateFromCheckpoint(cp)
+	c.restoreBreakers(cp.Breakers)
+	if cp.Kind == "api" {
+		return c.crawlAPI(st)
+	}
+	return c.crawlHTML(st)
+}
+
+// processed is the page budget consumed so far: successes plus
+// quarantined pages, so a melting-down portal still terminates.
+func (c *Crawler) processed(st *crawlState) int {
+	return st.res.Health.PagesFetched + st.res.Health.PagesSkipped
+}
+
+func (c *Crawler) crawlHTML(st *crawlState) (*Result, error) {
+	res := st.res
+	for len(st.queue) > 0 && c.processed(st) < c.opts.MaxPages {
+		page := st.queue[0]
+		st.queue = st.queue[1:]
+		if st.seenPages[page] {
+			continue
 		}
-		if err := json.Unmarshal([]byte(body), &page); err != nil {
-			return nil, fmt.Errorf("api response offset %d: %w", offset, err)
+		st.seenPages[page] = true
+
+		body, _, err := c.fetch(page, validateHTML, &res.Health)
+		if err != nil {
+			quarantine(st, page)
+			if err := c.tick(st); err != nil {
+				return c.partial(st, err)
+			}
+			continue
 		}
+		res.Health.PagesFetched++
+		res.PagesFetched = res.Health.PagesFetched
+
+		st.harvest(body)
+		for _, link := range extractLinks(body) {
+			abs, ok := resolveSameSite(res.Portal, page, link)
+			if ok && !st.seenPages[abs] {
+				st.queue = append(st.queue, abs)
+			}
+		}
+		if err := c.tick(st); err != nil {
+			return c.partial(st, err)
+		}
+		c.sleep(c.opts.Delay)
+	}
+	return c.finish(st)
+}
+
+// apiPage is one JSON search response.
+type apiPage struct {
+	Results []struct {
+		CVE     string   `json:"cve"`
+		Samples []string `json:"samples"`
+	} `json:"results"`
+	Next *int `json:"next"`
+}
+
+func (c *Crawler) crawlAPI(st *crawlState) (*Result, error) {
+	res := st.res
+	for !st.done && c.processed(st) < c.opts.MaxPages {
+		url := fmt.Sprintf("%s/api/search?offset=%d&limit=%d", res.Portal, st.offset, c.opts.APILimit)
+		var page apiPage
+		validate := func(body string) error {
+			page = apiPage{}
+			return json.Unmarshal([]byte(body), &page)
+		}
+		_, _, err := c.fetch(url, validate, &res.Health)
+		if err != nil {
+			quarantine(st, url)
+			st.offset += c.opts.APILimit // skip the lost window, keep paging
+			if err := c.tick(st); err != nil {
+				return c.partial(st, err)
+			}
+			continue
+		}
+		res.Health.PagesFetched++
+		res.PagesFetched = res.Health.PagesFetched
+
 		for _, entry := range page.Results {
 			if entry.CVE != "" {
-				cves[entry.CVE] = true
+				st.cves[entry.CVE] = true
 			}
 			for _, raw := range entry.Samples {
-				if seenSamples[raw] {
-					continue
-				}
-				seenSamples[raw] = true
-				req, err := httpx.ParseURL(raw)
-				if err != nil || req.RawQuery == "" {
-					continue
-				}
-				req.Malicious = true
-				req.Tool = "crawl"
-				res.Samples = append(res.Samples, req)
+				st.addSample(raw)
 			}
 		}
 		if page.Next == nil {
-			break
+			st.done = true
+		} else {
+			st.offset = *page.Next
 		}
-		offset = *page.Next
-		if c.opts.Delay > 0 {
-			time.Sleep(c.opts.Delay)
+		if err := c.tick(st); err != nil {
+			return c.partial(st, err)
+		}
+		if !st.done {
+			c.sleep(c.opts.Delay)
 		}
 	}
-	res.CVEs = sortedKeys(cves)
-	return res, nil
+	return c.finish(st)
+}
+
+// harvest extracts CVEs and attack samples from an HTML page body.
+func (st *crawlState) harvest(body string) {
+	for _, cve := range cveRe.FindAllString(body, -1) {
+		st.cves[cve] = true
+	}
+	for _, raw := range ExtractSampleURLs(body) {
+		st.addSample(raw)
+	}
+}
+
+// addSample records one raw sample URL, deduplicated in first-seen order.
+func (st *crawlState) addSample(raw string) {
+	if st.seenSamples[raw] {
+		return
+	}
+	st.seenSamples[raw] = true
+	req, err := httpx.ParseURL(raw)
+	if err != nil || req.RawQuery == "" {
+		return
+	}
+	req.Malicious = true
+	req.Tool = "crawl"
+	st.res.Samples = append(st.res.Samples, req)
+}
+
+// finish seals the result. A portal that yielded nothing despite
+// attempted pages is reported as down (ErrNoPages) with its (empty but
+// health-bearing) result attached.
+func (c *Crawler) finish(st *crawlState) (*Result, error) {
+	st.res.CVEs = sortedKeys(st.cves)
+	if st.res.Health.PagesFetched == 0 && st.res.Health.PagesSkipped > 0 {
+		return st.res, fmt.Errorf("%s: %w", st.res.Portal, ErrNoPages)
+	}
+	return st.res, nil
+}
+
+// partial seals a result cut short by a checkpoint callback (ErrStop or a
+// persistence failure).
+func (c *Crawler) partial(st *crawlState, err error) (*Result, error) {
+	st.res.CVEs = sortedKeys(st.cves)
+	return st.res, err
 }
 
 // CrawlAll crawls multiple portals (auto-detecting API portals by probing
 // /api/search) and merges their samples, deduplicated across portals.
+// Portal failures no longer abort the run: every portal contributes what
+// it can, per-portal health rides on each Result, and the joined error
+// (errors.Join) reports which portals degraded or died. Callers decide
+// whether the partial corpus clears their coverage floor.
 func (c *Crawler) CrawlAll(baseURLs []string) ([]httpx.Request, []*Result, error) {
 	var all []httpx.Request
 	var results []*Result
+	var errs []error
 	seen := map[string]bool{}
 	for _, base := range baseURLs {
 		var (
@@ -193,7 +354,10 @@ func (c *Crawler) CrawlAll(baseURLs []string) ([]httpx.Request, []*Result, error
 			res, err = c.CrawlHTML(base)
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("crawl %s: %w", base, err)
+			errs = append(errs, fmt.Errorf("crawl %s: %w", base, err))
+		}
+		if res == nil {
+			continue
 		}
 		results = append(results, res)
 		for _, s := range res.Samples {
@@ -204,34 +368,15 @@ func (c *Crawler) CrawlAll(baseURLs []string) ([]httpx.Request, []*Result, error
 			}
 		}
 	}
-	return all, results, nil
+	return all, results, errors.Join(errs...)
 }
 
+// probeAPI detects a JSON search API through the resilient fetch path, so
+// a transient fault on the probe does not misclassify the portal.
 func (c *Crawler) probeAPI(base string) bool {
-	resp, err := c.opts.Client.Get(base + "/api/search?offset=0&limit=1")
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK &&
-		strings.Contains(resp.Header.Get("Content-Type"), "json")
-}
-
-func (c *Crawler) fetch(url string) (string, error) {
-	resp, err := c.opts.Client.Get(url)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("status %d", resp.StatusCode)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return "", err
-	}
-	return string(body), nil
+	var scratch Health
+	_, ctype, err := c.fetch(base+"/api/search?offset=0&limit=1", nil, &scratch)
+	return err == nil && strings.Contains(ctype, "json")
 }
 
 // ExtractSampleURLs pulls attack sample URLs out of an advisory page: lines

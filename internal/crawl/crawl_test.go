@@ -1,9 +1,11 @@
 package crawl
 
 import (
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"psigene/internal/attackgen"
 	"psigene/internal/portal"
@@ -98,12 +100,16 @@ func TestCrawlAllMergesAndDedupes(t *testing.T) {
 }
 
 func TestCrawlErrors(t *testing.T) {
-	c := New(Options{MaxPages: 2})
-	if _, err := c.CrawlHTML("http://127.0.0.1:1"); err == nil {
-		t.Fatal("unreachable portal: want error")
+	c := New(Options{MaxPages: 2, Sleep: func(time.Duration) {}, Timeout: 500 * time.Millisecond})
+	res, err := c.CrawlHTML("http://127.0.0.1:1")
+	if !errors.Is(err, ErrNoPages) {
+		t.Fatalf("unreachable portal: err = %v, want ErrNoPages", err)
 	}
-	if _, err := c.CrawlAPI("http://127.0.0.1:1"); err == nil {
-		t.Fatal("unreachable API: want error")
+	if res == nil || res.Health.PagesSkipped == 0 {
+		t.Fatalf("unreachable portal: want partial result with skipped pages, got %+v", res)
+	}
+	if _, err := c.CrawlAPI("http://127.0.0.1:1"); !errors.Is(err, ErrNoPages) {
+		t.Fatalf("unreachable API: err = %v, want ErrNoPages", err)
 	}
 }
 

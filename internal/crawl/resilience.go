@@ -1,0 +1,244 @@
+package crawl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Health counts a crawl's resilience events — the per-portal fault report
+// the CLI prints and the chaos tests assert on.
+type Health struct {
+	// PagesFetched counts successful page fetches; PagesSkipped counts
+	// pages quarantined after the retry budget (the crawl continues).
+	PagesFetched int `json:"pages_fetched"`
+	PagesSkipped int `json:"pages_skipped"`
+	// Retries counts re-attempts after a retryable failure.
+	Retries int `json:"retries"`
+	// RateLimited counts honored 429 Retry-After responses.
+	RateLimited int `json:"rate_limited"`
+	// Malformed counts pages rejected by integrity validation (truncated
+	// HTML, unparseable JSON) and retried.
+	Malformed int `json:"malformed"`
+	// BreakerTrips counts closed→open transitions; BreakerSkips counts
+	// requests failed fast by an open breaker.
+	BreakerTrips int `json:"breaker_trips"`
+	BreakerSkips int `json:"breaker_skips"`
+	// Quarantined lists the skipped page URLs (capped at quarantineListCap).
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// quarantineListCap bounds the quarantined-URL list carried in Health.
+const quarantineListCap = 64
+
+// Sentinel errors surfaced by the resilient fetch path.
+var (
+	// ErrNoPages marks a portal where not a single page could be fetched.
+	ErrNoPages = errors.New("crawl: no pages fetched")
+	// errMalformed marks a page that failed integrity validation.
+	errMalformed = errors.New("crawl: malformed page")
+	// errBreakerOpen marks an attempt denied by an open circuit breaker.
+	errBreakerOpen = errors.New("crawl: circuit breaker open")
+	// errTooLarge marks a response body over the MaxBodyBytes cap.
+	errTooLarge = errors.New("crawl: response body too large")
+)
+
+// fetchErr classifies one failed fetch attempt.
+type fetchErr struct {
+	err        error
+	permanent  bool // retrying cannot help (4xx, oversized body)
+	retryAfter int  // Retry-After seconds from a 429, 0 otherwise
+}
+
+func (e *fetchErr) Error() string { return e.err.Error() }
+func (e *fetchErr) Unwrap() error { return e.err }
+
+// splitmix64 is the tiny seeded generator behind retry jitter; math/rand
+// stays out so the package passes psigenelint's randsource check and the
+// whole crawl is a function of Options.Seed.
+type splitmix64 struct{ state uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *splitmix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// sleep routes every delay — politeness, backoff, Retry-After — through
+// the injectable sleeper so tests run without wall-clock waits.
+func (c *Crawler) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.opts.Sleep(d)
+}
+
+// backoff computes the exponential-backoff-with-full-jitter delay for a
+// retry: uniform in [0, min(BackoffMax, BackoffBase·2^attempt)).
+func (c *Crawler) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	return time.Duration(c.rng.float64() * float64(d))
+}
+
+// breakerFor returns (creating on demand) the host's circuit breaker.
+func (c *Crawler) breakerFor(host string) *breaker {
+	b, ok := c.breakers[host]
+	if !ok {
+		b = &breaker{threshold: c.opts.BreakerThreshold, cooldown: c.opts.BreakerCooldown}
+		c.breakers[host] = b
+	}
+	return b
+}
+
+// hostOf extracts host:port from a URL for breaker keying.
+func hostOf(rawurl string) string {
+	rest := rawurl
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// drainClose drains (bounded) and closes a response body so the
+// connection can be reused and a malicious peer cannot hold memory.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	_ = body.Close()
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form.
+func parseRetryAfter(v string) int {
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// fetchRaw performs one bounded HTTP fetch: per-request context timeout,
+// read cap via io.LimitReader, and drain-and-close on every path. The
+// returned fetchErr classifies failures as retryable or permanent.
+func (c *Crawler) fetchRaw(url string) (body, contentType string, ferr *fetchErr) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", "", &fetchErr{err: err, permanent: true}
+	}
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		// Timeouts, resets, refused connections: all worth retrying.
+		return "", "", &fetchErr{err: err}
+	}
+	defer drainClose(resp.Body)
+	contentType = resp.Header.Get("Content-Type")
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return "", contentType, &fetchErr{
+			err:        fmt.Errorf("status %d", resp.StatusCode),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	case resp.StatusCode >= 500:
+		return "", contentType, &fetchErr{err: fmt.Errorf("status %d", resp.StatusCode)}
+	case resp.StatusCode != http.StatusOK:
+		return "", contentType, &fetchErr{err: fmt.Errorf("status %d", resp.StatusCode), permanent: true}
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBodyBytes+1))
+	if err != nil {
+		// Truncated transfer (unexpected EOF) or mid-read reset.
+		return "", contentType, &fetchErr{err: err}
+	}
+	if int64(len(b)) > c.opts.MaxBodyBytes {
+		return "", contentType, &fetchErr{err: errTooLarge, permanent: true}
+	}
+	return string(b), contentType, nil
+}
+
+// fetch runs the full resilient fetch for one page: circuit breaker,
+// bounded retries with seeded full-jitter backoff, Retry-After honoring,
+// and integrity validation (validate rejecting a body makes the attempt
+// retryable — a garbled page is refetched, not parsed). health is updated
+// as events happen. A non-nil error means the page is quarantined.
+func (c *Crawler) fetch(url string, validate func(body string) error, health *Health) (string, string, error) {
+	host := hostOf(url)
+	br := c.breakerFor(host)
+	attempts := 1 + c.opts.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			health.Retries++
+		}
+		if !br.Allow() {
+			health.BreakerSkips++
+			lastErr = fmt.Errorf("%w (host %s)", errBreakerOpen, host)
+			continue // fail fast: no network call, no sleep
+		}
+		body, ctype, ferr := c.fetchRaw(url)
+		if ferr == nil && validate != nil {
+			if verr := validate(body); verr != nil {
+				health.Malformed++
+				ferr = &fetchErr{err: fmt.Errorf("%w: %v", errMalformed, verr)}
+			}
+		}
+		if ferr == nil {
+			br.Success()
+			return body, ctype, nil
+		}
+		if br.Failure() {
+			health.BreakerTrips++
+		}
+		lastErr = ferr.err
+		if ferr.permanent {
+			return "", "", fmt.Errorf("fetch %s: %w", url, ferr.err)
+		}
+		if a == attempts-1 {
+			break
+		}
+		if ferr.retryAfter > 0 {
+			health.RateLimited++
+			c.sleep(time.Duration(ferr.retryAfter) * time.Second)
+		} else {
+			c.sleep(c.backoff(a))
+		}
+	}
+	return "", "", fmt.Errorf("fetch %s: retries exhausted: %w", url, lastErr)
+}
+
+// validateHTML is the integrity check for HTML pages: the portals always
+// emit a closing </html>, so a body without one was cut short or garbled
+// in flight and should be refetched rather than parsed for links.
+func validateHTML(body string) error {
+	if !strings.Contains(body, "</html>") {
+		return errors.New("truncated or garbled HTML (no closing </html>)")
+	}
+	return nil
+}
+
+// quarantine records a page the crawl gave up on and moves on.
+func quarantine(st *crawlState, url string) {
+	st.res.Health.PagesSkipped++
+	if len(st.res.Health.Quarantined) < quarantineListCap {
+		st.res.Health.Quarantined = append(st.res.Health.Quarantined, url)
+	}
+}

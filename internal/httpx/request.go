@@ -33,8 +33,13 @@ type Request struct {
 
 // ParseURL builds a Request from a raw URL string such as
 // "http://host:8080/app/page.jsp?id=1+or+1%3D1". Scheme, host and port are
-// optional; everything after the first '?' becomes RawQuery.
+// optional; everything after the first '?' becomes RawQuery. Crawled sample
+// URLs are attacker-written and often deliberately malformed (bare '?',
+// stray whitespace, broken percent escapes), so parsing is lenient: it
+// splits on structure only and never rejects a payload for its content —
+// the payload IS the signal.
 func ParseURL(raw string) (Request, error) {
+	raw = strings.TrimSpace(raw)
 	if raw == "" {
 		return Request{}, fmt.Errorf("httpx: empty URL")
 	}
@@ -87,10 +92,61 @@ func (r Request) URL() string {
 	return r.Path + "?" + r.RawQuery
 }
 
+// DecodeComponent percent-decodes a query component, treating '+' as a
+// space. Unlike net/url's decoder it never fails: a malformed escape (bare
+// or truncated '%', non-hex digits — common in hand-crafted SQLi payloads
+// like "%' or 1=1") is kept literally. Decoding always succeeds, so every
+// crawled payload survives into the corpus.
+func DecodeComponent(s string) string {
+	if !strings.ContainsAny(s, "%+") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '+':
+			b.WriteByte(' ')
+		case '%':
+			if i+2 < len(s) {
+				hi, ok1 := unhex(s[i+1])
+				lo, ok2 := unhex(s[i+2])
+				if ok1 && ok2 {
+					b.WriteByte(hi<<4 | lo)
+					i += 2
+					continue
+				}
+			}
+			b.WriteByte('%')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
 // Param is one name=value pair of a query string, undecoded, in original
 // order.
 type Param struct {
 	Name, Value string
+}
+
+// Decoded returns the pair with name and value percent-decoded (lenient;
+// see DecodeComponent).
+func (p Param) Decoded() Param {
+	return Param{Name: DecodeComponent(p.Name), Value: DecodeComponent(p.Value)}
 }
 
 // ParseParams splits a raw query string into ordered name/value pairs

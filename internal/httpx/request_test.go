@@ -14,6 +14,11 @@ func TestParseURL(t *testing.T) {
 		{"/plain", "", "/plain", "", ""},
 		{"?leading=1", "", "/", "leading=1", "leading=1"},
 		{"/p?x=a?b", "", "/p", "x=a?b", "x=a?b"}, // only the first ? splits
+		// Attacker-written sample URLs: lenient structural parsing only.
+		{"?", "", "/", "", ""},                         // bare ?
+		{"??a=b", "", "/", "?a=b", "?a=b"},             // doubled ?
+		{"  /p?id=1  ", "", "/p", "id=1", "id=1"},      // stray whitespace
+		{"/p?id=%zz'", "", "/p", "id=%zz'", "id=%zz'"}, // broken escape kept raw
 	}
 	for _, c := range cases {
 		r, err := ParseURL(c.in)
@@ -73,6 +78,42 @@ func TestParseParamsSemicolonSeparator(t *testing.T) {
 	ps := ParseParams("a=1;b=2")
 	if len(ps) != 2 || ps[1].Name != "b" {
 		t.Fatalf("params=%v", ps)
+	}
+}
+
+func TestDecodeComponent(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain", "plain"},
+		{"a+b", "a b"},
+		{"%27or%271%27%3D%271", "'or'1'='1"},
+		{"%41%62c", "Abc"},
+		{"%2Bliteral", "+literal"}, // encoded plus decodes to plus, not space
+		// Malformed escapes survive literally instead of erroring.
+		{"%", "%"},
+		{"%2", "%2"},
+		{"100%", "100%"},
+		{"%zz", "%zz"},
+		{"%' or 1=1", "%' or 1=1"},
+		{"%g1%41", "%g1A"}, // bad escape kept, good escape still decoded
+	}
+	for _, c := range cases {
+		if got := DecodeComponent(c.in); got != c.want {
+			t.Fatalf("DecodeComponent(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParamDecoded(t *testing.T) {
+	p := Param{Name: "user%20name", Value: "1+or+%271%27%3D%271"}
+	d := p.Decoded()
+	if d.Name != "user name" || d.Value != "1 or '1'='1" {
+		t.Fatalf("Decoded = %+v", d)
+	}
+	// Malformed pairs decode to themselves, never fail.
+	p = Param{Name: "a%", Value: "%zz"}
+	if d := p.Decoded(); d.Name != "a%" || d.Value != "%zz" {
+		t.Fatalf("Decoded = %+v", d)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"psigene/internal/attackgen"
+	"psigene/internal/faultify"
 )
 
 // Style selects the portal's presentation.
@@ -115,6 +116,14 @@ func GenerateEntries(gen *attackgen.Generator, count int) []Entry {
 		entries[i] = e
 	}
 	return entries
+}
+
+// FaultyHandler returns the portal's handler wrapped in a fault injector,
+// so a portal can simulate the degraded public sites the paper crawled:
+// 500s, rate limits, hangs, resets, truncated and garbled pages, all on a
+// deterministic seeded schedule (see internal/faultify).
+func (p *Portal) FaultyHandler(inj *faultify.Injector) http.Handler {
+	return inj.Wrap(p.Handler())
 }
 
 // Handler returns the portal's HTTP handler.

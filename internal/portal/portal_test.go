@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"psigene/internal/attackgen"
+	"psigene/internal/faultify"
 )
 
 func testEntries(t *testing.T, n int) []Entry {
@@ -154,6 +155,39 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(b)
+}
+
+func TestFaultyHandler(t *testing.T) {
+	p := New("exploit-db", StyleHTML, 5, testEntries(t, 8))
+	// Only 500s, at rate 1: every request faults once, then recovers.
+	inj := faultify.New(faultify.Config{
+		Seed:    3,
+		Rates:   map[faultify.Class]float64{faultify.Err500: 1},
+		Repeats: 1,
+	})
+	srv := httptest.NewServer(p.FaultyHandler(inj))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("first hit: status %d, want injected 500", resp.StatusCode)
+	}
+	resp2, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 || !strings.Contains(string(b), "/advisory/1000") {
+		t.Fatalf("second hit: status %d, want the real page", resp2.StatusCode)
+	}
+	if st := inj.Snapshot(); st.Total() != 1 || st.Passed != 1 {
+		t.Fatalf("stats = %v, want 1 injected + 1 passed", st)
+	}
 }
 
 func TestForumPortal(t *testing.T) {
