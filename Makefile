@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race race-parallel bench smoke chaos
+.PHONY: check vet fmt lint build test race race-parallel bench smoke chaos gateway-chaos fuzz
 
-check: vet fmt build lint test smoke chaos
+check: vet fmt build lint test smoke chaos gateway-chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -36,11 +36,12 @@ race: race-parallel
 # the worker pools, disjoint-slot writes, and ownership partitioning.
 race-parallel:
 	$(GO) test -race -timeout 20m -run 'Parallel' ./internal/...
+	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/ ./internal/resilience/
 
 # Sparse-vs-dense, serial-vs-parallel train, and pipeline micro benchmarks
 # (EXPERIMENTS.md numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|TrainParallel|DenseMatch|SparseMatch' -benchmem .
+	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|TrainParallel|DenseMatch|SparseMatch|GatewayThroughput' -benchmem .
 
 # End-to-end smoke test: the quickstart example must train and classify.
 smoke:
@@ -52,3 +53,18 @@ smoke:
 chaos:
 	$(GO) test -count=1 -run 'Chaos|Checkpoint|Breaker|RetryAfter|Quarantine|Timeout' ./internal/crawl/ ./internal/faultify/
 	$(GO) run ./examples/crawl-and-train -flaky
+
+# Serving-side chaos gate: the gateway's deterministic fault-storm suite
+# (faultify-wrapped upstream, scoring panics, failed reloads, drain under
+# burst). Hang faults resolve through the gateway's short upstream
+# deadline, so the whole suite runs in a few seconds.
+gateway-chaos:
+	$(GO) test -count=1 -run 'Chaos|Breaker|Drain|Overload|Reload' ./internal/gateway/
+
+# Fuzz smoke: a few seconds per httpx parsing target (plus their checked-in
+# crash corpora under testdata/fuzz). `go test -fuzz` accepts one target
+# per run, hence one invocation each.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeComponent$$' -fuzztime 3s ./internal/httpx
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRequestLine$$' -fuzztime 3s ./internal/httpx
+	$(GO) test -run '^$$' -fuzz '^FuzzParseParams$$' -fuzztime 3s ./internal/httpx

@@ -17,6 +17,7 @@ import (
 	"psigene/internal/core"
 	"psigene/internal/experiments"
 	"psigene/internal/feature"
+	"psigene/internal/gateway"
 	"psigene/internal/ids"
 	"psigene/internal/matrix"
 	"psigene/internal/ml"
@@ -579,4 +580,59 @@ func BenchmarkSparseMatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Inspect(probes[i%len(probes)])
 	}
+}
+
+// BenchmarkGatewayThroughput measures the serving path end to end: the
+// trained signature set behind the reverse proxy, scoring a mixed stream
+// and forwarding survivors to the demo webapp over real HTTP. The
+// "forward" case pays scoring plus the upstream round trip; "blocked"
+// isolates the gateway's own verdict path (the injection never leaves the
+// proxy).
+func BenchmarkGatewayThroughput(b *testing.B) {
+	env := benchEnv(b)
+	up := httptest.NewServer(webapp.New(50))
+	defer up.Close()
+	g, err := gateway.New(up.URL, env.Model9, gateway.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Split the generated streams by the model's own verdict so each
+	// sub-benchmark measures one path purely: "forward" never trips a
+	// false positive mid-run, "blocked" never forwards a miss.
+	var forwards, blocked []string
+	for _, r := range traffic.NewGenerator(61).Requests(200) {
+		if !env.Model9.Inspect(r).Alert {
+			forwards = append(forwards, "/wavsep/Case1.jsp?"+r.RawQuery)
+		}
+	}
+	for _, r := range attackgen.NewGenerator(attackgen.SQLMapProfile(), 62).Requests(200) {
+		if env.Model9.Inspect(r).Alert {
+			blocked = append(blocked, r.URL())
+		}
+	}
+
+	drive := func(b *testing.B, targets []string, want func(int) bool) {
+		b.Helper()
+		if len(targets) == 0 {
+			b.Skip("no targets on this path")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			g.ServeHTTP(w, httptest.NewRequest("GET", targets[i%len(targets)], nil))
+			if !want(w.Code) {
+				b.Fatalf("unexpected status %d", w.Code)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+
+	b.Run("forward", func(b *testing.B) {
+		// The webapp answers 200 or (for odd param values) its SQL-error
+		// 500 page; both mean the request went through to the upstream.
+		drive(b, forwards, func(c int) bool { return c != 403 })
+	})
+	b.Run("blocked", func(b *testing.B) {
+		drive(b, blocked, func(c int) bool { return c == 403 })
+	})
 }

@@ -1,0 +1,139 @@
+// Command psigened is the pSigene serving daemon: a reverse proxy that
+// scores every request against a trained signature set before forwarding
+// it to the protected upstream.
+//
+//	psigened -model model.json -upstream http://127.0.0.1:8080 -listen :9090
+//
+// Admin endpoints (bypass admission control):
+//
+//	GET  /-/healthz            liveness
+//	GET  /-/readyz             readiness (503 while draining)
+//	GET  /-/statz              counters, breaker state, scoring latency
+//	POST /-/reload?path=m.json validate-then-swap a new model; a corrupt
+//	                           model leaves the old detector serving
+//
+// On SIGINT/SIGTERM the daemon stops admitting requests, drains in-flight
+// ones (bounded by -drain-timeout), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"psigene/internal/core"
+	"psigene/internal/gateway"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "psigened:", err)
+		os.Exit(1)
+	}
+}
+
+// testHooks lets the tests drive the daemon: ready receives the bound
+// address once listening, stop triggers the drain path a signal would.
+type testHooks struct {
+	ready chan string
+	stop  chan struct{}
+}
+
+// run wires flags into a gateway.Gateway and serves until a signal (or
+// the test stop hook) triggers the drain.
+func run(args []string, w io.Writer, hooks *testHooks) error {
+	fs := flag.NewFlagSet("psigened", flag.ContinueOnError)
+	var (
+		model        = fs.String("model", "", "trained model file (psigene train output); required")
+		upstream     = fs.String("upstream", "", "base URL of the protected upstream; required")
+		listen       = fs.String("listen", ":9090", "address to serve on")
+		policy       = fs.String("policy", "open", "scoring-failure policy: open (forward unscored) or closed (reject)")
+		maxInFlight  = fs.Int("max-in-flight", 256, "concurrent request cap; excess is shed with 503")
+		maxBody      = fs.Int64("max-body-bytes", 1<<20, "request body cap in bytes")
+		scoreBudget  = fs.Duration("score-budget", 10*time.Millisecond, "deadline slice reserved for scoring")
+		upTimeout    = fs.Duration("upstream-timeout", 5*time.Second, "deadline slice for the upstream leg")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" || *upstream == "" {
+		return fmt.Errorf("both -model and -upstream are required")
+	}
+	var pol gateway.Policy
+	switch *policy {
+	case "open":
+		pol = gateway.FailOpen
+	case "closed":
+		pol = gateway.FailClosed
+	default:
+		return fmt.Errorf("unknown -policy %q (want open or closed)", *policy)
+	}
+
+	m, err := core.LoadFile(*model)
+	if err != nil {
+		return fmt.Errorf("load model: %w", err)
+	}
+	g, err := gateway.New(*upstream, m, gateway.Options{
+		MaxInFlight:     *maxInFlight,
+		MaxBodyBytes:    *maxBody,
+		ScoreBudget:     *scoreBudget,
+		UpstreamTimeout: *upTimeout,
+		Policy:          pol,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "psigened: scoring with %s (%d signatures, policy %s), proxying to %s on %s\n",
+		m.Name(), len(m.Signatures), pol, *upstream, ln.Addr())
+	if hooks != nil && hooks.ready != nil {
+		hooks.ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{Handler: g}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	var testStop chan struct{}
+	if hooks != nil {
+		testStop = hooks.stop
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(w, "psigened: %v: draining\n", s)
+	case <-testStop:
+		fmt.Fprintln(w, "psigened: stop requested: draining")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := g.Drain(ctx); err != nil {
+		fmt.Fprintf(w, "psigened: drain incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(w, "psigened: drained, bye")
+	return nil
+}

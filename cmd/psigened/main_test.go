@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/traffic"
+	"psigene/internal/webapp"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb, nil); err == nil {
+		t.Fatal("missing -model/-upstream: want error")
+	}
+	if err := run([]string{"-model", "m.json"}, &sb, nil); err == nil {
+		t.Fatal("missing -upstream: want error")
+	}
+	if err := run([]string{"-model", "m.json", "-upstream", "http://h", "-policy", "bogus"}, &sb, nil); err == nil {
+		t.Fatal("bad -policy: want error")
+	}
+	if err := run([]string{"-model", "/nonexistent.json", "-upstream", "http://h"}, &sb, nil); err == nil {
+		t.Fatal("missing model file: want error")
+	}
+}
+
+// TestDaemonEndToEnd boots the real daemon in front of the demo webapp:
+// benign traffic passes, an injection is blocked with 403, admin
+// endpoints answer, and the stop hook drains cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 41).Requests(1200)
+	benign := traffic.NewGenerator(42).Requests(1500)
+	m, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(model); err != nil {
+		t.Fatal(err)
+	}
+
+	up := httptest.NewServer(webapp.New(20))
+	defer up.Close()
+
+	hooks := &testHooks{ready: make(chan string, 1), stop: make(chan struct{})}
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-model", model, "-upstream", up.URL, "-listen", "127.0.0.1:0",
+		}, &out, hooks)
+	}()
+	addr := <-hooks.ready
+	base := "http://" + addr
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+
+	if resp, _ := get("/-/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if resp, _ := get("/-/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+	// A benign lookup proxies through to the webapp.
+	resp, body := get("/wavsep/Case1.jsp?id=3")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "<html>") {
+		t.Fatalf("benign: %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Psigene-Gen") != "1" {
+		t.Fatalf("generation header %q", resp.Header.Get("X-Psigene-Gen"))
+	}
+	// A classic tautology is stopped at the gateway.
+	resp, _ = get("/wavsep/Case1.jsp?id=1%27%20or%20%271%27=%271")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("injection: %d, want 403", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Psigene-Signatures") == "" {
+		t.Fatal("blocked response must name the matching signatures")
+	}
+	if resp, body := get("/-/statz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"blocked": 1`) {
+		t.Fatalf("statz: %d %s", resp.StatusCode, body)
+	}
+
+	close(hooks.stop)
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Fatalf("missing drain log:\n%s", out.String())
+	}
+}
+
+// TestDaemonListenConflict covers the bind-failure path.
+func TestDaemonListenConflict(t *testing.T) {
+	model := filepath.Join(t.TempDir(), "model.json")
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 43).Requests(600)
+	benign := traffic.NewGenerator(44).Requests(900)
+	m, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if err := m.SaveFile(model); err != nil {
+		t.Fatal(err)
+	}
+	up := httptest.NewServer(webapp.New(5))
+	defer up.Close()
+	var sb strings.Builder
+	err = run([]string{"-model", model, "-upstream", up.URL, "-listen", "256.256.256.256:1"}, &sb, nil)
+	if err == nil {
+		t.Fatal("unbindable address: want error")
+	}
+	_ = fmt.Sprint(err)
+}

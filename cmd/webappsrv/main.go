@@ -1,0 +1,36 @@
+// Command webappsrv serves the WAVSEP-style vulnerable demo application
+// (internal/webapp) over HTTP — the protected upstream for the psigened
+// quickstart and a live target for the scanner.
+//
+//	webappsrv -addr 127.0.0.1:8080 -pages 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"psigene/internal/webapp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "webappsrv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("webappsrv", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8080", "address to serve on")
+		pages = fs.Int("pages", 24, "number of injectable pages")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app := webapp.New(*pages)
+	fmt.Printf("webappsrv: %d injectable pages on http://%s (e.g. /wavsep/Case1.jsp?id=1)\n", *pages, *addr)
+	return http.ListenAndServe(*addr, app)
+}

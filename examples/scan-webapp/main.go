@@ -15,6 +15,7 @@ import (
 
 	"psigene/internal/attackgen"
 	"psigene/internal/core"
+	"psigene/internal/gateway"
 	"psigene/internal/ids"
 	"psigene/internal/scanner"
 	"psigene/internal/traffic"
@@ -73,4 +74,37 @@ func main() {
 	eval := ids.Evaluate(model, res.Requests)
 	fmt.Printf("\npSigene (%d signatures, trained on crawl corpus) on captured scanner traffic:\n", len(model.Signatures))
 	fmt.Printf("  detected %d of %d scanner requests (TPR = %.2f%%)\n", eval.TP, eval.TP+eval.FN, eval.TPR()*100)
+	fmt.Printf("  scoring latency: p50=%v p99=%v max=%v\n", eval.Latency.P50, eval.Latency.P99, eval.Latency.Max)
+
+	// Deploy the same model inline: the gateway scores each request before
+	// it reaches the webapp, so a rescan now runs against a protected app
+	// and the captured attack traffic is stopped at the proxy.
+	g, err := gateway.New(srv.URL, model, gateway.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	guarded := httptest.NewServer(g)
+	defer guarded.Close()
+	client := guarded.Client()
+	var blockedN, passedN int
+	for _, r := range res.Requests {
+		resp, err := client.Get(guarded.URL + r.URL())
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode == 403 {
+			blockedN++
+		} else {
+			passedN++
+		}
+	}
+	snap := g.Snapshot()
+	fmt.Printf("\nreplaying the scan through the psigened gateway (%s, generation %d):\n",
+		guarded.URL, snap.Generation)
+	fmt.Printf("  blocked %d of %d attack requests at the proxy, %d reached the app\n",
+		blockedN, len(res.Requests), passedN)
+	if blockedN == 0 {
+		log.Fatal("gateway blocked nothing; the inline deployment is broken")
+	}
 }

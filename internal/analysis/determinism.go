@@ -9,11 +9,13 @@ import (
 
 // DefaultKernelPackages are the packages under a bit-identical output
 // guarantee: the training kernels (Config.Parallelism trains ==-equal
-// models at every worker count) and the crawl path (same seeds, same
-// corpus — including kill-and-resume and injected-fault replays).
-// Nondeterministic iteration order or nondeterministic inputs inside them
-// would break those guarantees, so the determinism analyzers are scoped
-// here.
+// models at every worker count), the crawl path (same seeds, same
+// corpus — including kill-and-resume and injected-fault replays), and the
+// shared resilience primitives both the crawl and the serving gateway
+// replay faults through (seeded jitter, schedule hashing, the
+// request-count breaker). Nondeterministic iteration order or
+// nondeterministic inputs inside them would break those guarantees, so
+// the determinism analyzers are scoped here.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
@@ -21,6 +23,7 @@ var DefaultKernelPackages = []string{
 	"internal/feature",
 	"internal/crawl",
 	"internal/faultify",
+	"internal/resilience",
 }
 
 func isKernelPackage(pkg *Package, kernel []string) bool {

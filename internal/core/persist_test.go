@@ -94,6 +94,67 @@ func TestLoadErrors(t *testing.T) {
 	}
 }
 
+// TestLoadTruncated cuts a real saved model at every prefix length up to
+// (and including) the final closing brace: all are incomplete JSON and must
+// produce a clean error, never a panic and never a partially-built model.
+// This is the gateway's reload safety net — a half-written model file on
+// disk must be rejected before the detector swap.
+func TestLoadTruncated(t *testing.T) {
+	m := smallModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	end := bytes.LastIndexByte(full, '}')
+	if end < 0 {
+		t.Fatal("saved model has no closing brace")
+	}
+	// Stride keeps the quadratic decode work bounded; always include the
+	// boundary cases 0, 1, and the byte just before the closing brace.
+	cuts := []int{0, 1, end - 1, end}
+	for n := 2; n < end-1; n += 97 {
+		cuts = append(cuts, n)
+	}
+	for _, n := range cuts {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated to %d of %d bytes: want error", n, len(full))
+		}
+	}
+	// Sanity: the untruncated bytes still load.
+	if _, err := Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full model failed to load: %v", err)
+	}
+}
+
+// TestLoadCorrupted flips single bytes of a valid saved model. Corruption
+// may survive decoding (a digit flipped inside a weight is still valid
+// JSON), so the invariant is weaker than for truncation: Load must never
+// panic, and any model it does accept must score requests without
+// panicking.
+func TestLoadCorrupted(t *testing.T) {
+	m := smallModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	probe := attackgen.NewGenerator(attackgen.SQLMapProfile(), 80).Requests(5)
+	for pos := 0; pos < len(full); pos += 53 {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), full...)
+			mut[pos] ^= flip
+			loaded, err := Load(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			for _, r := range probe {
+				loaded.Inspect(r) // must not panic
+			}
+		}
+	}
+}
+
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile("/nonexistent/model.json"); err == nil {
 		t.Fatal("want error")

@@ -1,110 +1,24 @@
 package crawl
 
-// BreakerState is a circuit breaker's position.
-type BreakerState int
+import "psigene/internal/resilience"
+
+// The per-host circuit breaker moved to internal/resilience so the
+// serving gateway could share the same clock-free request-count state
+// machine. The crawl API keeps its original names as aliases — crawl
+// checkpoints embed BreakerSnapshot, so the JSON shape must not move.
+type (
+	// BreakerState is a circuit breaker's position.
+	BreakerState = resilience.BreakerState
+	// BreakerSnapshot is a breaker's serializable state, carried inside
+	// checkpoints so a resumed crawl continues with the same breaker
+	// position.
+	BreakerSnapshot = resilience.BreakerSnapshot
+)
 
 // Breaker states: closed (traffic flows), open (fail fast), half-open
 // (one probe allowed).
 const (
-	BreakerClosed BreakerState = iota
-	BreakerOpen
-	BreakerHalfOpen
+	BreakerClosed   = resilience.BreakerClosed
+	BreakerOpen     = resilience.BreakerOpen
+	BreakerHalfOpen = resilience.BreakerHalfOpen
 )
-
-// String names the state for logs.
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	}
-	return "unknown"
-}
-
-// breaker is a per-host circuit breaker with the classic
-// closed→open→half-open state machine, except that the open→half-open
-// transition is driven by denied-request count rather than wall time: an
-// open breaker fails fast the next cooldown attempts and then admits one
-// probe. Counting requests instead of seconds keeps the whole crawl a
-// deterministic function of its inputs — no clock seam needed — which is
-// what lets the chaos tests assert bit-identical corpora.
-type breaker struct {
-	threshold int // consecutive failures that open the breaker; <=0 disables
-	cooldown  int // denied attempts while open before half-open
-
-	state     BreakerState
-	failures  int // consecutive failures while closed
-	remaining int // denials left while open
-}
-
-// Allow reports whether a request may proceed. While open it consumes one
-// denial; when the denial budget is spent the breaker moves to half-open
-// and admits the probe.
-func (b *breaker) Allow() bool {
-	if b.threshold <= 0 {
-		return true
-	}
-	switch b.state {
-	case BreakerOpen:
-		if b.remaining > 0 {
-			b.remaining--
-			return false
-		}
-		b.state = BreakerHalfOpen
-		return true
-	default: // closed or half-open (the probe)
-		return true
-	}
-}
-
-// Success records a successful request: any state collapses to closed.
-func (b *breaker) Success() {
-	b.state = BreakerClosed
-	b.failures = 0
-}
-
-// Failure records a failed request and reports whether the breaker
-// tripped (transitioned to open) as a result. A half-open probe failure
-// re-opens immediately; a closed breaker opens after threshold
-// consecutive failures.
-func (b *breaker) Failure() (tripped bool) {
-	if b.threshold <= 0 {
-		return false
-	}
-	switch b.state {
-	case BreakerHalfOpen:
-		b.state = BreakerOpen
-		b.remaining = b.cooldown
-		return true
-	case BreakerClosed:
-		b.failures++
-		if b.failures >= b.threshold {
-			b.state = BreakerOpen
-			b.remaining = b.cooldown
-			b.failures = 0
-			return true
-		}
-	}
-	return false
-}
-
-// BreakerSnapshot is a breaker's serializable state, carried inside
-// checkpoints so a resumed crawl continues with the same breaker position.
-type BreakerSnapshot struct {
-	State     BreakerState `json:"state"`
-	Failures  int          `json:"failures"`
-	Remaining int          `json:"remaining"`
-}
-
-func (b *breaker) snapshot() BreakerSnapshot {
-	return BreakerSnapshot{State: b.state, Failures: b.failures, Remaining: b.remaining}
-}
-
-func (b *breaker) restore(s BreakerSnapshot) {
-	b.state = s.State
-	b.failures = s.Failures
-	b.remaining = s.Remaining
-}

@@ -184,7 +184,7 @@ func (c *Crawler) checkpoint(st *crawlState) *Checkpoint {
 		}
 		sort.Strings(hosts)
 		for _, h := range hosts {
-			cp.Breakers[h] = c.breakers[h].snapshot()
+			cp.Breakers[h] = c.breakers[h].Snapshot()
 		}
 	}
 	return cp
@@ -193,7 +193,7 @@ func (c *Crawler) checkpoint(st *crawlState) *Checkpoint {
 // restoreBreakers installs checkpointed breaker state into the crawler.
 func (c *Crawler) restoreBreakers(snaps map[string]BreakerSnapshot) {
 	for host, s := range snaps {
-		c.breakerFor(host).restore(s)
+		c.breakerFor(host).Restore(s)
 	}
 }
 

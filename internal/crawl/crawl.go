@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"psigene/internal/httpx"
+	"psigene/internal/resilience"
 )
 
 // Options configures a crawler. Zero values take resilient defaults.
@@ -127,8 +128,8 @@ func (o Options) withDefaults() Options {
 // Crawler fetches portals and extracts attack samples.
 type Crawler struct {
 	opts     Options
-	rng      splitmix64
-	breakers map[string]*breaker
+	rng      *resilience.SplitMix64
+	breakers map[string]*resilience.Breaker
 }
 
 // New returns a crawler.
@@ -136,8 +137,8 @@ func New(opts Options) *Crawler {
 	o := opts.withDefaults()
 	return &Crawler{
 		opts:     o,
-		rng:      splitmix64{state: uint64(o.Seed)},
-		breakers: map[string]*breaker{},
+		rng:      resilience.NewSplitMix64(uint64(o.Seed)),
+		breakers: map[string]*resilience.Breaker{},
 	}
 }
 

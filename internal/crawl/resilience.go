@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"psigene/internal/resilience"
 )
 
 // Health counts a crawl's resilience events — the per-portal fault report
@@ -58,24 +60,6 @@ type fetchErr struct {
 func (e *fetchErr) Error() string { return e.err.Error() }
 func (e *fetchErr) Unwrap() error { return e.err }
 
-// splitmix64 is the tiny seeded generator behind retry jitter; math/rand
-// stays out so the package passes psigenelint's randsource check and the
-// whole crawl is a function of Options.Seed.
-type splitmix64 struct{ state uint64 }
-
-func (r *splitmix64) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// float64 returns a uniform value in [0, 1).
-func (r *splitmix64) float64() float64 {
-	return float64(r.next()>>11) / (1 << 53)
-}
-
 // sleep routes every delay — politeness, backoff, Retry-After — through
 // the injectable sleeper so tests run without wall-clock waits.
 func (c *Crawler) sleep(d time.Duration) {
@@ -86,20 +70,19 @@ func (c *Crawler) sleep(d time.Duration) {
 }
 
 // backoff computes the exponential-backoff-with-full-jitter delay for a
-// retry: uniform in [0, min(BackoffMax, BackoffBase·2^attempt)).
+// retry: uniform in [0, min(BackoffMax, BackoffBase·2^attempt)). The
+// jitter comes from the crawler's seeded generator (math/rand stays out so
+// the package passes psigenelint's randsource check and the whole crawl is
+// a function of Options.Seed).
 func (c *Crawler) backoff(attempt int) time.Duration {
-	d := c.opts.BackoffBase << uint(attempt)
-	if d > c.opts.BackoffMax || d <= 0 {
-		d = c.opts.BackoffMax
-	}
-	return time.Duration(c.rng.float64() * float64(d))
+	return resilience.Backoff(c.rng, c.opts.BackoffBase, c.opts.BackoffMax, attempt)
 }
 
 // breakerFor returns (creating on demand) the host's circuit breaker.
-func (c *Crawler) breakerFor(host string) *breaker {
+func (c *Crawler) breakerFor(host string) *resilience.Breaker {
 	b, ok := c.breakers[host]
 	if !ok {
-		b = &breaker{threshold: c.opts.BreakerThreshold, cooldown: c.opts.BreakerCooldown}
+		b = resilience.NewBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown)
 		c.breakers[host] = b
 	}
 	return b

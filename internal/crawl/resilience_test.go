@@ -11,108 +11,6 @@ import (
 	"time"
 )
 
-func TestBreakerStateMachine(t *testing.T) {
-	b := &breaker{threshold: 3, cooldown: 2}
-
-	// Closed: failures below the threshold keep traffic flowing.
-	for i := 0; i < 2; i++ {
-		if !b.Allow() {
-			t.Fatalf("closed breaker denied request %d", i)
-		}
-		if b.Failure() {
-			t.Fatalf("failure %d tripped early", i+1)
-		}
-	}
-	if !b.Allow() {
-		t.Fatal("closed breaker denied request at threshold-1 failures")
-	}
-	if !b.Failure() {
-		t.Fatal("threshold-th consecutive failure must trip the breaker")
-	}
-	if b.state != BreakerOpen {
-		t.Fatalf("state = %v, want open", b.state)
-	}
-
-	// Open: exactly cooldown denials, then a half-open probe.
-	for i := 0; i < 2; i++ {
-		if b.Allow() {
-			t.Fatalf("open breaker allowed request %d during cooldown", i)
-		}
-	}
-	if !b.Allow() {
-		t.Fatal("cooldown spent: breaker must admit the half-open probe")
-	}
-	if b.state != BreakerHalfOpen {
-		t.Fatalf("state = %v, want half-open", b.state)
-	}
-
-	// Probe failure re-opens immediately.
-	if !b.Failure() {
-		t.Fatal("half-open probe failure must re-trip")
-	}
-	if b.state != BreakerOpen {
-		t.Fatalf("state = %v, want open after probe failure", b.state)
-	}
-
-	// Drain the new cooldown, probe again, succeed: closed and reset.
-	for b.state == BreakerOpen {
-		b.Allow()
-	}
-	b.Success()
-	if b.state != BreakerClosed || b.failures != 0 {
-		t.Fatalf("after probe success: state=%v failures=%d, want closed/0", b.state, b.failures)
-	}
-
-	// Success resets the consecutive-failure count.
-	b.Failure()
-	b.Failure()
-	b.Success()
-	b.Failure()
-	b.Failure()
-	if b.state != BreakerClosed {
-		t.Fatal("interleaved success must reset the failure streak")
-	}
-}
-
-func TestBreakerDisabled(t *testing.T) {
-	b := &breaker{threshold: -1}
-	for i := 0; i < 10; i++ {
-		if !b.Allow() {
-			t.Fatal("disabled breaker denied a request")
-		}
-		if b.Failure() {
-			t.Fatal("disabled breaker tripped")
-		}
-	}
-}
-
-func TestBreakerStateStrings(t *testing.T) {
-	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" ||
-		BreakerHalfOpen.String() != "half-open" {
-		t.Fatal("breaker state names wrong")
-	}
-}
-
-func TestBreakerSnapshotRestore(t *testing.T) {
-	b := &breaker{threshold: 2, cooldown: 3}
-	b.Failure()
-	b.Failure() // trips
-	b.Allow()   // one denial consumed
-	snap := b.snapshot()
-
-	b2 := &breaker{threshold: 2, cooldown: 3}
-	b2.restore(snap)
-	if b2.state != BreakerOpen || b2.remaining != 2 {
-		t.Fatalf("restored breaker = %+v, want open with 2 denials left", b2)
-	}
-	if b2.Allow() || b2.Allow() {
-		t.Fatal("restored breaker must finish its cooldown")
-	}
-	if !b2.Allow() {
-		t.Fatal("restored breaker must then admit the probe")
-	}
-}
-
 func TestParseRetryAfter(t *testing.T) {
 	cases := []struct {
 		in   string

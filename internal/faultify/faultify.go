@@ -25,6 +25,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"psigene/internal/resilience"
 )
 
 // Class is one fault class.
@@ -181,7 +183,7 @@ func (in *Injector) Plan(key string) Class {
 	if len(in.classes) == 0 {
 		return None
 	}
-	u := unitFloat(hashKey(in.cfg.Seed, key))
+	u := resilience.UnitFloat(resilience.HashKey(in.cfg.Seed, key))
 	for i, c := range in.classes {
 		if u < in.cum[i] {
 			return c
@@ -330,39 +332,4 @@ func copyHeader(dst, src http.Header) {
 			dst.Add(k, v)
 		}
 	}
-}
-
-// hashKey is FNV-1a over the seed's bytes followed by the key, finished
-// with a splitmix64-style avalanche. The finalizer matters: portal keys
-// differ only in their trailing bytes ("GET /advisory/1000" vs "...1001"),
-// and raw FNV moves the TOP bits by only ~2^-24 per trailing-byte change —
-// sibling pages would all draw nearly the same unit float and land in the
-// same fault class (or none). Avalanching decorrelates them.
-func hashKey(seed int64, key string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	s := uint64(seed)
-	for i := 0; i < 8; i++ {
-		h ^= s & 0xff
-		h *= prime64
-		s >>= 8
-	}
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
-}
-
-// unitFloat maps a hash to [0, 1) using its top 53 bits.
-func unitFloat(h uint64) float64 {
-	return float64(h>>11) / (1 << 53)
 }

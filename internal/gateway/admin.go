@@ -1,0 +1,171 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"psigene/internal/core"
+	"psigene/internal/ids"
+	"psigene/internal/resilience"
+)
+
+// serveAdmin routes the /-/ control surface. These endpoints bypass
+// admission control on purpose: health checks and reloads must work while
+// the data path is saturated or draining.
+func (g *Gateway) serveAdmin(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/-/healthz":
+		// Liveness: the process is up and serving this handler.
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case "/-/readyz":
+		// Readiness: drop out of rotation while draining.
+		if g.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	case "/-/reload":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		path := r.URL.Query().Get("path")
+		if path == "" {
+			http.Error(w, "reload needs ?path=<model.json>", http.StatusBadRequest)
+			return
+		}
+		gen, err := g.ReloadModel(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		det, _ := g.Detector()
+		writeJSON(w, map[string]any{"generation": gen, "detector": det.Name()})
+	case "/-/statz":
+		writeJSON(w, g.Snapshot())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ReloadModel loads a model file, validates it, probes it, and only then
+// swaps it in. Every failure path leaves the previous detector serving —
+// a corrupt or half-written model push is a logged non-event, not an
+// outage. Returns the new generation on success.
+func (g *Gateway) ReloadModel(path string) (uint64, error) {
+	m, err := core.LoadFile(path)
+	if err != nil {
+		g.stats.reloadFailures.Add(1)
+		return 0, fmt.Errorf("gateway: reload rejected: %w", err)
+	}
+	return g.Swap(m)
+}
+
+// Swap installs a new detector after probing it. The generation counter
+// increments only on successful swaps, so X-Psigene-Gen response headers
+// prove which signature set scored a given request.
+func (g *Gateway) Swap(det ids.Detector) (uint64, error) {
+	if det == nil {
+		g.stats.reloadFailures.Add(1)
+		return 0, fmt.Errorf("gateway: reload rejected: nil detector")
+	}
+	if err := probe(det); err != nil {
+		g.stats.reloadFailures.Add(1)
+		return 0, fmt.Errorf("gateway: reload rejected: %w", err)
+	}
+	gen := g.gen.Add(1)
+	g.state.Store(&detectorState{det: det, gen: gen})
+	g.stats.reloads.Add(1)
+	return gen, nil
+}
+
+// Drain stops admitting new requests and waits for in-flight ones to
+// finish by acquiring every semaphore token: once all MaxInFlight tokens
+// are held, nothing is mid-request. Returns ctx.Err() if the context
+// expires first; already-admitted requests keep running either way.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.draining.Store(true)
+	for i := 0; i < cap(g.sem); i++ {
+		select {
+		case g.sem <- struct{}{}:
+		case <-ctx.Done():
+			// Release what we grabbed so a later Drain can retry.
+			for ; i > 0; i-- {
+				<-g.sem
+			}
+			return ctx.Err()
+		}
+	}
+	for i := 0; i < cap(g.sem); i++ {
+		<-g.sem
+	}
+	return nil
+}
+
+// Snapshot is the /-/statz document: counters, breaker state, and the
+// scoring-latency window summarized with the same percentile machinery
+// the evaluation harness uses.
+type Snapshot struct {
+	Generation      uint64                      `json:"generation"`
+	Detector        string                      `json:"detector"`
+	Policy          string                      `json:"policy"`
+	Draining        bool                        `json:"draining"`
+	Total           int64                       `json:"total"`
+	Shed            int64                       `json:"shed"`
+	TooLarge        int64                       `json:"tooLarge"`
+	Blocked         int64                       `json:"blocked"`
+	Forwarded       int64                       `json:"forwarded"`
+	ScorePanics     int64                       `json:"scorePanics"`
+	FailedOpen      int64                       `json:"failedOpen"`
+	FailedClosed    int64                       `json:"failedClosed"`
+	UpstreamErrors  int64                       `json:"upstreamErrors"`
+	BreakerRejected int64                       `json:"breakerRejected"`
+	BudgetSpent     int64                       `json:"budgetSpent"`
+	Reloads         int64                       `json:"reloads"`
+	ReloadFailures  int64                       `json:"reloadFailures"`
+	Breaker         *resilience.BreakerSnapshot `json:"breaker,omitempty"`
+	ScoringLatency  ids.LatencyStats            `json:"scoringLatency"`
+}
+
+// Snapshot assembles the current stats document.
+func (g *Gateway) Snapshot() Snapshot {
+	state := g.state.Load()
+	s := Snapshot{
+		Generation:      state.gen,
+		Detector:        state.det.Name(),
+		Policy:          g.opts.Policy.String(),
+		Draining:        g.draining.Load(),
+		Total:           g.stats.total.Load(),
+		Shed:            g.stats.shed.Load(),
+		TooLarge:        g.stats.tooLarge.Load(),
+		Blocked:         g.stats.blocked.Load(),
+		Forwarded:       g.stats.forwarded.Load(),
+		ScorePanics:     g.stats.scorePanics.Load(),
+		FailedOpen:      g.stats.failedOpen.Load(),
+		FailedClosed:    g.stats.failedClosed.Load(),
+		UpstreamErrors:  g.stats.upstreamErrors.Load(),
+		BreakerRejected: g.stats.breakerRejected.Load(),
+		BudgetSpent:     g.stats.budgetSpent.Load(),
+		Reloads:         g.stats.reloads.Load(),
+		ReloadFailures:  g.stats.reloadFailures.Load(),
+		ScoringLatency:  ids.SummarizeLatency(g.latencyWindow()),
+	}
+	if g.breaker != nil {
+		g.mu.Lock()
+		snap := g.breaker.Snapshot()
+		g.mu.Unlock()
+		s.Breaker = &snap
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

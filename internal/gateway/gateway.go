@@ -1,0 +1,353 @@
+// Package gateway is the serving side of pSigene: a reverse proxy that
+// scores every inbound request with a Detector before forwarding it to the
+// protected upstream. The paper deploys its generalized signatures inside
+// Bro/Snort sensors; this package is the equivalent inline deployment for
+// the reproduced pipeline, engineered for the failure modes a sensor in
+// front of a production app actually meets — overload, upstream outages,
+// corrupt model pushes, and buggy signatures — rather than for the happy
+// path.
+//
+// The design is four layers:
+//
+//   - Admission control: a bounded in-flight semaphore sheds excess load
+//     with 503 + Retry-After, request bodies are capped, and every request
+//     runs under a deadline budget split between scoring and proxying.
+//   - Fault containment: scoring runs under recover() and degrades to the
+//     configured fail-open/fail-closed policy; upstream transport failures
+//     feed the clock-free circuit breaker from internal/resilience.
+//   - Hot reload: the detector is an atomic pointer swapped only after the
+//     candidate model validates and survives a probe inspection, so a
+//     corrupt push leaves the old detector serving; generation counters
+//     let in-flight requests finish on the detector they started with.
+//   - Lifecycle: graceful drain on shutdown plus /-/healthz, /-/readyz,
+//     /-/statz and POST /-/reload admin endpoints.
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/resilience"
+)
+
+// Policy says what happens to a request when scoring itself fails (the
+// detector panics): fail open forwards it unscored, fail closed rejects
+// it. The right choice is a deployment decision — the paper's sensors are
+// passive taps (implicitly fail-open); an inline gateway may prefer to
+// refuse traffic it cannot vet.
+type Policy int
+
+const (
+	// FailOpen forwards requests the detector could not score.
+	FailOpen Policy = iota
+	// FailClosed rejects requests the detector could not score with 403.
+	FailClosed
+)
+
+// String names the policy for logs and /-/statz.
+func (p Policy) String() string {
+	if p == FailClosed {
+		return "fail-closed"
+	}
+	return "fail-open"
+}
+
+// Options configures a Gateway. The zero value of every field has a safe
+// default; only Upstream and an initial detector (Detector or ModelPath,
+// via New's det argument) are required.
+type Options struct {
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are shed with 503 + Retry-After. Default 256.
+	MaxInFlight int
+	// MaxBodyBytes caps the request body read for scoring; larger bodies
+	// are rejected with 413 before any scoring work. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxResponseBytes caps the upstream response body; a response that
+	// exceeds it (or dies mid-body, e.g. a truncated transfer) becomes a
+	// clean 502. Default 4 MiB.
+	MaxResponseBytes int64
+	// ScoreBudget is the slice of the per-request deadline reserved for
+	// scoring. Measured pSigene scoring is ~100µs p50 / ~370µs p99 (see
+	// EXPERIMENTS.md), so the 10ms default is ~25x p99 headroom; a
+	// detector that blows through it trips the budget check before the
+	// proxy leg starts. Default 10ms.
+	ScoreBudget time.Duration
+	// UpstreamTimeout is the slice of the deadline for the proxy leg.
+	// Default 5s; chaos tests shrink it so Hang faults resolve fast.
+	UpstreamTimeout time.Duration
+	// RetryAfter is the Retry-After value, in seconds, on shed and
+	// breaker-rejected responses. Default 1.
+	RetryAfter int
+	// Policy is the scoring-failure policy. Default FailOpen.
+	Policy Policy
+	// BreakerThreshold and BreakerCooldown configure the upstream circuit
+	// breaker (see resilience.NewBreaker). Threshold 0 disables the
+	// breaker; the default is 5 consecutive transport failures with a
+	// cooldown of 8 denied requests.
+	BreakerThreshold, BreakerCooldown int
+	// DisableBreaker turns the upstream breaker off (BreakerThreshold 0
+	// means "default", so disabling needs its own switch).
+	DisableBreaker bool
+	// Client issues upstream requests. Default: http.DefaultTransport
+	// with no client-level timeout (per-request deadlines govern).
+	Client *http.Client
+	// Now is the clock used for latency accounting and deadline math;
+	// injectable so chaos tests control time. Default time.Now.
+	Now func() time.Time
+}
+
+func (o *Options) fill() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxResponseBytes <= 0 {
+		o.MaxResponseBytes = 4 << 20
+	}
+	if o.ScoreBudget <= 0 {
+		o.ScoreBudget = 10 * time.Millisecond
+	}
+	if o.UpstreamTimeout <= 0 {
+		o.UpstreamTimeout = 5 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 1
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 8
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// detectorState is the immutable unit the atomic pointer swaps: a detector
+// plus the generation it was installed at. In-flight requests hold the
+// state they loaded at admission, so a reload mid-request never splits one
+// request across two signature sets.
+type detectorState struct {
+	det ids.Detector
+	gen uint64
+}
+
+// latencyRingSize bounds the scoring-latency window summarized by /-/statz.
+const latencyRingSize = 1024
+
+// Gateway is the scoring reverse proxy. Create with New; it serves via
+// ServeHTTP and shuts down via Drain.
+type Gateway struct {
+	opts     Options
+	upstream *url.URL
+
+	state atomic.Pointer[detectorState]
+	gen   atomic.Uint64
+
+	// sem is the admission semaphore: one token per in-flight request.
+	// Drain acquires every token, which is exactly "no requests in
+	// flight" with no Add/Wait race.
+	sem      chan struct{}
+	draining atomic.Bool
+
+	// mu guards the breaker (resilience.Breaker is single-threaded by
+	// contract) and the latency ring.
+	mu       sync.Mutex
+	breaker  *resilience.Breaker
+	ring     [latencyRingSize]time.Duration
+	ringLen  int
+	ringNext int
+
+	stats gatewayStats
+}
+
+// gatewayStats is the atomic counter block behind /-/statz.
+type gatewayStats struct {
+	total, shed, tooLarge, blocked, forwarded    atomic.Int64
+	scorePanics, failedOpen, failedClosed        atomic.Int64
+	upstreamErrors, breakerRejected, budgetSpent atomic.Int64
+	reloads, reloadFailures                      atomic.Int64
+}
+
+// New builds a gateway proxying to upstream (a base URL such as
+// "http://127.0.0.1:8080") and scoring with det.
+func New(upstream string, det ids.Detector, opts Options) (*Gateway, error) {
+	if det == nil {
+		return nil, fmt.Errorf("gateway: nil detector")
+	}
+	u, err := url.Parse(upstream)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: upstream %q: %w", upstream, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("gateway: upstream %q must be an absolute URL", upstream)
+	}
+	opts.fill()
+	g := &Gateway{
+		opts:     opts,
+		upstream: u,
+		sem:      make(chan struct{}, opts.MaxInFlight),
+	}
+	if !opts.DisableBreaker {
+		g.breaker = resilience.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
+	g.state.Store(&detectorState{det: det, gen: g.gen.Add(1)})
+	return g, nil
+}
+
+// Detector returns the currently installed detector and its generation.
+func (g *Gateway) Detector() (ids.Detector, uint64) {
+	s := g.state.Load()
+	return s.det, s.gen
+}
+
+// ServeHTTP routes admin endpoints under /-/ and proxies everything else
+// through admission control, scoring, and the upstream leg.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/-/") {
+		g.serveAdmin(w, r)
+		return
+	}
+	g.stats.total.Add(1)
+
+	// Admission: drain refuses new work; the semaphore sheds overload.
+	// Both are load signals, so both carry Retry-After.
+	if g.draining.Load() {
+		g.shed(w, "draining")
+		return
+	}
+	select {
+	case g.sem <- struct{}{}:
+		defer func() { <-g.sem }()
+	default:
+		g.shed(w, "overloaded")
+		return
+	}
+	// A drain that started while we were acquiring still wins: without
+	// this re-check a request could slip past Drain's token sweep.
+	if g.draining.Load() {
+		g.shed(w, "draining")
+		return
+	}
+
+	g.proxy(w, r)
+}
+
+// shed rejects a request for load reasons: 503 plus Retry-After.
+func (g *Gateway) shed(w http.ResponseWriter, reason string) {
+	g.stats.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(g.opts.RetryAfter))
+	http.Error(w, "gateway "+reason, http.StatusServiceUnavailable)
+}
+
+// proxy is the scored forwarding path: build the httpx view, score it
+// under the budget, then either block or forward with what remains of the
+// deadline.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
+	start := g.opts.Now()
+	state := g.state.Load()
+	w.Header().Set("X-Psigene-Gen", strconv.FormatUint(state.gen, 10))
+
+	req, body, err := g.inbound(r)
+	if err != nil {
+		g.stats.tooLarge.Add(1)
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	verdict, scoreErr := g.score(state.det, req)
+	elapsed := g.opts.Now().Sub(start)
+	g.recordLatency(elapsed)
+
+	if scoreErr != nil {
+		g.stats.scorePanics.Add(1)
+		if g.opts.Policy == FailClosed {
+			g.stats.failedClosed.Add(1)
+			http.Error(w, "gateway: request not scorable", http.StatusForbidden)
+			return
+		}
+		g.stats.failedOpen.Add(1)
+		w.Header().Set("X-Psigene-Degraded", "unscored")
+	} else if verdict.Alert {
+		g.stats.blocked.Add(1)
+		w.Header().Set("X-Psigene-Signatures", strings.Join(verdict.Matched, ","))
+		http.Error(w, "request blocked by signature", http.StatusForbidden)
+		return
+	}
+
+	// Deadline budget: scoring spent `elapsed` of its slice; the proxy
+	// leg gets the remainder of ScoreBudget+UpstreamTimeout. A detector
+	// that consumed everything fails here instead of hanging the client.
+	remaining := g.opts.ScoreBudget + g.opts.UpstreamTimeout - elapsed
+	if remaining <= 0 {
+		g.stats.budgetSpent.Add(1)
+		http.Error(w, "gateway: deadline budget exhausted by scoring", http.StatusGatewayTimeout)
+		return
+	}
+	g.forward(w, r, body, remaining)
+}
+
+// inbound converts the wire request into the httpx view the detectors
+// score, reading at most MaxBodyBytes of body. The body is returned for
+// replay to the upstream.
+func (g *Gateway) inbound(r *http.Request) (httpx.Request, []byte, error) {
+	req := httpx.Request{
+		Method:   strings.ToUpper(r.Method),
+		Host:     r.URL.Hostname(),
+		Path:     r.URL.Path,
+		RawQuery: r.URL.RawQuery,
+	}
+	if req.Path == "" {
+		req.Path = "/"
+	}
+	var body []byte
+	if r.Body != nil {
+		// Read one byte past the cap so "exactly at the cap" and "over
+		// the cap" are distinguishable.
+		b, err := io.ReadAll(io.LimitReader(r.Body, g.opts.MaxBodyBytes+1))
+		if err != nil {
+			return req, nil, fmt.Errorf("gateway: read body: %w", err)
+		}
+		if int64(len(b)) > g.opts.MaxBodyBytes {
+			return req, nil, fmt.Errorf("gateway: body exceeds %d bytes", g.opts.MaxBodyBytes)
+		}
+		body = b
+		req.Body = string(b)
+	}
+	return req, body, nil
+}
+
+// recordLatency appends one scoring duration to the stats ring.
+func (g *Gateway) recordLatency(d time.Duration) {
+	g.mu.Lock()
+	g.ring[g.ringNext] = d
+	g.ringNext = (g.ringNext + 1) % latencyRingSize
+	if g.ringLen < latencyRingSize {
+		g.ringLen++
+	}
+	g.mu.Unlock()
+}
+
+// latencyWindow copies the ring for summarizing outside the lock.
+func (g *Gateway) latencyWindow() []time.Duration {
+	g.mu.Lock()
+	out := make([]time.Duration, g.ringLen)
+	copy(out, g.ring[:g.ringLen])
+	g.mu.Unlock()
+	return out
+}

@@ -1,0 +1,542 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/resilience"
+	"psigene/internal/traffic"
+)
+
+// stubDetector alerts on a lowercase needle in the decoded payload; it
+// keeps the unit tests deterministic and independent of any ruleset.
+type stubDetector struct{ needle string }
+
+func (d stubDetector) Name() string { return "stub" }
+
+func (d stubDetector) Inspect(req httpx.Request) ids.Verdict {
+	p := strings.ToLower(httpx.DecodeComponent(req.Payload()))
+	if d.needle != "" && strings.Contains(p, d.needle) {
+		return ids.Verdict{Alert: true, Score: 1, Matched: []string{"stub-1"}}
+	}
+	return ids.Verdict{}
+}
+
+// panicDetector fails on every inspection, standing in for a corrupt
+// signature set that slipped past load-time validation.
+type panicDetector struct{}
+
+func (panicDetector) Name() string                      { return "panics" }
+func (panicDetector) Inspect(httpx.Request) ids.Verdict { panic("corrupt signature state") }
+
+// echoUpstream answers 200 with "echo:<path>?<query>" and a marker header.
+func echoUpstream() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Upstream", "echo")
+		fmt.Fprintf(w, "echo:%s?%s", r.URL.Path, r.URL.RawQuery)
+	}))
+}
+
+func mustGateway(t *testing.T, upstream string, det ids.Detector, opts Options) *Gateway {
+	t.Helper()
+	g, err := New(upstream, det, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func get(g *Gateway, target string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("http://h", nil, Options{}); err == nil {
+		t.Fatal("nil detector must be rejected")
+	}
+	if _, err := New("not a url\x00", stubDetector{}, Options{}); err == nil {
+		t.Fatal("unparseable upstream must be rejected")
+	}
+	if _, err := New("/relative/path", stubDetector{}, Options{}); err == nil {
+		t.Fatal("relative upstream must be rejected")
+	}
+}
+
+func TestForwardAndBlock(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{needle: "union select"}, Options{})
+
+	// Benign request passes through with the upstream's body and headers
+	// plus the generation stamp.
+	w := get(g, "/product.php?id=42")
+	if w.Code != http.StatusOK {
+		t.Fatalf("benign: status %d", w.Code)
+	}
+	if got := w.Body.String(); got != "echo:/product.php?id=42" {
+		t.Fatalf("benign body %q", got)
+	}
+	if w.Header().Get("X-Upstream") != "echo" {
+		t.Fatal("upstream headers not copied")
+	}
+	if w.Header().Get("X-Psigene-Gen") != "1" {
+		t.Fatalf("generation header %q, want 1", w.Header().Get("X-Psigene-Gen"))
+	}
+
+	// Injection is blocked before the upstream sees it.
+	w = get(g, "/product.php?id=1%27+UNION+SELECT+password+FROM+users--")
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("attack: status %d, want 403", w.Code)
+	}
+	if sig := w.Header().Get("X-Psigene-Signatures"); sig != "stub-1" {
+		t.Fatalf("signature header %q", sig)
+	}
+
+	s := g.Snapshot()
+	if s.Forwarded != 1 || s.Blocked != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+func TestBodyCap(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{MaxBodyBytes: 16})
+
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/login", strings.NewReader(strings.Repeat("a", 17))))
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", w.Code)
+	}
+	// Exactly at the cap is fine.
+	w = httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/login", strings.NewReader(strings.Repeat("a", 16))))
+	if w.Code != http.StatusOK {
+		t.Fatalf("body at cap: status %d, want 200", w.Code)
+	}
+}
+
+func TestResponseCap(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(make([]byte, 100))
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{MaxResponseBytes: 64, DisableBreaker: true})
+	if w := get(g, "/big"); w.Code != http.StatusBadGateway {
+		t.Fatalf("oversized response: status %d, want 502", w.Code)
+	}
+}
+
+func TestScorePanicPolicies(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+
+	// Fail-open: the request is forwarded unscored, flagged as degraded.
+	open := mustGateway(t, up.URL, panicDetector{}, Options{Policy: FailOpen})
+	w := get(open, "/x?a=1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("fail-open: status %d, want 200", w.Code)
+	}
+	if w.Header().Get("X-Psigene-Degraded") != "unscored" {
+		t.Fatal("fail-open response must be marked degraded")
+	}
+	if s := open.Snapshot(); s.ScorePanics != 1 || s.FailedOpen != 1 {
+		t.Fatalf("fail-open counters: %+v", s)
+	}
+
+	// Fail-closed: the request dies with 403.
+	closed := mustGateway(t, up.URL, panicDetector{}, Options{Policy: FailClosed})
+	if w := get(closed, "/x?a=1"); w.Code != http.StatusForbidden {
+		t.Fatalf("fail-closed: status %d, want 403", w.Code)
+	}
+	if s := closed.Snapshot(); s.ScorePanics != 1 || s.FailedClosed != 1 {
+		t.Fatalf("fail-closed counters: %+v", s)
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+
+	if w := get(g, "/-/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if w := get(g, "/-/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", w.Code)
+	}
+	if w := get(g, "/-/nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown admin path: %d", w.Code)
+	}
+	if w := get(g, "/-/reload"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: %d, want 405", w.Code)
+	}
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload", nil))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("reload without path: %d, want 400", w.Code)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get(g, "/-/statz").Body.Bytes(), &snap); err != nil {
+		t.Fatalf("statz JSON: %v", err)
+	}
+	if snap.Detector != "stub" || snap.Generation != 1 {
+		t.Fatalf("statz: %+v", snap)
+	}
+
+	// Admin stays reachable while draining; readyz flips to 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := g.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if w := get(g, "/-/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", w.Code)
+	}
+	if w := get(g, "/-/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", w.Code)
+	}
+	if w := get(g, "/anything"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("proxy while draining: %d, want 503", w.Code)
+	}
+}
+
+// trainedModelFile trains a small model once and saves it for reload tests.
+var (
+	trainedOnce sync.Once
+	trainedDir  string
+	trainedPath string
+	trainedErr  error
+)
+
+func trainedModel(t *testing.T) string {
+	t.Helper()
+	trainedOnce.Do(func() {
+		attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 11).Requests(1200)
+		benign := traffic.NewGenerator(12).Requests(1500)
+		m, err := core.Train(attacks, benign, core.Config{})
+		if err != nil {
+			trainedErr = err
+			return
+		}
+		// Not t.TempDir(): the model outlives the first test that trains
+		// it, so it needs a directory with package-test lifetime.
+		dir, err := os.MkdirTemp("", "gateway-model-")
+		if err != nil {
+			trainedErr = err
+			return
+		}
+		trainedDir = dir
+		trainedPath = filepath.Join(dir, "model.json")
+		trainedErr = m.SaveFile(trainedPath)
+	})
+	if trainedErr != nil {
+		t.Fatalf("training model: %v", trainedErr)
+	}
+	return trainedPath
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if trainedDir != "" {
+		os.RemoveAll(trainedDir)
+	}
+	os.Exit(code)
+}
+
+func TestReloadSwapsGeneration(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+	path := trainedModel(t)
+
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload?path="+path, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload: %d: %s", w.Code, w.Body.String())
+	}
+	det, gen := g.Detector()
+	if gen != 2 {
+		t.Fatalf("generation %d, want 2", gen)
+	}
+	if det.Name() == "stub" {
+		t.Fatal("detector not swapped")
+	}
+	if w := get(g, "/p?id=1"); w.Header().Get("X-Psigene-Gen") != "2" {
+		t.Fatalf("request scored by generation %q, want 2", w.Header().Get("X-Psigene-Gen"))
+	}
+}
+
+func TestFailedReloadKeepsOldDetector(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{needle: "union select"}, Options{})
+
+	// A corrupt model file: valid JSON prefix, truncated mid-document.
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	writeFile(t, corrupt, `{"version": 1, "features": [{"na`)
+
+	for _, path := range []string{corrupt, filepath.Join(dir, "missing.json")} {
+		w := httptest.NewRecorder()
+		g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload?path="+path, nil))
+		if w.Code != http.StatusInternalServerError {
+			t.Fatalf("reload %s: %d, want 500", path, w.Code)
+		}
+	}
+	// A detector that panics on probe is rejected before the swap.
+	if _, err := g.Swap(panicDetector{}); err == nil {
+		t.Fatal("panicking candidate must be rejected by probe")
+	}
+
+	// The original detector still serves, on its original generation.
+	det, gen := g.Detector()
+	if det.Name() != "stub" || gen != 1 {
+		t.Fatalf("detector %q gen %d after failed reloads, want stub gen 1", det.Name(), gen)
+	}
+	if w := get(g, "/p?id=1+union+select+2"); w.Code != http.StatusForbidden {
+		t.Fatalf("old detector no longer blocking: %d", w.Code)
+	}
+	if s := g.Snapshot(); s.ReloadFailures != 3 || s.Reloads != 0 {
+		t.Fatalf("reload counters: %+v", s)
+	}
+}
+
+func TestMidFlightReloadFinishesOnStartingDetector(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		if r.URL.Path == "/slow" {
+			<-release
+		}
+		fmt.Fprint(w, "done")
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+
+	first := make(chan string)
+	go func() {
+		w := get(g, "/slow?id=1")
+		first <- w.Header().Get("X-Psigene-Gen")
+	}()
+	<-entered // request 1 is mid-flight, scored by generation 1
+
+	if _, err := g.Swap(stubDetector{needle: "evil"}); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	// A request admitted after the swap runs on generation 2 while the
+	// first request is still in flight on generation 1.
+	if w := get(g, "/fast?id=1"); w.Header().Get("X-Psigene-Gen") != "2" {
+		t.Fatalf("post-swap request on generation %q, want 2", w.Header().Get("X-Psigene-Gen"))
+	}
+	close(release)
+	if gen := <-first; gen != "1" {
+		t.Fatalf("in-flight request finished on generation %q, want 1", gen)
+	}
+}
+
+func TestBreakerOpensOnDeadUpstream(t *testing.T) {
+	up := echoUpstream()
+	up.Close() // dead: every round trip is a transport error
+	g := mustGateway(t, up.URL, stubDetector{}, Options{
+		BreakerThreshold: 3, BreakerCooldown: 2, UpstreamTimeout: 500 * time.Millisecond,
+	})
+
+	// First 3 requests fail through to the upstream and trip the breaker.
+	for i := 0; i < 3; i++ {
+		if w := get(g, fmt.Sprintf("/r?i=%d", i)); w.Code != http.StatusBadGateway {
+			t.Fatalf("request %d: %d, want 502", i, w.Code)
+		}
+	}
+	// The next 2 are rejected locally while the breaker cools down.
+	for i := 0; i < 2; i++ {
+		w := get(g, fmt.Sprintf("/r?i=%d", 10+i))
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("cooldown request %d: %d, want 503", i, w.Code)
+		}
+		if w.Header().Get("Retry-After") == "" {
+			t.Fatal("breaker rejection must carry Retry-After")
+		}
+	}
+	s := g.Snapshot()
+	if s.UpstreamErrors != 3 || s.BreakerRejected != 2 {
+		t.Fatalf("counters: %+v", s)
+	}
+	// Cooldown budget spent; the next Allow flips to half-open and probes.
+	if s.Breaker == nil || s.Breaker.State != resilience.BreakerOpen || s.Breaker.Remaining != 0 {
+		t.Fatalf("breaker state: %+v", s.Breaker)
+	}
+}
+
+func TestBreakerRecovers(t *testing.T) {
+	var dead bool
+	var mu sync.Mutex
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		d := dead
+		mu.Unlock()
+		if d {
+			panic(http.ErrAbortHandler) // connection reset
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{
+		BreakerThreshold: 2, BreakerCooldown: 1, UpstreamTimeout: 2 * time.Second,
+	})
+
+	mu.Lock()
+	dead = true
+	mu.Unlock()
+	for i := 0; i < 2; i++ {
+		get(g, "/r") // transport failures: breaker trips
+	}
+	if w := get(g, "/r"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: %d, want 503", w.Code)
+	}
+	mu.Lock()
+	dead = false
+	mu.Unlock()
+	// Cooldown spent, the half-open probe succeeds and the breaker closes.
+	if w := get(g, "/r"); w.Code != http.StatusOK {
+		t.Fatalf("half-open probe: %d, want 200", w.Code)
+	}
+	if w := get(g, "/r"); w.Code != http.StatusOK {
+		t.Fatalf("closed again: %d, want 200", w.Code)
+	}
+}
+
+func TestOverloadSheds(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		fmt.Fprint(w, "slow")
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{MaxInFlight: 2, RetryAfter: 7})
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			done <- get(g, "/slow").Code
+		}()
+	}
+	<-entered
+	<-entered // both slots held mid-upstream
+
+	w := get(g, "/shed-me")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated: %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After %q, want 7", w.Header().Get("Retry-After"))
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("admitted request finished %d", code)
+		}
+	}
+	if s := g.Snapshot(); s.Shed != 1 || s.Forwarded != 2 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+func TestDrainWaitsForInFlight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		fmt.Fprint(w, "ok")
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{MaxInFlight: 4})
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			done <- get(g, "/inflight").Code
+		}()
+	}
+	<-entered
+	<-entered
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- g.Drain(ctx)
+	}()
+
+	// Wait for the drain flag before poking the data path: a request that
+	// slipped in pre-drain would block on the gated upstream forever.
+	for get(g, "/-/readyz").Code != http.StatusServiceUnavailable {
+	}
+	if w := get(g, "/late"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request admitted: %d", w.Code)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with requests still in flight", err)
+	default:
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Both in-flight requests completed; none were dropped.
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("in-flight request finished %d during drain", code)
+		}
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{MaxInFlight: 2})
+
+	go get(g, "/stuck")
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired
+	if err := g.Drain(ctx); err == nil {
+		t.Fatal("Drain must report an expired context")
+	}
+	close(release)
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -71,6 +71,46 @@ func ParseURL(raw string) (Request, error) {
 	return r, nil
 }
 
+// ParseRequestLine builds a Request from an HTTP request line such as
+// "GET /app/page.jsp?id=1+or+1%3D1 HTTP/1.1". The HTTP-version field is
+// optional and ignored; the target may be an absolute URL or an
+// origin-form path. Like ParseURL it is lenient — gateway access logs and
+// replay files carry attacker-written targets (embedded spaces, bare '?',
+// broken escapes), so a target with spaces is recovered by treating only
+// a trailing HTTP/x token as the version and keeping the rest as target.
+// Only an empty line or a line with no target is rejected.
+func ParseRequestLine(line string) (Request, error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return Request{}, fmt.Errorf("httpx: empty request line")
+	}
+	method := "GET"
+	rest := line
+	// A bare token is a target, not a method.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		method, rest = rest[:sp], strings.TrimSpace(rest[sp+1:])
+	}
+	if rest == "" {
+		return Request{}, fmt.Errorf("httpx: request line %q has no target", line)
+	}
+	// Strip a trailing version token only if it looks like one; payloads
+	// may legitimately contain spaces.
+	if sp := strings.LastIndexByte(rest, ' '); sp >= 0 {
+		if v := rest[sp+1:]; strings.HasPrefix(v, "HTTP/") {
+			rest = strings.TrimSpace(rest[:sp])
+		}
+	}
+	if rest == "" {
+		return Request{}, fmt.Errorf("httpx: request line %q has no target", line)
+	}
+	r, err := ParseURL(rest)
+	if err != nil {
+		return Request{}, err
+	}
+	r.Method = strings.ToUpper(method)
+	return r, nil
+}
+
 // Payload returns the part of the request a signature is matched against:
 // the query string, plus the body for POST requests. Host, port, and path
 // are excluded per the paper's extraction rule.
@@ -151,7 +191,8 @@ func (p Param) Decoded() Param {
 
 // ParseParams splits a raw query string into ordered name/value pairs
 // without decoding. Pairs are separated by '&' (or ';'); a pair without '='
-// yields an empty Value.
+// yields an empty Value. Fields that carry nothing at all ("", "=") are
+// skipped — every returned pair has a name or a value.
 func ParseParams(rawQuery string) []Param {
 	if rawQuery == "" {
 		return nil
@@ -163,6 +204,9 @@ func ParseParams(rawQuery string) []Param {
 			continue
 		}
 		if eq := strings.IndexByte(f, '='); eq >= 0 {
+			if f == "=" {
+				continue
+			}
 			out = append(out, Param{Name: f[:eq], Value: f[eq+1:]})
 		} else {
 			out = append(out, Param{Name: f})

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"regexp"
 	"strings"
+	"time"
 
 	"psigene/internal/httpx"
 	"psigene/internal/normalize"
@@ -161,10 +162,26 @@ func (r *compiledRule) matches(raw, norm string, normOnly bool) bool {
 	return strings.Contains(norm, r.content) || strings.Contains(strings.ToLower(raw), r.content)
 }
 
-// Evaluate runs a detector over a labeled request stream and accumulates a
-// confusion matrix using the requests' ground-truth labels.
+// EvalResult is the outcome of running a detector over a labeled request
+// stream: the confusion matrix against the requests' ground-truth labels,
+// plus measured per-request scoring latency.
 type EvalResult struct {
 	TP, FP, TN, FN int
+	// Latency summarizes how long Inspect took per request. The counts
+	// are deterministic for a fixed detector and stream; Latency is a
+	// wall-clock measurement and varies run to run — compare Confusion()
+	// when asserting equality.
+	Latency LatencyStats
+}
+
+// Confusion is the deterministic part of an EvalResult, comparable with ==.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion returns the confusion counts without the latency measurement.
+func (r EvalResult) Confusion() Confusion {
+	return Confusion{TP: r.TP, FP: r.FP, TN: r.TN, FN: r.FN}
 }
 
 // TPR is the detection rate.
@@ -184,11 +201,23 @@ func (r EvalResult) FPR() float64 {
 }
 
 // Evaluate inspects every request and scores the detector against the
-// ground truth carried by the requests.
+// ground truth carried by the requests, timing each Inspect call.
 func Evaluate(d Detector, reqs []httpx.Request) EvalResult {
+	r, lats := evaluate(d, reqs, time.Now)
+	r.Latency = SummarizeLatency(lats)
+	return r
+}
+
+// evaluate is the core scoring loop. The clock is a parameter so the
+// percentile math is testable against a synthetic monotonic clock; the
+// confusion counts never depend on it.
+func evaluate(d Detector, reqs []httpx.Request, clock func() time.Time) (EvalResult, []time.Duration) {
 	var r EvalResult
+	lats := make([]time.Duration, 0, len(reqs))
 	for _, req := range reqs {
+		start := clock()
 		alert := d.Inspect(req).Alert
+		lats = append(lats, clock().Sub(start))
 		switch {
 		case alert && req.Malicious:
 			r.TP++
@@ -200,5 +229,5 @@ func Evaluate(d Detector, reqs []httpx.Request) EvalResult {
 			r.TN++
 		}
 	}
-	return r
+	return r, lats
 }

@@ -1,0 +1,50 @@
+package ids
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes per-request scoring latency: how long
+// Detector.Inspect took, per request, over an evaluation run. The
+// percentiles are what the serving gateway's per-request deadline budget
+// is grounded in — its scoring budget must sit comfortably above the
+// measured p99 or healthy traffic gets cut off mid-score.
+type LatencyStats struct {
+	// Samples is the number of requests measured.
+	Samples int
+	// P50 and P99 are nearest-rank percentiles of per-request scoring
+	// time; Max is the slowest single request.
+	P50, P99, Max time.Duration
+}
+
+// SummarizeLatency computes LatencyStats over raw per-request durations.
+// Percentiles use the nearest-rank definition (sorted[ceil(p/100·n)-1]),
+// so every reported value is an actually observed duration. The input
+// slice is not modified.
+func SummarizeLatency(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return LatencyStats{
+		Samples: len(sorted),
+		P50:     nearestRank(sorted, 50),
+		P99:     nearestRank(sorted, 99),
+		Max:     sorted[len(sorted)-1],
+	}
+}
+
+// nearestRank returns the p-th percentile of an ascending-sorted slice:
+// the smallest element with at least p% of the samples at or below it.
+func nearestRank(sorted []time.Duration, p int) time.Duration {
+	idx := (p*len(sorted) + 99) / 100 // ceil(p·n/100)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

@@ -1,0 +1,107 @@
+package ids
+
+import (
+	"testing"
+	"time"
+
+	"psigene/internal/ruleset"
+)
+
+func TestSummarizeLatency(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		want    LatencyStats
+	}{
+		{"empty", nil, LatencyStats{}},
+		{"one", []time.Duration{ms(7)}, LatencyStats{Samples: 1, P50: ms(7), P99: ms(7), Max: ms(7)}},
+		{"two", []time.Duration{ms(10), ms(2)}, LatencyStats{Samples: 2, P50: ms(2), P99: ms(10), Max: ms(10)}},
+		{
+			// 1..100ms: nearest-rank p50 is the 50th value, p99 the 99th.
+			"hundred",
+			func() []time.Duration {
+				out := make([]time.Duration, 100)
+				for i := range out {
+					out[99-i] = ms(i + 1) // descending input: summarize must sort
+				}
+				return out
+			}(),
+			LatencyStats{Samples: 100, P50: ms(50), P99: ms(99), Max: ms(100)},
+		},
+	}
+	for _, c := range cases {
+		if got := SummarizeLatency(c.samples); got != c.want {
+			t.Fatalf("%s: SummarizeLatency = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeLatencyDoesNotMutateInput(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	SummarizeLatency(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input reordered: %v", in)
+	}
+}
+
+// TestEvaluateLatencySyntheticClock drives the core loop with a synthetic
+// monotonic clock so the percentile plumbing is checked exactly: request i
+// takes (i+1) clock ticks.
+func TestEvaluateLatencySyntheticClock(t *testing.T) {
+	e := mustEngine(t, ruleset.Snort(), Options{})
+	reqs := mixedWorkload(100)
+
+	var now time.Time
+	tick := 0
+	clock := func() time.Time {
+		tick++
+		now = now.Add(time.Duration(tick) * time.Microsecond)
+		return now
+	}
+	// clock() is called twice per request and the k-th call advances the
+	// clock k microseconds, so request i (calls 2i+1 and 2i+2) measures a
+	// duration of 2i+2 µs: 2, 4, 6, ...
+	r, lats := evaluate(e, reqs, clock)
+	if len(lats) != len(reqs) {
+		t.Fatalf("%d latency samples, want %d", len(lats), len(reqs))
+	}
+	for i, d := range lats {
+		if want := time.Duration(2*i+2) * time.Microsecond; d != want {
+			t.Fatalf("request %d: latency %v, want %v", i, d, want)
+		}
+	}
+	sum := SummarizeLatency(lats)
+	if sum.P50 != 100*time.Microsecond || sum.P99 != 198*time.Microsecond || sum.Max != 200*time.Microsecond {
+		t.Fatalf("percentiles = %+v", sum)
+	}
+	if r.Confusion() != Evaluate(e, reqs).Confusion() {
+		t.Fatal("synthetic clock changed the confusion counts")
+	}
+}
+
+func TestEvaluatePopulatesLatency(t *testing.T) {
+	e := mustEngine(t, ruleset.ModSecCRS(), Options{})
+	reqs := mixedWorkload(200)
+	r := Evaluate(e, reqs)
+	if r.Latency.Samples != len(reqs) {
+		t.Fatalf("Samples = %d, want %d", r.Latency.Samples, len(reqs))
+	}
+	if r.Latency.P50 < 0 || r.Latency.P50 > r.Latency.P99 || r.Latency.P99 > r.Latency.Max {
+		t.Fatalf("percentile ordering violated: %+v", r.Latency)
+	}
+}
+
+// TestScoringLatencyMeasured logs the measured scoring percentiles for
+// EXPERIMENTS.md and the gateway's ScoreBudget default: run with -v to
+// refresh the recorded numbers.
+func TestScoringLatencyMeasured(t *testing.T) {
+	e := mustEngine(t, ruleset.ModSecCRS(), Options{})
+	reqs := mixedWorkload(2000)
+	r := Evaluate(e, reqs)
+	t.Logf("ModSecCRS scoring latency over %d requests: p50=%v p99=%v max=%v",
+		r.Latency.Samples, r.Latency.P50, r.Latency.P99, r.Latency.Max)
+	if r.Latency.Max <= 0 {
+		t.Fatal("no latency measured")
+	}
+}

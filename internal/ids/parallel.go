@@ -3,6 +3,7 @@ package ids
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"psigene/internal/httpx"
 )
@@ -12,7 +13,10 @@ import (
 // thread can match one signature and this functionality is inbuilt in Bro
 // (Bro's cluster mode)". Requests are sharded across workers, each worker
 // inspecting its share with the (read-only, goroutine-safe) detector, and
-// the confusion counts are merged. workers <= 0 uses GOMAXPROCS.
+// the confusion counts are merged. Per-request scoring latencies are
+// collected per worker and summarized over the whole stream, so the
+// reported percentiles cover every request exactly once. workers <= 0
+// uses GOMAXPROCS.
 func ParallelEvaluate(d Detector, reqs []httpx.Request, workers int) EvalResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -28,6 +32,7 @@ func ParallelEvaluate(d Detector, reqs []httpx.Request, workers int) EvalResult 
 	}
 
 	results := make([]EvalResult, workers)
+	latencies := make([][]time.Duration, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		// Balanced split: shard w covers [w*n/workers, (w+1)*n/workers),
@@ -37,17 +42,20 @@ func ParallelEvaluate(d Detector, reqs []httpx.Request, workers int) EvalResult 
 		wg.Add(1)
 		go func(slot int, part []httpx.Request) {
 			defer wg.Done()
-			results[slot] = Evaluate(d, part)
+			results[slot], latencies[slot] = evaluate(d, part, time.Now)
 		}(w, reqs[lo:hi])
 	}
 	wg.Wait()
 
 	var total EvalResult
-	for _, r := range results {
+	all := make([]time.Duration, 0, len(reqs))
+	for w, r := range results {
 		total.TP += r.TP
 		total.FP += r.FP
 		total.TN += r.TN
 		total.FN += r.FN
+		all = append(all, latencies[w]...)
 	}
+	total.Latency = SummarizeLatency(all)
 	return total
 }

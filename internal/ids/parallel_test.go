@@ -21,13 +21,16 @@ func TestParallelEvaluateMatchesSequential(t *testing.T) {
 	seq := Evaluate(e, reqs)
 	for _, workers := range []int{1, 2, 3, 8, 1000} {
 		par := ParallelEvaluate(e, reqs, workers)
-		if par != seq {
-			t.Fatalf("workers=%d: %+v != sequential %+v", workers, par, seq)
+		if par.Confusion() != seq.Confusion() {
+			t.Fatalf("workers=%d: %+v != sequential %+v", workers, par.Confusion(), seq.Confusion())
+		}
+		if par.Latency.Samples != len(reqs) {
+			t.Fatalf("workers=%d: %d latency samples, want one per request (%d)", workers, par.Latency.Samples, len(reqs))
 		}
 	}
 	// Default worker count.
-	if par := ParallelEvaluate(e, reqs, 0); par != seq {
-		t.Fatalf("default workers: %+v != %+v", par, seq)
+	if par := ParallelEvaluate(e, reqs, 0); par.Confusion() != seq.Confusion() {
+		t.Fatalf("default workers: %+v != %+v", par.Confusion(), seq.Confusion())
 	}
 }
 
@@ -43,8 +46,8 @@ func TestParallelEvaluateFewerRequestsThanWorkers(t *testing.T) {
 		seq := Evaluate(e, reqs)
 		for _, workers := range []int{4, 8, 1000} {
 			par := ParallelEvaluate(e, reqs, workers)
-			if par != seq {
-				t.Fatalf("n=%d workers=%d: %+v != sequential %+v", n, workers, par, seq)
+			if par.Confusion() != seq.Confusion() {
+				t.Fatalf("n=%d workers=%d: %+v != sequential %+v", n, workers, par.Confusion(), seq.Confusion())
 			}
 		}
 	}

@@ -1,0 +1,16 @@
+package resilience
+
+import "time"
+
+// Backoff computes the exponential-backoff-with-full-jitter delay for a
+// retry: uniform in [0, min(max, base·2^attempt)), drawn from rng. The
+// shift saturates to max on overflow, so arbitrarily late attempts stay
+// bounded. Callers own the rng, so a retry loop's delays are a
+// deterministic function of its seed.
+func Backoff(rng *SplitMix64, base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(rng.Float64() * float64(d))
+}

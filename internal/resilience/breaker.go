@@ -1,0 +1,124 @@
+package resilience
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: closed (traffic flows), open (fail fast), half-open
+// (one probe allowed).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a circuit breaker with the classic closed→open→half-open
+// state machine, except that the open→half-open transition is driven by
+// denied-request count rather than wall time: an open breaker fails fast
+// the next cooldown attempts and then admits one probe. Counting requests
+// instead of seconds keeps every caller a deterministic function of its
+// inputs — no clock seam needed — which is what lets both the crawl chaos
+// tests and the gateway chaos tests assert bit-identical outcomes.
+//
+// A Breaker is not safe for concurrent use; wrap it in a mutex when
+// requests arrive concurrently (the gateway does).
+type Breaker struct {
+	threshold int // consecutive failures that open the breaker; <=0 disables
+	cooldown  int // denied attempts while open before half-open
+
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	remaining int // denials left while open
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 disables it (Allow
+// always true, Failure never trips).
+func NewBreaker(threshold, cooldown int) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether a request may proceed. While open it consumes one
+// denial; when the denial budget is spent the breaker moves to half-open
+// and admits the probe.
+func (b *Breaker) Allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	switch b.state {
+	case BreakerOpen:
+		if b.remaining > 0 {
+			b.remaining--
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	default: // closed or half-open (the probe)
+		return true
+	}
+}
+
+// Success records a successful request: any state collapses to closed.
+func (b *Breaker) Success() {
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed request and reports whether the breaker
+// tripped (transitioned to open) as a result. A half-open probe failure
+// re-opens immediately; a closed breaker opens after threshold
+// consecutive failures.
+func (b *Breaker) Failure() (tripped bool) {
+	if b.threshold <= 0 {
+		return false
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.remaining = b.cooldown
+		return true
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.remaining = b.cooldown
+			b.failures = 0
+			return true
+		}
+	}
+	return false
+}
+
+// BreakerSnapshot is a breaker's serializable state, carried inside crawl
+// checkpoints so a resumed crawl continues with the same breaker position.
+type BreakerSnapshot struct {
+	State     BreakerState `json:"state"`
+	Failures  int          `json:"failures"`
+	Remaining int          `json:"remaining"`
+}
+
+// Snapshot captures the breaker's state.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	return BreakerSnapshot{State: b.state, Failures: b.failures, Remaining: b.remaining}
+}
+
+// Restore installs a snapshot, overwriting the current state.
+func (b *Breaker) Restore(s BreakerSnapshot) {
+	b.state = s.State
+	b.failures = s.Failures
+	b.remaining = s.Remaining
+}

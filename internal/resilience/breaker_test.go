@@ -1,0 +1,114 @@
+package resilience
+
+import "testing"
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(3, 2)
+
+	// Closed: failures below the threshold keep traffic flowing.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		if b.Failure() {
+			t.Fatalf("failure %d tripped early", i+1)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied request at threshold-1 failures")
+	}
+	if !b.Failure() {
+		t.Fatal("threshold-th consecutive failure must trip the breaker")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	// Open: exactly cooldown denials, then a half-open probe.
+	for i := 0; i < 2; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker allowed request %d during cooldown", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown spent: the probe must be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+
+	// A failed probe re-opens immediately.
+	if !b.Failure() {
+		t.Fatal("half-open probe failure must re-trip")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	// Spend the new cooldown; a successful probe closes the breaker.
+	for b.State() == BreakerOpen {
+		b.Allow()
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+
+	// Success resets the consecutive-failure count.
+	b.Failure()
+	b.Success()
+	for i := 0; i < 2; i++ {
+		if b.Failure() {
+			t.Fatalf("failure %d after reset tripped early", i+1)
+		}
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, 5)
+	for i := 0; i < 20; i++ {
+		if b.Failure() {
+			t.Fatal("disabled breaker tripped")
+		}
+		if !b.Allow() {
+			t.Fatal("disabled breaker denied a request")
+		}
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestBreakerSnapshotRestore(t *testing.T) {
+	b := NewBreaker(2, 3)
+	b.Failure()
+	b.Failure() // trips: open with remaining=3
+	b.Allow()   // one denial spent
+
+	snap := b.Snapshot()
+	if snap.State != BreakerOpen || snap.Remaining != 2 {
+		t.Fatalf("snapshot = %+v, want open with 2 remaining", snap)
+	}
+
+	restored := NewBreaker(2, 3)
+	restored.Restore(snap)
+	if restored.Allow() || restored.Allow() {
+		t.Fatal("restored breaker should deny its remaining cooldown")
+	}
+	if !restored.Allow() {
+		t.Fatal("restored breaker should admit the probe after cooldown")
+	}
+	if restored.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", restored.State())
+	}
+}

@@ -1,0 +1,82 @@
+// Package resilience holds the small deterministic fault-tolerance
+// primitives shared by the offline side (internal/crawl's resilient
+// fetching, internal/faultify's fault schedules) and the serving side
+// (internal/gateway's upstream protection): a seeded splitmix64 generator,
+// the FNV-1a+avalanche key hash behind replayable fault schedules,
+// exponential-backoff-with-full-jitter, and a request-count circuit
+// breaker.
+//
+// Everything here is a pure function of its inputs: no wall clock, no
+// math/rand (the package sits in psigenelint's kernel set, so the
+// walltime/randsource/maporder analyzers police it). That is what lets
+// both a three-month crawl and a chaos test replay bit-identically from a
+// seed, and what keeps the gateway's breaker decisions reproducible in
+// its deterministic chaos suite.
+package resilience
+
+// SplitMix64 is the tiny seeded generator behind retry jitter and fault
+// schedules. It is not safe for concurrent use; give each goroutine its
+// own instance.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *SplitMix64) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Avalanche applies the splitmix64 finalizer to h, decorrelating inputs
+// that differ only in a few bits. Hash-derived schedule keys need it:
+// sibling keys ("GET /advisory/1000" vs "...1001") move raw FNV's top
+// bits by only ~2^-24, so without a finalizer whole key families draw
+// nearly the same unit float.
+func Avalanche(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// HashKey hashes (seed, key) to a well-mixed 64-bit value: FNV-1a over
+// the seed's little-endian bytes followed by the key, finished with
+// Avalanche. It is the schedule hash behind faultify's per-key fault
+// assignment; the exact bit pattern is load-bearing (golden chaos tests
+// replay schedules by seed), so treat any change as a format break.
+func HashKey(seed int64, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	s := uint64(seed)
+	for i := 0; i < 8; i++ {
+		h ^= s & 0xff
+		h *= prime64
+		s >>= 8
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return Avalanche(h)
+}
+
+// UnitFloat maps a hash to [0, 1) using its top 53 bits.
+func UnitFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
