@@ -4,13 +4,17 @@
 //
 //	psigened -model model.json -upstream http://127.0.0.1:8080 -listen :9090
 //
-// Admin endpoints (bypass admission control):
+// The admin control surface is served on its own listener (-admin-listen,
+// loopback-only by default; "" disables it) so public proxied traffic can
+// never reach it and no upstream route is shadowed. -admin-token adds
+// bearer-token auth on top. Admin endpoints bypass admission control:
 //
 //	GET  /-/healthz            liveness
 //	GET  /-/readyz             readiness (503 while draining)
 //	GET  /-/statz              counters, breaker state, scoring latency
-//	POST /-/reload?path=m.json validate-then-swap a new model; a corrupt
-//	                           model leaves the old detector serving
+//	POST /-/reload?path=m.json validate-then-swap a model named inside
+//	                           -model-dir (default: the -model directory);
+//	                           a corrupt model leaves the old one serving
 //
 // On SIGINT/SIGTERM the daemon stops admitting requests, drains in-flight
 // ones (bounded by -drain-timeout), and exits.
@@ -26,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,10 +46,12 @@ func main() {
 }
 
 // testHooks lets the tests drive the daemon: ready receives the bound
-// address once listening, stop triggers the drain path a signal would.
+// data-path address once listening, adminReady the admin address, and
+// stop triggers the drain path a signal would.
 type testHooks struct {
-	ready chan string
-	stop  chan struct{}
+	ready      chan string
+	adminReady chan string
+	stop       chan struct{}
 }
 
 // run wires flags into a gateway.Gateway and serves until a signal (or
@@ -55,6 +62,9 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		model        = fs.String("model", "", "trained model file (psigene train output); required")
 		upstream     = fs.String("upstream", "", "base URL of the protected upstream; required")
 		listen       = fs.String("listen", ":9090", "address to serve on")
+		adminListen  = fs.String("admin-listen", "127.0.0.1:9091", "address for the /-/ admin surface (loopback by default; empty disables it)")
+		adminToken   = fs.String("admin-token", "", "bearer token required on admin requests (empty: rely on the listener being private)")
+		modelDir     = fs.String("model-dir", "", "directory -/reload model names resolve in (default: the -model directory)")
 		policy       = fs.String("policy", "open", "scoring-failure policy: open (forward unscored) or closed (reject)")
 		maxInFlight  = fs.Int("max-in-flight", 256, "concurrent request cap; excess is shed with 503")
 		maxBody      = fs.Int64("max-body-bytes", 1<<20, "request body cap in bytes")
@@ -103,12 +113,41 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 	}
 
 	srv := &http.Server{Handler: g}
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()
+
+	// The admin surface gets its own listener so the public data path can
+	// never reach reload/statz and /-/ stays usable by the upstream.
+	var adminSrv *http.Server
+	if *adminListen != "" {
+		dir := *modelDir
+		if dir == "" {
+			dir = filepath.Dir(*model)
+		}
+		adminLn, err := net.Listen("tcp", *adminListen)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		fmt.Fprintf(w, "psigened: admin surface on %s (models reload from %s)\n", adminLn.Addr(), dir)
+		if hooks != nil && hooks.adminReady != nil {
+			hooks.adminReady <- adminLn.Addr().String()
+		}
+		adminSrv = &http.Server{Handler: g.Admin(gateway.AdminConfig{
+			Token:    *adminToken,
+			ModelDir: dir,
+			Log:      w,
+		})}
+		go func() {
+			if err := adminSrv.Serve(adminLn); !errors.Is(err, http.ErrServerClosed) {
+				errCh <- err
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -133,6 +172,11 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("admin shutdown: %w", err)
+		}
 	}
 	fmt.Fprintln(w, "psigened: drained, bye")
 	return nil

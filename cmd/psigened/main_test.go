@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -32,8 +33,9 @@ func TestRunFlagErrors(t *testing.T) {
 }
 
 // TestDaemonEndToEnd boots the real daemon in front of the demo webapp:
-// benign traffic passes, an injection is blocked with 403, admin
-// endpoints answer, and the stop hook drains cleanly.
+// benign traffic passes, an injection is blocked with 403, the admin
+// surface answers on its own token-guarded listener (and is absent from
+// the data path), and the stop hook drains cleanly.
 func TestDaemonEndToEnd(t *testing.T) {
 	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 41).Requests(1200)
 	benign := traffic.NewGenerator(42).Requests(1500)
@@ -49,20 +51,33 @@ func TestDaemonEndToEnd(t *testing.T) {
 	up := httptest.NewServer(webapp.New(20))
 	defer up.Close()
 
-	hooks := &testHooks{ready: make(chan string, 1), stop: make(chan struct{})}
+	hooks := &testHooks{
+		ready:      make(chan string, 1),
+		adminReady: make(chan string, 1),
+		stop:       make(chan struct{}),
+	}
 	var out strings.Builder
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{
-			"-model", model, "-upstream", up.URL, "-listen", "127.0.0.1:0",
+			"-model", model, "-upstream", up.URL,
+			"-listen", "127.0.0.1:0", "-admin-listen", "127.0.0.1:0",
+			"-admin-token", "hunter2",
 		}, &out, hooks)
 	}()
-	addr := <-hooks.ready
-	base := "http://" + addr
+	base := "http://" + <-hooks.ready
+	adminBase := "http://" + <-hooks.adminReady
 
-	get := func(path string) (*http.Response, string) {
+	get := func(base, path, token string) (*http.Response, string) {
 		t.Helper()
-		resp, err := http.Get(base + path)
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
@@ -71,14 +86,22 @@ func TestDaemonEndToEnd(t *testing.T) {
 		return resp, string(body)
 	}
 
-	if resp, _ := get("/-/healthz"); resp.StatusCode != http.StatusOK {
+	if resp, _ := get(adminBase, "/-/healthz", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("admin without token: %d, want 401", resp.StatusCode)
+	}
+	if resp, _ := get(adminBase, "/-/healthz", "hunter2"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
-	if resp, _ := get("/-/readyz"); resp.StatusCode != http.StatusOK {
+	if resp, _ := get(adminBase, "/-/readyz", "hunter2"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("readyz: %d", resp.StatusCode)
 	}
+	// The data path does not expose the control surface: /-/ goes to the
+	// upstream like any other route (the webapp answers 404 for it).
+	if resp, _ := get(base, "/-/statz", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("statz on data path: %d, want upstream 404", resp.StatusCode)
+	}
 	// A benign lookup proxies through to the webapp.
-	resp, body := get("/wavsep/Case1.jsp?id=3")
+	resp, body := get(base, "/wavsep/Case1.jsp?id=3", "")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "<html>") {
 		t.Fatalf("benign: %d %q", resp.StatusCode, body)
 	}
@@ -86,15 +109,38 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("generation header %q", resp.Header.Get("X-Psigene-Gen"))
 	}
 	// A classic tautology is stopped at the gateway.
-	resp, _ = get("/wavsep/Case1.jsp?id=1%27%20or%20%271%27=%271")
+	resp, _ = get(base, "/wavsep/Case1.jsp?id=1%27%20or%20%271%27=%271", "")
 	if resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("injection: %d, want 403", resp.StatusCode)
 	}
 	if resp.Header.Get("X-Psigene-Signatures") == "" {
 		t.Fatal("blocked response must name the matching signatures")
 	}
-	if resp, body := get("/-/statz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"blocked": 1`) {
+	if resp, body := get(adminBase, "/-/statz", "hunter2"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"blocked": 1`) {
 		t.Fatalf("statz: %d %s", resp.StatusCode, body)
+	}
+
+	// Reload is confined to the model dir: names that resolve outside it
+	// are rejected up front; the model's own basename reloads fine.
+	post := func(path string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, adminBase+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer hunter2")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/-/reload?path=" + url.QueryEscape("../../etc/passwd")); code != http.StatusBadRequest {
+		t.Fatalf("traversal reload: %d, want 400", code)
+	}
+	if code := post("/-/reload?path=model.json"); code != http.StatusOK {
+		t.Fatalf("reload: %d, want 200", code)
 	}
 
 	close(hooks.stop)

@@ -2,19 +2,59 @@ package gateway
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"path/filepath"
 
 	"psigene/internal/core"
 	"psigene/internal/ids"
 	"psigene/internal/resilience"
 )
 
-// serveAdmin routes the /-/ control surface. These endpoints bypass
-// admission control on purpose: health checks and reloads must work while
-// the data path is saturated or draining.
-func (g *Gateway) serveAdmin(w http.ResponseWriter, r *http.Request) {
+// AdminConfig configures the control surface returned by Admin.
+type AdminConfig struct {
+	// Token, when non-empty, is a bearer token required on every admin
+	// request (`Authorization: Bearer <token>`). Compared in constant
+	// time; wrong or missing credentials answer 401.
+	Token string
+	// ModelDir confines reloads: the reload `?path=` parameter is a
+	// local file name resolved inside this directory, never an arbitrary
+	// filesystem path. Empty disables /-/reload entirely.
+	ModelDir string
+	// Log receives reload failure detail. Loader errors are logged here,
+	// not echoed to clients — the error text is a file-existence and
+	// parse oracle. Default io.Discard.
+	Log io.Writer
+}
+
+// Admin returns the /-/ control-surface handler. It is deliberately NOT
+// mounted on the proxy's data path: serve it on a separate listener
+// (psigened defaults to loopback-only) so public traffic can never reach
+// reload or statz and no upstream route is shadowed by the /-/ prefix.
+// The endpoints bypass admission control on purpose: health checks and
+// reloads must work while the data path is saturated or draining.
+func (g *Gateway) Admin(cfg AdminConfig) http.Handler {
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return &adminHandler{g: g, cfg: cfg}
+}
+
+type adminHandler struct {
+	g   *Gateway
+	cfg AdminConfig
+}
+
+func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Token != "" && !h.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="psigened admin"`)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	g := h.g
 	switch r.URL.Path {
 	case "/-/healthz":
 		// Liveness: the process is up and serving this handler.
@@ -29,22 +69,7 @@ func (g *Gateway) serveAdmin(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ready")
 	case "/-/reload":
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		path := r.URL.Query().Get("path")
-		if path == "" {
-			http.Error(w, "reload needs ?path=<model.json>", http.StatusBadRequest)
-			return
-		}
-		gen, err := g.ReloadModel(path)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		det, _ := g.Detector()
-		writeJSON(w, map[string]any{"generation": gen, "detector": det.Name()})
+		h.serveReload(w, r)
 	case "/-/statz":
 		writeJSON(w, g.Snapshot())
 	default:
@@ -52,11 +77,57 @@ func (g *Gateway) serveAdmin(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// authorized checks the bearer token in constant time.
+func (h *adminHandler) authorized(r *http.Request) bool {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(h.cfg.Token)) == 1
+}
+
+// serveReload swaps in a model named by ?path=, confined to ModelDir.
+// Failure detail goes to the admin log only; the response carries a
+// generic rejection so the endpoint is not a file-existence/parse oracle.
+func (h *adminHandler) serveReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.cfg.ModelDir == "" {
+		http.Error(w, "reload disabled: no model dir configured", http.StatusForbidden)
+		return
+	}
+	name := r.URL.Query().Get("path")
+	if name == "" {
+		http.Error(w, "reload needs ?path=<name.json>", http.StatusBadRequest)
+		return
+	}
+	// The parameter is a name inside ModelDir, not a path: absolute paths
+	// and ..-traversal are rejected before touching the filesystem.
+	if !filepath.IsLocal(name) {
+		http.Error(w, "reload path must be a local name inside the model dir", http.StatusBadRequest)
+		return
+	}
+	gen, err := h.g.ReloadModel(filepath.Join(h.cfg.ModelDir, name))
+	if err != nil {
+		fmt.Fprintf(h.cfg.Log, "psigened: reload %q: %v\n", name, err)
+		http.Error(w, "reload rejected; previous model still serving (see server log)", http.StatusInternalServerError)
+		return
+	}
+	det, _ := h.g.Detector()
+	writeJSON(w, map[string]any{"generation": gen, "detector": det.Name()})
+}
+
 // ReloadModel loads a model file, validates it, probes it, and only then
 // swaps it in. Every failure path leaves the previous detector serving —
 // a corrupt or half-written model push is a logged non-event, not an
-// outage. Returns the new generation on success.
+// outage. Reloads are serialized so concurrent pushes cannot interleave
+// load and swap. Returns the new generation on success.
 func (g *Gateway) ReloadModel(path string) (uint64, error) {
+	g.reloadMu.Lock()
+	defer g.reloadMu.Unlock()
 	m, err := core.LoadFile(path)
 	if err != nil {
 		g.stats.reloadFailures.Add(1)
@@ -117,6 +188,7 @@ type Snapshot struct {
 	Total           int64                       `json:"total"`
 	Shed            int64                       `json:"shed"`
 	TooLarge        int64                       `json:"tooLarge"`
+	BodyErrors      int64                       `json:"bodyErrors"`
 	Blocked         int64                       `json:"blocked"`
 	Forwarded       int64                       `json:"forwarded"`
 	ScorePanics     int64                       `json:"scorePanics"`
@@ -142,6 +214,7 @@ func (g *Gateway) Snapshot() Snapshot {
 		Total:           g.stats.total.Load(),
 		Shed:            g.stats.shed.Load(),
 		TooLarge:        g.stats.tooLarge.Load(),
+		BodyErrors:      g.stats.bodyErrors.Load(),
 		Blocked:         g.stats.blocked.Load(),
 		Forwarded:       g.stats.forwarded.Load(),
 		ScorePanics:     g.stats.scorePanics.Load(),

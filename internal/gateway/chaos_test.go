@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -190,10 +192,16 @@ func TestChaosReloadDuringStorm(t *testing.T) {
 	defer srv.Close()
 	g := mustGateway(t, srv.URL, snortEngine(t), chaosOptions())
 
-	good := trainedModel(t)
-	corruptDir := t.TempDir()
-	corrupt := corruptDir + "/corrupt.json"
-	writeFile(t, corrupt, `{"version": 1, "features": [{"name`)
+	// One model dir holding both pushes: a copy of the good model and a
+	// corrupt one. The admin surface only accepts names inside it.
+	modelDir := t.TempDir()
+	goodBytes, err := os.ReadFile(trainedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(modelDir, "good.json"), string(goodBytes))
+	writeFile(t, filepath.Join(modelDir, "corrupt.json"), `{"version": 1, "features": [{"name`)
+	admin := g.Admin(AdminConfig{ModelDir: modelDir})
 
 	wantGen := uint64(1)
 	for i, target := range targets {
@@ -203,13 +211,12 @@ func TestChaosReloadDuringStorm(t *testing.T) {
 			if !allowedStatuses[w.Code] {
 				t.Fatalf("request %d: status %d", i, w.Code)
 			}
-			path := good
+			name := "good.json"
 			if (i/30)%2 == 0 {
-				path = corrupt
+				name = "corrupt.json"
 			}
-			rw := httptest.NewRecorder()
-			g.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/-/reload?path="+path, nil))
-			if path == good {
+			rw := adminReload(admin, name)
+			if name == "good.json" {
 				if rw.Code != http.StatusOK {
 					t.Fatalf("good reload at %d: %d: %s", i, rw.Code, rw.Body.String())
 				}
@@ -330,7 +337,7 @@ func TestChaosDrainDuringBurst(t *testing.T) {
 	if w := get(g, "/after"); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain request: %d, want 503", w.Code)
 	}
-	if w := get(g, "/-/healthz"); w.Code != http.StatusOK {
+	if w := adminGet(g.Admin(AdminConfig{}), "/-/healthz"); w.Code != http.StatusOK {
 		t.Fatalf("healthz post-drain: %d", w.Code)
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -46,7 +48,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, body []byte, b
 		return
 	}
 	copyHeaders(out.Header, r.Header)
-	out.Header.Set("X-Forwarded-For", r.RemoteAddr)
+	setForwardedFor(out.Header, r)
 
 	resp, err := g.opts.Client.Do(out)
 	if err != nil {
@@ -122,6 +124,23 @@ func (g *Gateway) breakerFailure() {
 	g.mu.Lock()
 	g.breaker.Failure()
 	g.mu.Unlock()
+}
+
+// setForwardedFor appends the client IP (RemoteAddr minus the port) to
+// any X-Forwarded-For chain an outer proxy already built, rather than
+// overwriting it.
+func setForwardedFor(h http.Header, r *http.Request) {
+	ip := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(ip); err == nil {
+		ip = host
+	}
+	if ip == "" {
+		return
+	}
+	if prior := strings.Join(r.Header.Values("X-Forwarded-For"), ", "); prior != "" {
+		ip = prior + ", " + ip
+	}
+	h.Set("X-Forwarded-For", ip)
 }
 
 func copyHeaders(dst, src http.Header) {

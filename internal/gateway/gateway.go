@@ -20,12 +20,17 @@
 //     corrupt push leaves the old detector serving; generation counters
 //     let in-flight requests finish on the detector they started with.
 //   - Lifecycle: graceful drain on shutdown plus /-/healthz, /-/readyz,
-//     /-/statz and POST /-/reload admin endpoints.
+//     /-/statz and POST /-/reload admin endpoints, served by the separate
+//     handler returned by Admin — never on the proxy's own listener, so
+//     public traffic cannot reach the control surface and no upstream
+//     route is shadowed.
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -165,6 +170,10 @@ type Gateway struct {
 	sem      chan struct{}
 	draining atomic.Bool
 
+	// reloadMu serializes ReloadModel so concurrent pushes cannot
+	// interleave their load and swap steps.
+	reloadMu sync.Mutex
+
 	// mu guards the breaker (resilience.Breaker is single-threaded by
 	// contract) and the latency ring.
 	mu       sync.Mutex
@@ -179,6 +188,7 @@ type Gateway struct {
 // gatewayStats is the atomic counter block behind /-/statz.
 type gatewayStats struct {
 	total, shed, tooLarge, blocked, forwarded    atomic.Int64
+	bodyErrors                                   atomic.Int64
 	scorePanics, failedOpen, failedClosed        atomic.Int64
 	upstreamErrors, breakerRejected, budgetSpent atomic.Int64
 	reloads, reloadFailures                      atomic.Int64
@@ -216,13 +226,11 @@ func (g *Gateway) Detector() (ids.Detector, uint64) {
 	return s.det, s.gen
 }
 
-// ServeHTTP routes admin endpoints under /-/ and proxies everything else
-// through admission control, scoring, and the upstream leg.
+// ServeHTTP is the data path: every request — including anything under
+// /-/ , which belongs to the upstream here — runs through admission
+// control, scoring, and the upstream leg. The admin surface is a separate
+// handler (see Admin) meant for its own listener.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasPrefix(r.URL.Path, "/-/") {
-		g.serveAdmin(w, r)
-		return
-	}
 	g.stats.total.Add(1)
 
 	// Admission: drain refuses new work; the semaphore sheds overload.
@@ -264,9 +272,15 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Psigene-Gen", strconv.FormatUint(state.gen, 10))
 
 	req, body, err := g.inbound(r)
-	if err != nil {
+	if errors.Is(err, errBodyTooLarge) {
 		g.stats.tooLarge.Add(1)
-		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		http.Error(w, fmt.Sprintf("gateway: body exceeds %d bytes", g.opts.MaxBodyBytes), http.StatusRequestEntityTooLarge)
+		return
+	} else if err != nil {
+		// A transport failure (client abort, malformed chunked encoding)
+		// is the client's error, not a size violation: 400, own counter.
+		g.stats.bodyErrors.Add(1)
+		http.Error(w, "gateway: unreadable request body", http.StatusBadRequest)
 		return
 	}
 
@@ -302,13 +316,22 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	g.forward(w, r, body, remaining)
 }
 
+// errBodyTooLarge distinguishes the over-cap case from body read errors.
+var errBodyTooLarge = errors.New("gateway: request body exceeds cap")
+
 // inbound converts the wire request into the httpx view the detectors
 // score, reading at most MaxBodyBytes of body. The body is returned for
 // replay to the upstream.
 func (g *Gateway) inbound(r *http.Request) (httpx.Request, []byte, error) {
+	// Server-side requests are origin-form: the host lives in r.Host
+	// (r.URL.Hostname() would be empty), possibly with a port attached.
+	host := r.Host
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
 	req := httpx.Request{
 		Method:   strings.ToUpper(r.Method),
-		Host:     r.URL.Hostname(),
+		Host:     host,
 		Path:     r.URL.Path,
 		RawQuery: r.URL.RawQuery,
 	}
@@ -324,7 +347,7 @@ func (g *Gateway) inbound(r *http.Request) (httpx.Request, []byte, error) {
 			return req, nil, fmt.Errorf("gateway: read body: %w", err)
 		}
 		if int64(len(b)) > g.opts.MaxBodyBytes {
-			return req, nil, fmt.Errorf("gateway: body exceeds %d bytes", g.opts.MaxBodyBytes)
+			return req, nil, errBodyTooLarge
 		}
 		body = b
 		req.Body = string(b)

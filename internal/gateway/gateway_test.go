@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,6 +63,20 @@ func mustGateway(t *testing.T, upstream string, det ids.Detector, opts Options) 
 func get(g *Gateway, target string) *httptest.ResponseRecorder {
 	w := httptest.NewRecorder()
 	g.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+	return w
+}
+
+// adminGet hits the admin control surface, which lives on its own handler.
+func adminGet(h http.Handler, target string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+	return w
+}
+
+// adminReload posts a reload for the given model name.
+func adminReload(h http.Handler, name string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload?path="+url.QueryEscape(name), nil))
 	return w
 }
 
@@ -129,6 +144,81 @@ func TestBodyCap(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("body at cap: status %d, want 200", w.Code)
 	}
+	if s := g.Snapshot(); s.TooLarge != 1 || s.BodyErrors != 0 {
+		t.Fatalf("cap counters: %+v", s)
+	}
+}
+
+// brokenBody fails mid-read, like a client abort or malformed chunking.
+type brokenBody struct{}
+
+func (brokenBody) Read([]byte) (int, error) { return 0, fmt.Errorf("connection reset mid-body") }
+
+// TestBodyReadErrorIsNot413: a transport failure while reading the body is
+// the client's 400, not a 413 size violation, and counts separately.
+func TestBodyReadErrorIsNot413(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/login", brokenBody{}))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("broken body: status %d, want 400", w.Code)
+	}
+	if s := g.Snapshot(); s.BodyErrors != 1 || s.TooLarge != 0 {
+		t.Fatalf("body-error counters: %+v", s)
+	}
+}
+
+// captureDetector records the last request it inspected.
+type captureDetector struct{ last *httpx.Request }
+
+func (captureDetector) Name() string { return "capture" }
+
+func (d captureDetector) Inspect(req httpx.Request) ids.Verdict {
+	*d.last = req
+	return ids.Verdict{}
+}
+
+// TestInboundHost: the scored request's Host comes from the Host header
+// (r.Host, port stripped) — origin-form requests have an empty r.URL host.
+func TestInboundHost(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	var last httpx.Request
+	g := mustGateway(t, up.URL, captureDetector{last: &last}, Options{})
+
+	r := httptest.NewRequest(http.MethodGet, "/p?id=1", nil)
+	r.Host = "shop.example.com:8443"
+	g.ServeHTTP(httptest.NewRecorder(), r)
+	if last.Host != "shop.example.com" {
+		t.Fatalf("scored Host %q, want shop.example.com", last.Host)
+	}
+}
+
+// TestForwardedForChain: the gateway appends the client IP (no port) to an
+// existing X-Forwarded-For chain instead of overwriting it.
+func TestForwardedForChain(t *testing.T) {
+	var seen string
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get("X-Forwarded-For")
+	}))
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+
+	r := httptest.NewRequest(http.MethodGet, "/p", nil) // RemoteAddr 192.0.2.1:1234
+	r.Header.Set("X-Forwarded-For", "203.0.113.9")
+	g.ServeHTTP(httptest.NewRecorder(), r)
+	if seen != "203.0.113.9, 192.0.2.1" {
+		t.Fatalf("upstream saw X-Forwarded-For %q, want \"203.0.113.9, 192.0.2.1\"", seen)
+	}
+
+	seen = ""
+	g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/p", nil))
+	if seen != "192.0.2.1" {
+		t.Fatalf("upstream saw X-Forwarded-For %q, want bare client IP", seen)
+	}
 }
 
 func TestResponseCap(t *testing.T) {
@@ -173,27 +263,28 @@ func TestAdminEndpoints(t *testing.T) {
 	up := echoUpstream()
 	defer up.Close()
 	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+	admin := g.Admin(AdminConfig{ModelDir: t.TempDir()})
 
-	if w := get(g, "/-/healthz"); w.Code != http.StatusOK {
+	if w := adminGet(admin, "/-/healthz"); w.Code != http.StatusOK {
 		t.Fatalf("healthz: %d", w.Code)
 	}
-	if w := get(g, "/-/readyz"); w.Code != http.StatusOK {
+	if w := adminGet(admin, "/-/readyz"); w.Code != http.StatusOK {
 		t.Fatalf("readyz: %d", w.Code)
 	}
-	if w := get(g, "/-/nope"); w.Code != http.StatusNotFound {
+	if w := adminGet(admin, "/-/nope"); w.Code != http.StatusNotFound {
 		t.Fatalf("unknown admin path: %d", w.Code)
 	}
-	if w := get(g, "/-/reload"); w.Code != http.StatusMethodNotAllowed {
+	if w := adminGet(admin, "/-/reload"); w.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET reload: %d, want 405", w.Code)
 	}
 	w := httptest.NewRecorder()
-	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload", nil))
+	admin.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload", nil))
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("reload without path: %d, want 400", w.Code)
 	}
 
 	var snap Snapshot
-	if err := json.Unmarshal(get(g, "/-/statz").Body.Bytes(), &snap); err != nil {
+	if err := json.Unmarshal(adminGet(admin, "/-/statz").Body.Bytes(), &snap); err != nil {
 		t.Fatalf("statz JSON: %v", err)
 	}
 	if snap.Detector != "stub" || snap.Generation != 1 {
@@ -206,14 +297,61 @@ func TestAdminEndpoints(t *testing.T) {
 	if err := g.Drain(ctx); err != nil {
 		t.Fatalf("Drain: %v", err)
 	}
-	if w := get(g, "/-/healthz"); w.Code != http.StatusOK {
+	if w := adminGet(admin, "/-/healthz"); w.Code != http.StatusOK {
 		t.Fatalf("healthz while draining: %d", w.Code)
 	}
-	if w := get(g, "/-/readyz"); w.Code != http.StatusServiceUnavailable {
+	if w := adminGet(admin, "/-/readyz"); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while draining: %d, want 503", w.Code)
 	}
 	if w := get(g, "/anything"); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("proxy while draining: %d, want 503", w.Code)
+	}
+}
+
+// TestAdminNotOnDataPath pins the listener split: /-/ paths on the proxy
+// are ordinary upstream routes (no shadowing, no public control surface).
+func TestAdminNotOnDataPath(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+
+	for _, path := range []string{"/-/healthz", "/-/statz", "/-/reload", "/-/app-route"} {
+		w := get(g, path)
+		if w.Code != http.StatusOK || w.Body.String() != "echo:"+path+"?" {
+			t.Fatalf("%s on the data path: %d %q, want proxied echo", path, w.Code, w.Body.String())
+		}
+	}
+	if s := g.Snapshot(); s.Forwarded != 4 {
+		t.Fatalf("/-/ requests not proxied: %+v", s)
+	}
+}
+
+func TestAdminBearerToken(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+	admin := g.Admin(AdminConfig{Token: "s3cret"})
+
+	hit := func(auth string) int {
+		r := httptest.NewRequest(http.MethodGet, "/-/statz", nil)
+		if auth != "" {
+			r.Header.Set("Authorization", auth)
+		}
+		w := httptest.NewRecorder()
+		admin.ServeHTTP(w, r)
+		return w.Code
+	}
+	if code := hit(""); code != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", code)
+	}
+	if code := hit("Bearer wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token: %d, want 401", code)
+	}
+	if code := hit("s3cret"); code != http.StatusUnauthorized {
+		t.Fatalf("bare token without scheme: %d, want 401", code)
+	}
+	if code := hit("Bearer s3cret"); code != http.StatusOK {
+		t.Fatalf("correct token: %d, want 200", code)
 	}
 }
 
@@ -265,9 +403,9 @@ func TestReloadSwapsGeneration(t *testing.T) {
 	defer up.Close()
 	g := mustGateway(t, up.URL, stubDetector{}, Options{})
 	path := trainedModel(t)
+	admin := g.Admin(AdminConfig{ModelDir: filepath.Dir(path)})
 
-	w := httptest.NewRecorder()
-	g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload?path="+path, nil))
+	w := adminReload(admin, filepath.Base(path))
 	if w.Code != http.StatusOK {
 		t.Fatalf("reload: %d: %s", w.Code, w.Body.String())
 	}
@@ -290,15 +428,25 @@ func TestFailedReloadKeepsOldDetector(t *testing.T) {
 
 	// A corrupt model file: valid JSON prefix, truncated mid-document.
 	dir := t.TempDir()
-	corrupt := filepath.Join(dir, "corrupt.json")
-	writeFile(t, corrupt, `{"version": 1, "features": [{"na`)
+	writeFile(t, filepath.Join(dir, "corrupt.json"), `{"version": 1, "features": [{"na`)
+	var log strings.Builder
+	admin := g.Admin(AdminConfig{ModelDir: dir, Log: &log})
 
-	for _, path := range []string{corrupt, filepath.Join(dir, "missing.json")} {
-		w := httptest.NewRecorder()
-		g.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/reload?path="+path, nil))
+	for _, name := range []string{"corrupt.json", "missing.json"} {
+		w := adminReload(admin, name)
 		if w.Code != http.StatusInternalServerError {
-			t.Fatalf("reload %s: %d, want 500", path, w.Code)
+			t.Fatalf("reload %s: %d, want 500", name, w.Code)
 		}
+		// Loader detail goes to the admin log, not the response: the
+		// endpoint must not be a file-existence/parse oracle.
+		for _, leak := range []string{dir, "JSON", "no such file"} {
+			if strings.Contains(w.Body.String(), leak) {
+				t.Fatalf("reload %s echoed loader detail %q: %s", name, leak, w.Body.String())
+			}
+		}
+	}
+	if !strings.Contains(log.String(), "corrupt.json") || !strings.Contains(log.String(), "missing.json") {
+		t.Fatalf("reload failures not logged:\n%s", log.String())
 	}
 	// A detector that panics on probe is rejected before the swap.
 	if _, err := g.Swap(panicDetector{}); err == nil {
@@ -315,6 +463,30 @@ func TestFailedReloadKeepsOldDetector(t *testing.T) {
 	}
 	if s := g.Snapshot(); s.ReloadFailures != 3 || s.Reloads != 0 {
 		t.Fatalf("reload counters: %+v", s)
+	}
+}
+
+// TestReloadConfinedToModelDir: the ?path= parameter is a name inside the
+// configured model directory, never an arbitrary filesystem path.
+func TestReloadConfinedToModelDir(t *testing.T) {
+	up := echoUpstream()
+	defer up.Close()
+	g := mustGateway(t, up.URL, stubDetector{}, Options{})
+	path := trainedModel(t)
+
+	admin := g.Admin(AdminConfig{ModelDir: t.TempDir()})
+	for _, name := range []string{path, "../" + filepath.Base(path), "/etc/passwd", ".."} {
+		if w := adminReload(admin, name); w.Code != http.StatusBadRequest {
+			t.Fatalf("escaping reload path %q: %d, want 400", name, w.Code)
+		}
+	}
+	// With no model dir configured, reload is off entirely.
+	noDir := g.Admin(AdminConfig{})
+	if w := adminReload(noDir, "model.json"); w.Code != http.StatusForbidden {
+		t.Fatalf("reload without model dir: %d, want 403", w.Code)
+	}
+	if _, gen := g.Detector(); gen != 1 {
+		t.Fatalf("generation moved to %d on rejected reloads", gen)
 	}
 }
 
@@ -490,7 +662,8 @@ func TestDrainWaitsForInFlight(t *testing.T) {
 
 	// Wait for the drain flag before poking the data path: a request that
 	// slipped in pre-drain would block on the gated upstream forever.
-	for get(g, "/-/readyz").Code != http.StatusServiceUnavailable {
+	admin := g.Admin(AdminConfig{})
+	for adminGet(admin, "/-/readyz").Code != http.StatusServiceUnavailable {
 	}
 	if w := get(g, "/late"); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain request admitted: %d", w.Code)
