@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race race-parallel bench smoke chaos gateway-chaos fuzz
+.PHONY: check vet fmt lint build test race race-parallel bench smoke chaos gateway-chaos lifecycle-chaos fuzz
 
-check: vet fmt build lint test smoke chaos gateway-chaos fuzz
+check: vet fmt build lint test smoke chaos gateway-chaos lifecycle-chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -39,9 +39,11 @@ race-parallel:
 	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/ ./internal/resilience/
 
 # Sparse-vs-dense, serial-vs-parallel train, and pipeline micro benchmarks
-# (EXPERIMENTS.md numbers).
+# (EXPERIMENTS.md numbers), plus the machine-readable lifecycle benchmark
+# (bootstrap/round latencies and gateway replay throughput).
 bench:
 	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|TrainParallel|DenseMatch|SparseMatch|GatewayThroughput' -benchmem .
+	$(GO) run ./cmd/evalharness -experiment lifecycle -out BENCH_lifecycle.json
 
 # End-to-end smoke test: the quickstart example must train and classify.
 smoke:
@@ -60,6 +62,14 @@ chaos:
 # deadline, so the whole suite runs in a few seconds.
 gateway-chaos:
 	$(GO) test -count=1 -run 'Chaos|Breaker|Drain|Overload|Reload' ./internal/gateway/
+
+# Lifecycle chaos gate: the end-to-end crawl→retrain→gate→canary scenario
+# under injected crawl faults, run twice and compared bit for bit
+# (manifests, decision journal, canary verdict sequences), plus the
+# versioned-artifact store and gate/canary unit suites. Sleeps are
+# injected and traffic replays in-process, so no wall-clock waits.
+lifecycle-chaos:
+	$(GO) test -count=1 -run 'Lifecycle|Store|Gate|Runner|Rollback|Replay|CrawlSource' ./internal/lifecycle/
 
 # Fuzz smoke: a few seconds per httpx parsing target (plus their checked-in
 # crash corpora under testdata/fuzz). `go test -fuzz` accepts one target

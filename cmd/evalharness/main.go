@@ -7,10 +7,13 @@
 //	evalharness -experiment figure2 -out heatmap.svg
 //
 // Experiments: table1 table2 table3 table4 table5 table6 figure2 figure3
-// figure4 incremental perdisci perf ablations all.
+// figure4 incremental perdisci perf ablations all. The extra "lifecycle"
+// experiment (not part of "all") benchmarks the crawl→retrain→validate→
+// canary loop and writes a machine-readable JSON report to -out.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +35,7 @@ func main() {
 func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("evalharness", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, all)")
+		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, all)")
 		out        = fs.String("out", "", "write figure artifacts (SVG/CSV) to this file")
 		paperScale = fs.Bool("paper-scale", false, "use the paper's full corpus sizes (slow)")
 
@@ -74,7 +77,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	}
 
 	sel := strings.ToLower(*exp)
-	needsEnv := sel != "table1" && sel != "table2" && sel != "table4"
+	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle"
 
 	var env *experiments.Env
 	if needsEnv {
@@ -224,6 +227,33 @@ func run(args []string, w io.Writer) (retErr error) {
 			tbl.Render(w)
 			for sys, x := range experiments.Slowdown(rows) {
 				fmt.Fprintf(w, "pSigene slowdown vs %s: %.1fX\n", sys, x)
+			}
+		case "lifecycle":
+			dir, err := os.MkdirTemp("", "psigene-lifecycle-bench-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			res, err := experiments.LifecycleBenchmark(dir, scale.Seed, 3)
+			if err != nil {
+				return err
+			}
+			tbl := &report.Table{Title: "Lifecycle benchmark", Headers: []string{"Round", "Action", "Version", "Round ms", "Replay req/s"}}
+			for _, r := range res.Rounds {
+				tbl.AddRow(fmt.Sprint(r.Round), r.Action, r.Version, report.F(r.RoundMillis, 1), report.F(r.ReplayRPS, 0))
+			}
+			fmt.Fprintf(w, "bootstrap: %s, %d signatures in %.1fms; serving %s after %d rounds\n",
+				"v000001", res.Signatures, res.BootstrapMillis, res.ServingVersion, len(res.Rounds))
+			tbl.Render(w)
+			if *out != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "JSON written to %s\n", *out)
 			}
 		case "ablations":
 			tbl := &report.Table{Title: "Ablations", Headers: []string{"Variant", "TPR (SQLmap)", "FPR"}}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/crawl"
+	"psigene/internal/gateway"
+	"psigene/internal/lifecycle"
+	"psigene/internal/traffic"
+	"psigene/internal/webapp"
+)
+
+// runLifecycle drives the continuous crawl→retrain→validate→canary loop:
+// bootstrap a model into a versioned artifact store, then run N rounds of
+// fresh-sample ingestion, incremental retraining, gate validation and
+// canary promotion against an inline gateway protecting a demo vulnerable
+// app. With -portals the fresh samples come from real crawls (checkpointed
+// per portal inside the store); without, from the synthetic crawl-profile
+// generator. Canary traffic is replayed in-process, so a full run needs no
+// external infrastructure.
+func runLifecycle(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lifecycle", flag.ContinueOnError)
+	var (
+		storeDir = fs.String("store", "lifecycle", "artifact store directory (created; must not hold a promoted model yet)")
+		rounds   = fs.Int("rounds", 3, "lifecycle rounds to run")
+		portals  = fs.String("portals", "", "comma-separated portal base URLs to crawl per round (default: synthetic samples)")
+		nAttacks = fs.Int("attacks", 1500, "bootstrap attack training samples")
+		nBenign  = fs.Int("benign", 3000, "bootstrap benign training requests")
+		perRound = fs.Int("round-samples", 200, "synthetic fresh samples per round (ignored with -portals)")
+		seed     = fs.Int64("seed", 1, "seed for corpora, gate and canary sampling")
+		minTPR   = fs.Float64("min-tpr", 0.85, "gate per-tool detection-rate floor")
+		maxFPR   = fs.Float64("max-fpr", 0.05, "gate false-alarm ceiling")
+		fraction = fs.Float64("fraction", 1, "canary traffic sampling fraction (0,1]")
+		replayB  = fs.Int("replay-benign", 300, "benign canary requests per round")
+		replayA  = fs.Int("replay-attacks", 60, "attack canary requests per round")
+		rollback = fs.Bool("rollback", false, "force a rollback to the parent version after the rounds")
+		par      = fs.Int("parallelism", 0, "training worker count (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := lifecycle.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if cur, err := store.Current(); err != nil {
+		return err
+	} else if cur != "" {
+		return fmt.Errorf("lifecycle: store %s already has a promoted model (%s); point -store at a fresh directory", *storeDir, cur)
+	}
+
+	// The protected upstream: the demo vulnerable app on loopback.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: webapp.New(30)}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	upstream := "http://" + ln.Addr().String()
+
+	var source lifecycle.Source
+	if *portals != "" {
+		var srcs lifecycle.RoundSources
+		for i, u := range strings.Split(*portals, ",") {
+			srcs = append(srcs, &lifecycle.CrawlSource{
+				URL:            strings.TrimSpace(u),
+				Options:        crawl.Options{Seed: *seed},
+				CheckpointPath: filepath.Join(store.Root(), fmt.Sprintf("portal-%d.checkpoint", i+1)),
+			})
+		}
+		source = srcs
+	} else {
+		source = lifecycle.GenSource{Profile: attackgen.CrawlProfile(), Seed: *seed + 100, N: *perRound}
+	}
+
+	runner := lifecycle.NewRunner(store, source, lifecycle.RunnerConfig{
+		Gate: lifecycle.GateConfig{
+			MinTPR: *minTPR, MaxFPR: *maxFPR,
+			Seed: *seed + 200, ProbeSamples: 250,
+		},
+		Canary: lifecycle.CanaryOptions{Fraction: *fraction, Seed: *seed + 300, MaxRegressions: int64(*replayA / 4)},
+	})
+
+	fmt.Fprintf(w, "bootstrapping from %d attack and %d benign samples...\n", *nAttacks, *nBenign)
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), *seed).Requests(*nAttacks)
+	benign := traffic.NewGenerator(*seed + 1).Requests(*nBenign)
+	man, err := runner.Bootstrap(attacks, benign, core.Config{Parallelism: *par})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bootstrapped %s: %d signatures, model sha256 %s\n", man.Version, man.Signatures, short(man.ModelSHA256))
+
+	m, cman, err := runner.CurrentDetector()
+	if err != nil {
+		return err
+	}
+	gw, err := gateway.New(upstream, m, gateway.Options{
+		ModelVersion: cman.Version, ModelSHA256: cman.ModelSHA256,
+	})
+	if err != nil {
+		return err
+	}
+	runner.AttachGateway(gw)
+
+	for i := 1; i <= *rounds; i++ {
+		d, err := runner.Round(func() error {
+			lifecycle.ReplayMix(gw, *replayB, *replayA, *seed+400+int64(i))
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("round %d: %w", i, err)
+		}
+		printDecision(w, d)
+	}
+
+	if *rollback {
+		d, err := runner.Rollback()
+		if err != nil {
+			return err
+		}
+		printDecision(w, d)
+	}
+
+	cur, err := store.Current()
+	if err != nil {
+		return err
+	}
+	snap := gw.Snapshot()
+	fmt.Fprintf(w, "serving %s (generation %d); store CURRENT = %s; decisions in %s\n",
+		snap.ModelVersion, snap.Generation, cur, store.DecisionLog())
+	return nil
+}
+
+// printDecision renders one lifecycle decision compactly.
+func printDecision(w io.Writer, d *lifecycle.Decision) {
+	fmt.Fprintf(w, "round %d: %s", d.Round, d.Action)
+	if d.Version != "" {
+		fmt.Fprintf(w, " %s", d.Version)
+		if d.Parent != "" {
+			fmt.Fprintf(w, " (parent %s)", d.Parent)
+		}
+	}
+	fmt.Fprintf(w, ", %d fresh samples", d.FreshSamples)
+	if g := d.Gate; g != nil {
+		minTPR := 1.0
+		for _, tr := range g.Tools {
+			if tr.TPR < minTPR {
+				minTPR = tr.TPR
+			}
+		}
+		fmt.Fprintf(w, "; gate: min TPR %.1f%%, FPR %.2f%%, dead %d", minTPR*100, g.FPR*100, g.DeadSignatures)
+		if !g.Pass {
+			fmt.Fprintf(w, " — REJECTED (%s)", strings.Join(g.Reasons, "; "))
+		}
+	}
+	if c := d.Canary; c != nil {
+		fmt.Fprintf(w, "; canary: %d sampled, %d agree, %d old-only, %d new-only", c.Sampled, c.Agree, c.OldOnly, c.NewOnly)
+	}
+	fmt.Fprintln(w)
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

@@ -14,6 +14,9 @@
 //	    Render the signatures as a Bro 2.x policy script (§III-C).
 //	psigene tune    -model model.json -target-fpr 0.0005 -out tuned.json
 //	    Pick per-signature thresholds from a validation set (Figure 3).
+//	psigene lifecycle -store lifecycle -rounds 3
+//	    Run the continuous crawl→retrain→validate→canary lifecycle over a
+//	    versioned artifact store (see internal/lifecycle).
 package main
 
 import (
@@ -41,7 +44,7 @@ func main() {
 }
 
 func run(args []string, w io.Writer) (retErr error) {
-	const usage = "usage: psigene [-cpuprofile file] [-memprofile file] <train|crawl|inspect|eval|export|tune> [flags]"
+	const usage = "usage: psigene [-cpuprofile file] [-memprofile file] <train|crawl|inspect|eval|export|tune|lifecycle> [flags]"
 	global := flag.NewFlagSet("psigene", flag.ContinueOnError)
 	var (
 		cpuProfile = global.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,6 +81,8 @@ func run(args []string, w io.Writer) (retErr error) {
 		return runExport(args[1:], w)
 	case "tune":
 		return runTune(args[1:], w)
+	case "lifecycle":
+		return runLifecycle(args[1:], w)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

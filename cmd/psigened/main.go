@@ -11,10 +11,20 @@
 //
 //	GET  /-/healthz            liveness
 //	GET  /-/readyz             readiness (503 while draining)
-//	GET  /-/statz              counters, breaker state, scoring latency
+//	GET  /-/statz              counters, breaker state, scoring latency,
+//	                           serving artifact version + content hash
+//	GET  /-/metrics            the same, in Prometheus text format
 //	POST /-/reload?path=m.json validate-then-swap a model named inside
 //	                           -model-dir (default: the -model directory);
 //	                           a corrupt model leaves the old one serving
+//	POST /-/canary/start?path= score a candidate side-by-side on sampled
+//	                           traffic without affecting verdicts
+//	GET  /-/canary             verdict-delta report for the active canary
+//	POST /-/canary/promote     swap the candidate in; /-/canary/abort drops it
+//
+// -model accepts either a legacy single-file model or a versioned
+// artifact directory (manifest.json + model.json); artifact identity is
+// echoed on X-Psigene-Gen and /-/statz.
 //
 // On SIGINT/SIGTERM the daemon stops admitting requests, drains in-flight
 // ones (bounded by -drain-timeout), and exits.
@@ -59,7 +69,7 @@ type testHooks struct {
 func run(args []string, w io.Writer, hooks *testHooks) error {
 	fs := flag.NewFlagSet("psigened", flag.ContinueOnError)
 	var (
-		model        = fs.String("model", "", "trained model file (psigene train output); required")
+		model        = fs.String("model", "", "trained model file or artifact directory (psigene train output); required")
 		upstream     = fs.String("upstream", "", "base URL of the protected upstream; required")
 		listen       = fs.String("listen", ":9090", "address to serve on")
 		adminListen  = fs.String("admin-listen", "127.0.0.1:9091", "address for the /-/ admin surface (loopback by default; empty disables it)")
@@ -88,7 +98,7 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		return fmt.Errorf("unknown -policy %q (want open or closed)", *policy)
 	}
 
-	m, err := core.LoadFile(*model)
+	m, man, err := core.LoadAny(*model)
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
 	}
@@ -98,6 +108,8 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		ScoreBudget:     *scoreBudget,
 		UpstreamTimeout: *upTimeout,
 		Policy:          pol,
+		ModelVersion:    man.Version,
+		ModelSHA256:     man.ModelSHA256,
 	})
 	if err != nil {
 		return err

@@ -105,8 +105,11 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "<html>") {
 		t.Fatalf("benign: %d %q", resp.StatusCode, body)
 	}
-	if resp.Header.Get("X-Psigene-Gen") != "1" {
-		t.Fatalf("generation header %q", resp.Header.Get("X-Psigene-Gen"))
+	// The generation header carries the serving artifact's identity:
+	// generation, version (legacy files get a synthesized file: version)
+	// and truncated content hash.
+	if gen := resp.Header.Get("X-Psigene-Gen"); !strings.HasPrefix(gen, "1 file:model.json sha256:") {
+		t.Fatalf("generation header %q", gen)
 	}
 	// A classic tautology is stopped at the gateway.
 	resp, _ = get(base, "/wavsep/Case1.jsp?id=1%27%20or%20%271%27=%271", "")
@@ -116,7 +119,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if resp.Header.Get("X-Psigene-Signatures") == "" {
 		t.Fatal("blocked response must name the matching signatures")
 	}
-	if resp, body := get(adminBase, "/-/statz", "hunter2"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"blocked": 1`) {
+	if resp, body := get(adminBase, "/-/statz", "hunter2"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"blocked": 1`) || !strings.Contains(body, `"modelVersion": "file:model.json"`) {
 		t.Fatalf("statz: %d %s", resp.StatusCode, body)
 	}
 

@@ -75,14 +75,17 @@ func run(args []string, root string, w io.Writer) (int, error) {
 
 	ds := prog.RunCode(pkgs, analysis.CodeAnalyzers())
 
+	// The probe corpus backs both the catalog corpus checks and the
+	// -model audit; synthesize it once.
+	var corpus []string
+	if *corpusN > 0 {
+		corpus = analysis.ProbeCorpus(*corpusN, *seed)
+	}
+
 	// The catalog checks run whenever the selection includes the feature
 	// package (so `psigenelint ./...` always audits the signature
 	// catalog, while a scoped run of another package does not).
 	if featPkg := prog.Package("internal/feature"); featPkg != nil && selected(pkgs, featPkg) {
-		var corpus []string
-		if *corpusN > 0 {
-			corpus = analysis.ProbeCorpus(*corpusN, *seed)
-		}
 		cds := analysis.CheckCatalog(feature.Catalog(), corpus, analysis.FeatureAnchors(prog), 0)
 		for _, d := range cds {
 			if !prog.Suppressed(d) {
@@ -91,12 +94,15 @@ func run(args []string, root string, w io.Writer) (int, error) {
 		}
 	}
 
+	// The -model audit goes through the same library entrypoint the
+	// lifecycle gate uses (deadsig, plus corpus-driven nevermatch and
+	// subsumed over the model's observed features).
 	if *modelPath != "" {
 		m, err := core.LoadFile(*modelPath)
 		if err != nil {
 			return 0, fmt.Errorf("loading model: %w", err)
 		}
-		ds = append(ds, analysis.CheckSignatures(m, *modelPath)...)
+		ds = append(ds, analysis.AuditModel(m, corpus, *modelPath)...)
 	}
 
 	if *checks != "" {

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/token"
+
+	"psigene/internal/core"
+)
+
+// AuditModel is the library entrypoint for auditing a trained signature
+// set, shared by the psigenelint driver (-model) and the lifecycle gate
+// so both run one implementation of the catalog checks: deadsig over the
+// trained signatures, plus — when a probe corpus is supplied — the
+// corpus-driven nevermatch and subsumed checks over the model's observed
+// feature set. origin labels every diagnostic (a model path or artifact
+// version). Diagnostics carry no source anchors — the observed set is a
+// runtime object, not catalog source — so gate callers consume counts,
+// not suppressions.
+func AuditModel(m *core.Model, corpus []string, origin string) []Diagnostic {
+	out := CheckSignatures(m, origin)
+	if len(corpus) > 0 {
+		pos := make([]token.Position, len(m.Features.Features))
+		valid := make([]bool, len(m.Features.Features))
+		for i := range pos {
+			pos[i] = token.Position{Filename: origin}
+			valid[i] = true
+		}
+		out = append(out, checkCorpusFlaws(m.Features, corpus, pos, valid)...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// CountByCheck tallies diagnostics per check name; gate code keys floors
+// off these counts instead of re-implementing the checks.
+func CountByCheck(ds []Diagnostic) map[string]int {
+	out := make(map[string]int)
+	for _, d := range ds {
+		out[d.Check]++
+	}
+	return out
+}

@@ -15,7 +15,10 @@ import (
 // replay faults through (seeded jitter, schedule hashing, the
 // request-count breaker). Nondeterministic iteration order or
 // nondeterministic inputs inside them would break those guarantees, so
-// the determinism analyzers are scoped here.
+// the determinism analyzers are scoped here. The lifecycle orchestrator
+// belongs to the set too: its manifests, gate reports and promotion
+// decisions must be bit-identical across same-seed runs, which holds
+// only while the package itself stays clock- and randomness-free.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
@@ -24,6 +27,7 @@ var DefaultKernelPackages = []string{
 	"internal/crawl",
 	"internal/faultify",
 	"internal/resilience",
+	"internal/lifecycle",
 }
 
 func isKernelPackage(pkg *Package, kernel []string) bool {

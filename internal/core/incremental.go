@@ -3,9 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"psigene/internal/cluster"
 	"psigene/internal/httpx"
+	"psigene/internal/matrix"
 	"psigene/internal/normalize"
 )
 
@@ -15,7 +18,9 @@ import (
 // The biclusters themselves are kept fixed — each new sample is assigned to
 // the bicluster whose signature gives it the highest probability — so only
 // the logistic regressions retrain, which is what makes the update cheap
-// enough to run periodically.
+// enough to run periodically: the continuous lifecycle (internal/lifecycle)
+// calls it every round. Touched signatures retrain shard-parallel under
+// Config.Parallelism with bit-identical results at every worker count.
 func (m *Model) Update(newAttacks []httpx.Request) error {
 	if m.trainObserved == nil {
 		return errors.New("core: model does not retain training state")
@@ -61,7 +66,17 @@ func (m *Model) Update(newAttacks []httpx.Request) error {
 		touched[best] = true
 	}
 
-	// Retrain Θ for every signature that received samples.
+	// Retrain Θ for every signature that received samples. Each touched
+	// signature is an independent shard — trainSignature only reads the
+	// shared matrices — so the retrains fan out over Config.Parallelism
+	// workers exactly like the initial trainSignatures pass: results land
+	// in preassigned slots and errors report for the lowest shard index,
+	// so the updated model is bit-identical at every worker count.
+	type shard struct {
+		idx int // index into m.Signatures
+		b   cluster.Bicluster
+	}
+	var shards []shard
 	for i, sig := range m.Signatures {
 		if !touched[sig.ID] {
 			continue
@@ -70,12 +85,42 @@ func (m *Model) Update(newAttacks []httpx.Request) error {
 		if !ok {
 			return fmt.Errorf("core: bicluster %d missing from clustering result", sig.ID)
 		}
-		newSig, err := trainSignature(m.trainObserved, m.trainWeights, m.benignMat, m.benignW, b, m.extra[sig.ID], m.cfg)
-		if err != nil {
-			return fmt.Errorf("retrain signature %d: %w", sig.ID, err)
+		shards = append(shards, shard{idx: i, b: b})
+	}
+	retrained := make([]*Signature, len(shards))
+	errs := make([]error, len(shards))
+	workers := matrix.ResolveWorkers(m.cfg.Parallelism, len(shards))
+	if workers <= 1 {
+		for k, sh := range shards {
+			retrained[k], errs[k] = trainSignature(m.trainObserved, m.trainWeights, m.benignMat, m.benignW, sh.b, m.extra[sh.b.ID], m.cfg)
 		}
-		newSig.Threshold = sig.Threshold // preserve any ROC tuning
-		m.Signatures[i] = newSig
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(shards) {
+						return
+					}
+					sh := shards[k]
+					retrained[k], errs[k] = trainSignature(m.trainObserved, m.trainWeights, m.benignMat, m.benignW, sh.b, m.extra[sh.b.ID], m.cfg)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("retrain signature %d: %w", shards[k].b.ID, err)
+		}
+	}
+	for k, sh := range shards {
+		retrained[k].Threshold = m.Signatures[sh.idx].Threshold // preserve any ROC tuning
+		m.Signatures[sh.idx] = retrained[k]
 	}
 	m.Stats.AttackSamples += len(newAttacks)
 	return nil

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/gateway"
+	"psigene/internal/lifecycle"
+	"psigene/internal/traffic"
+	"psigene/internal/webapp"
+)
+
+// LifecycleRoundBench is one crawl→retrain→gate→canary round of the
+// lifecycle benchmark, with wall-clock timings taken from outside the
+// (clock-free) lifecycle package.
+type LifecycleRoundBench struct {
+	Round          int     `json:"round"`
+	Action         string  `json:"action"`
+	Version        string  `json:"version"`
+	FreshSamples   int     `json:"freshSamples"`
+	RoundMillis    float64 `json:"roundMillis"`
+	MinToolTPR     float64 `json:"minToolTpr"`
+	FPR            float64 `json:"fpr"`
+	CanarySampled  int64   `json:"canarySampled"`
+	CanaryAgree    int64   `json:"canaryAgree"`
+	ReplayRequests int     `json:"replayRequests"`
+	ReplayMillis   float64 `json:"replayMillis"`
+	ReplayRPS      float64 `json:"replayRps"`
+}
+
+// LifecycleBenchResult is the machine-readable output of the lifecycle
+// benchmark (BENCH_lifecycle.json).
+type LifecycleBenchResult struct {
+	Seed            int64                 `json:"seed"`
+	TrainAttacks    int                   `json:"trainAttacks"`
+	TrainBenign     int                   `json:"trainBenign"`
+	Signatures      int                   `json:"signatures"`
+	BootstrapMillis float64               `json:"bootstrapMillis"`
+	ServingVersion  string                `json:"servingVersion"`
+	Rounds          []LifecycleRoundBench `json:"rounds"`
+}
+
+// LifecycleBenchmark runs the full artifact lifecycle — bootstrap into a
+// versioned store, then `rounds` rounds of synthetic fresh samples,
+// incremental retrain, gate validation and canary promotion over an
+// in-process gateway — and reports per-stage latencies plus gateway
+// replay throughput. The store lives in dir (a scratch directory the
+// caller owns).
+func LifecycleBenchmark(dir string, seed int64, rounds int) (*LifecycleBenchResult, error) {
+	store, err := lifecycle.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	runner := lifecycle.NewRunner(store,
+		lifecycle.GenSource{Profile: attackgen.CrawlProfile(), Seed: seed + 100, N: 200},
+		lifecycle.RunnerConfig{
+			Gate: lifecycle.GateConfig{
+				MinTPR: 0.85, MaxFPR: 0.05,
+				Seed: seed + 200, ProbeSamples: 250,
+			},
+			Canary: lifecycle.CanaryOptions{Fraction: 1, Seed: seed + 300, MaxRegressions: 15},
+		})
+
+	res := &LifecycleBenchResult{Seed: seed, TrainAttacks: 1500, TrainBenign: 3000}
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), seed).Requests(res.TrainAttacks)
+	benign := traffic.NewGenerator(seed + 1).Requests(res.TrainBenign)
+	start := time.Now()
+	man, err := runner.Bootstrap(attacks, benign, core.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: %w", err)
+	}
+	res.BootstrapMillis = float64(time.Since(start).Microseconds()) / 1000
+	res.Signatures = man.Signatures
+
+	up := httptest.NewServer(webapp.New(30))
+	defer up.Close()
+	m, cman, err := runner.CurrentDetector()
+	if err != nil {
+		return nil, err
+	}
+	gw, err := gateway.New(up.URL, m, gateway.Options{
+		Client: up.Client(), ModelVersion: cman.Version, ModelSHA256: cman.ModelSHA256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runner.AttachGateway(gw)
+
+	const replayBenign, replayAttacks = 300, 60
+	for i := 1; i <= rounds; i++ {
+		var replayed time.Duration
+		roundStart := time.Now()
+		d, err := runner.Round(func() error {
+			replayStart := time.Now()
+			lifecycle.ReplayMix(gw, replayBenign, replayAttacks, seed+400+int64(i))
+			replayed = time.Since(replayStart)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", i, err)
+		}
+		rb := LifecycleRoundBench{
+			Round:        d.Round,
+			Action:       d.Action,
+			Version:      d.Version,
+			FreshSamples: d.FreshSamples,
+			RoundMillis:  float64(time.Since(roundStart).Microseconds()) / 1000,
+		}
+		if g := d.Gate; g != nil {
+			rb.MinToolTPR = 1
+			for _, tr := range g.Tools {
+				if tr.TPR < rb.MinToolTPR {
+					rb.MinToolTPR = tr.TPR
+				}
+			}
+			rb.FPR = g.FPR
+		}
+		if c := d.Canary; c != nil {
+			rb.CanarySampled = c.Sampled
+			rb.CanaryAgree = c.Agree
+			rb.ReplayRequests = replayBenign + replayAttacks
+			rb.ReplayMillis = float64(replayed.Microseconds()) / 1000
+			if replayed > 0 {
+				rb.ReplayRPS = float64(rb.ReplayRequests) / replayed.Seconds()
+			}
+		}
+		res.Rounds = append(res.Rounds, rb)
+	}
+	res.ServingVersion = gw.Snapshot().ModelVersion
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package feature
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Revision fingerprints a feature set: an FNV-1a 64 hash over every
+// feature's definition (name, source, word, pattern) in column order.
+// Two sets with the same revision extract identical feature vectors, so
+// model-artifact manifests record it to detect catalog drift between a
+// model and the code that scores with it. The hash is a pure function of
+// the definitions — no clock, no environment — so the same catalog
+// always fingerprints to the same revision string.
+func Revision(s Set) string {
+	h := fnv.New64a()
+	var n [8]byte
+	word := func(x uint64) {
+		binary.LittleEndian.PutUint64(n[:], x)
+		_, _ = h.Write(n[:])
+	}
+	str := func(v string) {
+		word(uint64(len(v)))
+		_, _ = h.Write([]byte(v))
+	}
+	word(uint64(len(s.Features)))
+	for _, f := range s.Features {
+		str(f.Name)
+		word(uint64(f.Source))
+		str(f.Word)
+		str(f.Pattern)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strconv"
 
 	"psigene/internal/core"
 	"psigene/internal/ids"
@@ -20,9 +21,10 @@ type AdminConfig struct {
 	// request (`Authorization: Bearer <token>`). Compared in constant
 	// time; wrong or missing credentials answer 401.
 	Token string
-	// ModelDir confines reloads: the reload `?path=` parameter is a
-	// local file name resolved inside this directory, never an arbitrary
-	// filesystem path. Empty disables /-/reload entirely.
+	// ModelDir confines reloads and canary starts: their `?path=`
+	// parameter is a local name (model file or artifact directory)
+	// resolved inside this directory, never an arbitrary filesystem
+	// path. Empty disables /-/reload and /-/canary/start entirely.
 	ModelDir string
 	// Log receives reload failure detail. Loader errors are logged here,
 	// not echoed to clients — the error text is a file-existence and
@@ -72,6 +74,40 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveReload(w, r)
 	case "/-/statz":
 		writeJSON(w, g.Snapshot())
+	case "/-/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, g.Snapshot())
+	case "/-/canary":
+		rep, ok := g.CanaryReport()
+		if !ok {
+			http.Error(w, "no canary active", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rep)
+	case "/-/canary/start":
+		h.serveCanaryStart(w, r)
+	case "/-/canary/promote":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		gen, err := g.PromoteCanary()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		det, _ := g.Detector()
+		writeJSON(w, map[string]any{"generation": gen, "detector": det.Name()})
+	case "/-/canary/abort":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if !g.AbortCanary() {
+			http.Error(w, "no canary active", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"aborted": true})
 	default:
 		http.NotFound(w, r)
 	}
@@ -120,26 +156,90 @@ func (h *adminHandler) serveReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"generation": gen, "detector": det.Name()})
 }
 
-// ReloadModel loads a model file, validates it, probes it, and only then
-// swaps it in. Every failure path leaves the previous detector serving —
-// a corrupt or half-written model push is a logged non-event, not an
-// outage. Reloads are serialized so concurrent pushes cannot interleave
-// load and swap. Returns the new generation on success.
+// serveCanaryStart begins shadow-scoring with a candidate named by
+// ?path= (a model file or artifact directory inside ModelDir, same
+// confinement as reload), at ?fraction= of traffic (default 1) under
+// ?seed=. Failure detail is logged, not echoed, for the same
+// oracle-avoidance reason as reload.
+func (h *adminHandler) serveCanaryStart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.cfg.ModelDir == "" {
+		http.Error(w, "canary disabled: no model dir configured", http.StatusForbidden)
+		return
+	}
+	name := r.URL.Query().Get("path")
+	if name == "" {
+		http.Error(w, "canary needs ?path=<name>", http.StatusBadRequest)
+		return
+	}
+	if !filepath.IsLocal(name) {
+		http.Error(w, "canary path must be a local name inside the model dir", http.StatusBadRequest)
+		return
+	}
+	cfg := CanaryConfig{Fraction: 1}
+	if f := r.URL.Query().Get("fraction"); f != "" {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			http.Error(w, "bad fraction", http.StatusBadRequest)
+			return
+		}
+		cfg.Fraction = v
+	}
+	if s := r.URL.Query().Get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad seed", http.StatusBadRequest)
+			return
+		}
+		cfg.Seed = v
+	}
+	m, man, err := core.LoadAny(filepath.Join(h.cfg.ModelDir, name))
+	if err != nil {
+		fmt.Fprintf(h.cfg.Log, "psigened: canary %q: %v\n", name, err)
+		http.Error(w, "canary rejected; no candidate loaded (see server log)", http.StatusInternalServerError)
+		return
+	}
+	cfg.Version, cfg.Hash = man.Version, man.ModelSHA256
+	if err := h.g.StartCanary(m, cfg); err != nil {
+		fmt.Fprintf(h.cfg.Log, "psigened: canary %q: %v\n", name, err)
+		http.Error(w, "canary rejected (see server log)", http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"canary": man.Version, "fraction": cfg.Fraction, "seed": cfg.Seed})
+}
+
+// ReloadModel loads a model — a single file or a versioned artifact
+// directory (hash-verified, see core.LoadAny) — validates it, probes it,
+// and only then swaps it in, tagged with the artifact version and content
+// hash from its manifest. Every failure path leaves the previous detector
+// serving — a corrupt or half-written model push is a logged non-event,
+// not an outage. Reloads are serialized so concurrent pushes cannot
+// interleave load and swap. Returns the new generation on success.
 func (g *Gateway) ReloadModel(path string) (uint64, error) {
 	g.reloadMu.Lock()
 	defer g.reloadMu.Unlock()
-	m, err := core.LoadFile(path)
+	m, man, err := core.LoadAny(path)
 	if err != nil {
 		g.stats.reloadFailures.Add(1)
 		return 0, fmt.Errorf("gateway: reload rejected: %w", err)
 	}
-	return g.Swap(m)
+	return g.SwapTagged(m, man.Version, man.ModelSHA256)
 }
 
-// Swap installs a new detector after probing it. The generation counter
-// increments only on successful swaps, so X-Psigene-Gen response headers
-// prove which signature set scored a given request.
+// Swap installs a new detector after probing it, untagged. The generation
+// counter increments only on successful swaps, so X-Psigene-Gen response
+// headers prove which signature set scored a given request.
 func (g *Gateway) Swap(det ids.Detector) (uint64, error) {
+	return g.SwapTagged(det, "", "")
+}
+
+// SwapTagged installs a new detector after probing it, recording the
+// artifact version and content hash it came from so X-Psigene-Gen,
+// /-/statz and /-/metrics identify the serving model.
+func (g *Gateway) SwapTagged(det ids.Detector, version, hash string) (uint64, error) {
 	if det == nil {
 		g.stats.reloadFailures.Add(1)
 		return 0, fmt.Errorf("gateway: reload rejected: nil detector")
@@ -149,7 +249,7 @@ func (g *Gateway) Swap(det ids.Detector) (uint64, error) {
 		return 0, fmt.Errorf("gateway: reload rejected: %w", err)
 	}
 	gen := g.gen.Add(1)
-	g.state.Store(&detectorState{det: det, gen: gen})
+	g.state.Store(&detectorState{det: det, gen: gen, version: version, hash: hash})
 	g.stats.reloads.Add(1)
 	return gen, nil
 }
@@ -183,6 +283,8 @@ func (g *Gateway) Drain(ctx context.Context) error {
 type Snapshot struct {
 	Generation      uint64                      `json:"generation"`
 	Detector        string                      `json:"detector"`
+	ModelVersion    string                      `json:"modelVersion,omitempty"`
+	ModelSHA256     string                      `json:"modelSha256,omitempty"`
 	Policy          string                      `json:"policy"`
 	Draining        bool                        `json:"draining"`
 	Total           int64                       `json:"total"`
@@ -201,6 +303,7 @@ type Snapshot struct {
 	ReloadFailures  int64                       `json:"reloadFailures"`
 	Breaker         *resilience.BreakerSnapshot `json:"breaker,omitempty"`
 	ScoringLatency  ids.LatencyStats            `json:"scoringLatency"`
+	Canary          *CanaryReport               `json:"canary,omitempty"`
 }
 
 // Snapshot assembles the current stats document.
@@ -209,6 +312,8 @@ func (g *Gateway) Snapshot() Snapshot {
 	s := Snapshot{
 		Generation:      state.gen,
 		Detector:        state.det.Name(),
+		ModelVersion:    state.version,
+		ModelSHA256:     state.hash,
 		Policy:          g.opts.Policy.String(),
 		Draining:        g.draining.Load(),
 		Total:           g.stats.total.Load(),
@@ -232,6 +337,9 @@ func (g *Gateway) Snapshot() Snapshot {
 		snap := g.breaker.Snapshot()
 		g.mu.Unlock()
 		s.Breaker = &snap
+	}
+	if rep, ok := g.CanaryReport(); ok {
+		s.Canary = &rep
 	}
 	return s
 }

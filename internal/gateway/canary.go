@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/resilience"
+)
+
+// The canary stage serves a candidate detector side-by-side with the one
+// in production: a deterministic sample of live traffic is shadow-scored
+// by the candidate and the verdict deltas tallied, without the candidate
+// ever deciding a response. Sampling hashes the request line under a
+// fixed seed (resilience.HashKey), so the same traffic sequence and seed
+// always canary the same requests — lifecycle chaos runs are replayable
+// bit-for-bit. The lifecycle runner (internal/lifecycle) drives the
+// sequence: StartCanary → traffic → CanaryReport → PromoteCanary or
+// AbortCanary; operators get the same verbs on the admin listener.
+
+// CanaryConfig configures a canary run.
+type CanaryConfig struct {
+	// Fraction of scored requests shadow-scored by the candidate, in
+	// (0, 1]. Default 1 (every scored request).
+	Fraction float64
+	// Seed keys the deterministic sampling hash.
+	Seed int64
+	// Version and Hash tag the candidate with its artifact version and
+	// content hash, carried into the detector state on promotion.
+	Version, Hash string
+}
+
+// canaryState is the immutable candidate under evaluation plus its delta
+// counters. A single atomic pointer holds at most one active canary.
+type canaryState struct {
+	det ids.Detector
+	cfg CanaryConfig
+
+	sampled, agree, oldOnly, newOnly, panics atomic.Int64
+}
+
+// CanaryReport is the verdict-delta summary of a canary run, exposed via
+// GET /-/canary and folded into /-/statz.
+type CanaryReport struct {
+	// Version and Hash identify the candidate artifact.
+	Version string `json:"version,omitempty"`
+	Hash    string `json:"hash,omitempty"`
+	// Fraction and Seed echo the sampling configuration.
+	Fraction float64 `json:"fraction"`
+	Seed     int64   `json:"seed"`
+	// Sampled counts requests shadow-scored by the candidate.
+	Sampled int64 `json:"sampled"`
+	// Agree counts sampled requests where both detectors reached the same
+	// alert verdict; OldOnly and NewOnly count the two disagreement
+	// directions (serving detector alerted / candidate alerted).
+	Agree   int64 `json:"agree"`
+	OldOnly int64 `json:"oldOnly"`
+	NewOnly int64 `json:"newOnly"`
+	// Panics counts candidate scoring failures — any panic disqualifies a
+	// candidate regardless of agreement.
+	Panics int64 `json:"panics"`
+}
+
+// StartCanary begins shadow-scoring live traffic with det. The candidate
+// is probed first, exactly like a reload, so a detector that cannot score
+// the probe corpus never observes production traffic. Only one canary may
+// be active at a time.
+func (g *Gateway) StartCanary(det ids.Detector, cfg CanaryConfig) error {
+	if det == nil {
+		return fmt.Errorf("gateway: canary rejected: nil detector")
+	}
+	if cfg.Fraction == 0 {
+		cfg.Fraction = 1
+	}
+	if cfg.Fraction < 0 || cfg.Fraction > 1 {
+		return fmt.Errorf("gateway: canary fraction %v outside (0, 1]", cfg.Fraction)
+	}
+	if err := probe(det); err != nil {
+		return fmt.Errorf("gateway: canary rejected: %w", err)
+	}
+	if !g.canary.CompareAndSwap(nil, &canaryState{det: det, cfg: cfg}) {
+		return fmt.Errorf("gateway: canary already active")
+	}
+	return nil
+}
+
+// observeCanary shadow-scores one request with the active candidate, if
+// any and if the request falls in the deterministic sample. primary is
+// the serving detector's verdict for the same request.
+func (g *Gateway) observeCanary(req httpx.Request, primary ids.Verdict) {
+	c := g.canary.Load()
+	if c == nil {
+		return
+	}
+	if c.cfg.Fraction < 1 {
+		key := req.Method + " " + req.Path
+		if req.RawQuery != "" {
+			key += "?" + req.RawQuery
+		}
+		if resilience.UnitFloat(resilience.HashKey(c.cfg.Seed, key)) >= c.cfg.Fraction {
+			return
+		}
+	}
+	c.sampled.Add(1)
+	verdict, err := g.score(c.det, req)
+	if err != nil {
+		c.panics.Add(1)
+		return
+	}
+	switch {
+	case verdict.Alert == primary.Alert:
+		c.agree.Add(1)
+	case primary.Alert:
+		c.oldOnly.Add(1)
+	default:
+		c.newOnly.Add(1)
+	}
+}
+
+// CanaryReport returns the active canary's delta summary; ok is false
+// when no canary is running.
+func (g *Gateway) CanaryReport() (rep CanaryReport, ok bool) {
+	c := g.canary.Load()
+	if c == nil {
+		return rep, false
+	}
+	return CanaryReport{
+		Version:  c.cfg.Version,
+		Hash:     c.cfg.Hash,
+		Fraction: c.cfg.Fraction,
+		Seed:     c.cfg.Seed,
+		Sampled:  c.sampled.Load(),
+		Agree:    c.agree.Load(),
+		OldOnly:  c.oldOnly.Load(),
+		NewOnly:  c.newOnly.Load(),
+		Panics:   c.panics.Load(),
+	}, true
+}
+
+// PromoteCanary installs the canary candidate as the serving detector —
+// the same probed, generation-counted swap a reload performs, tagged with
+// the candidate's artifact version and hash — and ends the canary.
+// Serialized with reloads so a promote cannot interleave with a push.
+func (g *Gateway) PromoteCanary() (uint64, error) {
+	g.reloadMu.Lock()
+	defer g.reloadMu.Unlock()
+	c := g.canary.Load()
+	if c == nil {
+		return 0, fmt.Errorf("gateway: no canary to promote")
+	}
+	gen, err := g.SwapTagged(c.det, c.cfg.Version, c.cfg.Hash)
+	if err != nil {
+		return 0, err
+	}
+	g.canary.Store(nil)
+	return gen, nil
+}
+
+// AbortCanary discards the active canary, keeping the serving detector.
+// Returns false when no canary was running.
+func (g *Gateway) AbortCanary() bool {
+	return g.canary.Swap(nil) != nil
+}

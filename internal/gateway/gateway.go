@@ -20,10 +20,12 @@
 //     corrupt push leaves the old detector serving; generation counters
 //     let in-flight requests finish on the detector they started with.
 //   - Lifecycle: graceful drain on shutdown plus /-/healthz, /-/readyz,
-//     /-/statz and POST /-/reload admin endpoints, served by the separate
-//     handler returned by Admin — never on the proxy's own listener, so
-//     public traffic cannot reach the control surface and no upstream
-//     route is shadowed.
+//     /-/statz, /-/metrics, POST /-/reload and the /-/canary/* rollout
+//     endpoints, served by the separate handler returned by Admin — never
+//     on the proxy's own listener, so public traffic cannot reach the
+//     control surface and no upstream route is shadowed. Candidate models
+//     can shadow-score a deterministic sample of live traffic (StartCanary)
+//     before being promoted or rolled back; see canary.go.
 package gateway
 
 import (
@@ -108,6 +110,12 @@ type Options struct {
 	// Now is the clock used for latency accounting and deadline math;
 	// injectable so chaos tests control time. Default time.Now.
 	Now func() time.Time
+	// ModelVersion and ModelSHA256 tag the initial detector with the
+	// artifact version and content hash it was loaded from (see
+	// core.Manifest). Empty when the detector is not artifact-backed; the
+	// tags surface in X-Psigene-Gen, /-/statz and /-/metrics.
+	ModelVersion string
+	ModelSHA256  string
 }
 
 func (o *Options) fill() {
@@ -144,12 +152,33 @@ func (o *Options) fill() {
 }
 
 // detectorState is the immutable unit the atomic pointer swaps: a detector
-// plus the generation it was installed at. In-flight requests hold the
-// state they loaded at admission, so a reload mid-request never splits one
-// request across two signature sets.
+// plus the generation it was installed at and, when the detector came from
+// a versioned artifact, the artifact's version name and content hash.
+// In-flight requests hold the state they loaded at admission, so a reload
+// mid-request never splits one request across two signature sets.
 type detectorState struct {
-	det ids.Detector
-	gen uint64
+	det           ids.Detector
+	gen           uint64
+	version, hash string
+}
+
+// genHeader renders the X-Psigene-Gen value for a state: the bare
+// generation for untagged detectors (pre-artifact behavior, which existing
+// deployments parse), extended with the artifact version and a truncated
+// content hash when known.
+func genHeader(s *detectorState) string {
+	out := strconv.FormatUint(s.gen, 10)
+	if s.version != "" {
+		out += " " + s.version
+	}
+	if s.hash != "" {
+		h := s.hash
+		if len(h) > 12 {
+			h = h[:12]
+		}
+		out += " sha256:" + h
+	}
+	return out
 }
 
 // latencyRingSize bounds the scoring-latency window summarized by /-/statz.
@@ -161,8 +190,9 @@ type Gateway struct {
 	opts     Options
 	upstream *url.URL
 
-	state atomic.Pointer[detectorState]
-	gen   atomic.Uint64
+	state  atomic.Pointer[detectorState]
+	gen    atomic.Uint64
+	canary atomic.Pointer[canaryState]
 
 	// sem is the admission semaphore: one token per in-flight request.
 	// Drain acquires every token, which is exactly "no requests in
@@ -216,7 +246,10 @@ func New(upstream string, det ids.Detector, opts Options) (*Gateway, error) {
 	if !opts.DisableBreaker {
 		g.breaker = resilience.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
-	g.state.Store(&detectorState{det: det, gen: g.gen.Add(1)})
+	g.state.Store(&detectorState{
+		det: det, gen: g.gen.Add(1),
+		version: opts.ModelVersion, hash: opts.ModelSHA256,
+	})
 	return g, nil
 }
 
@@ -269,7 +302,7 @@ func (g *Gateway) shed(w http.ResponseWriter, reason string) {
 func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	start := g.opts.Now()
 	state := g.state.Load()
-	w.Header().Set("X-Psigene-Gen", strconv.FormatUint(state.gen, 10))
+	w.Header().Set("X-Psigene-Gen", genHeader(state))
 
 	req, body, err := g.inbound(r)
 	if errors.Is(err, errBodyTooLarge) {
@@ -287,6 +320,13 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	verdict, scoreErr := g.score(state.det, req)
 	elapsed := g.opts.Now().Sub(start)
 	g.recordLatency(elapsed)
+
+	// Canary observation rides the primary verdict: a deterministic sample
+	// of scored requests is also scored by the candidate detector and the
+	// verdict delta recorded. The canary never decides the response.
+	if scoreErr == nil {
+		g.observeCanary(req, verdict)
+	}
 
 	if scoreErr != nil {
 		g.stats.scorePanics.Add(1)

@@ -416,8 +416,11 @@ func TestReloadSwapsGeneration(t *testing.T) {
 	if det.Name() == "stub" {
 		t.Fatal("detector not swapped")
 	}
-	if w := get(g, "/p?id=1"); w.Header().Get("X-Psigene-Gen") != "2" {
-		t.Fatalf("request scored by generation %q, want 2", w.Header().Get("X-Psigene-Gen"))
+	// Reloaded models are artifact-tagged: generation, then the version
+	// ("file:<name>" for single-file models) and the content hash.
+	gotGen := get(g, "/p?id=1").Header().Get("X-Psigene-Gen")
+	if !strings.HasPrefix(gotGen, "2 file:") || !strings.Contains(gotGen, " sha256:") {
+		t.Fatalf("request scored by generation %q, want 2 with model tags", gotGen)
 	}
 }
 

@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+)
+
+// writeMetrics renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4) for GET /-/metrics. Everything comes from the
+// same Snapshot that backs /-/statz, so the two surfaces can never
+// disagree; this file only formats. Counters use the _total suffix,
+// gauges carry instantaneous state, and the serving model is exposed the
+// Prometheus way — an info-style gauge whose labels hold the version and
+// content hash, plus psigened_reload_generation for the swap counter that
+// X-Psigene-Gen stamps on responses.
+func writeMetrics(w io.Writer, s Snapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("psigened_requests_total", "Requests received by the data path.", s.Total)
+	counter("psigened_blocked_total", "Requests blocked by a signature match.", s.Blocked)
+	counter("psigened_forwarded_total", "Requests forwarded to the upstream.", s.Forwarded)
+	counter("psigened_shed_total", "Requests shed by admission control (overload or draining).", s.Shed)
+	counter("psigened_body_too_large_total", "Requests rejected for exceeding the body cap.", s.TooLarge)
+	counter("psigened_body_errors_total", "Requests with unreadable bodies.", s.BodyErrors)
+	counter("psigened_score_panics_total", "Scoring attempts that panicked.", s.ScorePanics)
+	counter("psigened_failed_open_total", "Unscorable requests forwarded under fail-open.", s.FailedOpen)
+	counter("psigened_failed_closed_total", "Unscorable requests rejected under fail-closed.", s.FailedClosed)
+	counter("psigened_upstream_errors_total", "Upstream transport failures.", s.UpstreamErrors)
+	counter("psigened_breaker_rejected_total", "Requests rejected by the upstream circuit breaker.", s.BreakerRejected)
+	counter("psigened_budget_spent_total", "Requests whose deadline budget was exhausted by scoring.", s.BudgetSpent)
+	counter("psigened_reloads_total", "Successful detector swaps (reloads and canary promotions).", s.Reloads)
+	counter("psigened_reload_failures_total", "Rejected detector swaps.", s.ReloadFailures)
+
+	gauge("psigened_draining", "1 while the gateway is draining, 0 otherwise.", boolGauge(s.Draining))
+	gauge("psigened_reload_generation", "Generation of the serving detector (the X-Psigene-Gen value).", float64(s.Generation))
+	if s.Breaker != nil {
+		// resilience.BreakerState already encodes 0 closed / 1 open /
+		// 2 half-open.
+		gauge("psigened_breaker_state", "Upstream breaker state: 0 closed, 1 open, 2 half-open.", float64(s.Breaker.State))
+	}
+
+	// Info-style gauge: constant 1, identity in the labels.
+	fmt.Fprintf(w, "# HELP psigened_model_info Serving model identity (artifact version and content hash).\n# TYPE psigened_model_info gauge\n")
+	fmt.Fprintf(w, "psigened_model_info{detector=%q,version=%q,sha256=%q} 1\n",
+		s.Detector, s.ModelVersion, s.ModelSHA256)
+
+	gauge("psigened_scoring_latency_seconds_p50", "Median scoring latency over the stats window.", s.ScoringLatency.P50.Seconds())
+	gauge("psigened_scoring_latency_seconds_p99", "99th-percentile scoring latency over the stats window.", s.ScoringLatency.P99.Seconds())
+	gauge("psigened_scoring_latency_seconds_max", "Slowest scoring latency over the stats window.", s.ScoringLatency.Max.Seconds())
+
+	if c := s.Canary; c != nil {
+		fmt.Fprintf(w, "# HELP psigened_canary_info Active canary candidate identity.\n# TYPE psigened_canary_info gauge\n")
+		fmt.Fprintf(w, "psigened_canary_info{version=%q,sha256=%q} 1\n", c.Version, c.Hash)
+		gauge("psigened_canary_fraction", "Fraction of scored traffic shadow-scored by the canary.", c.Fraction)
+		counter("psigened_canary_sampled_total", "Requests shadow-scored by the canary candidate.", c.Sampled)
+		counter("psigened_canary_agree_total", "Sampled requests where both detectors agreed.", c.Agree)
+		counter("psigened_canary_old_only_total", "Sampled requests only the serving detector alerted on.", c.OldOnly)
+		counter("psigened_canary_new_only_total", "Sampled requests only the candidate alerted on.", c.NewOnly)
+		counter("psigened_canary_panics_total", "Canary scoring attempts that panicked.", c.Panics)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

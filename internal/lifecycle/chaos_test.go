@@ -1,0 +1,252 @@
+package lifecycle
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/crawl"
+	"psigene/internal/faultify"
+	"psigene/internal/gateway"
+	"psigene/internal/portal"
+)
+
+// startPortal serves a deterministic vulnerability portal behind a fault
+// injector. Fault schedules key on method+path, so two servers built with
+// the same seeds present identical content and identical faults
+// regardless of which port they land on.
+func startPortal(t *testing.T, entries int, portalSeed int64, faults faultify.Config) *httptest.Server {
+	t.Helper()
+	gen := attackgen.NewGenerator(attackgen.CrawlProfile(), portalSeed)
+	p := portal.New("lifecycle", portal.StyleHTML, 5, portal.GenerateEntries(gen, entries))
+	srv := httptest.NewServer(faultify.New(faults).Wrap(p.Handler()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func cleanFaults() faultify.Config { return faultify.Config{Seed: 42} }
+
+// crawlOptions are the crawler knobs for chaos runs: injected no-op
+// sleeper (zero wall-clock waits on backoff) and a short timeout so hang
+// faults resolve fast.
+func crawlOptions(srv *httptest.Server) crawl.Options {
+	return crawl.Options{
+		Client:  srv.Client(),
+		Sleep:   func(time.Duration) {},
+		Timeout: 150 * time.Millisecond,
+		Seed:    11,
+	}
+}
+
+// scenarioResult is everything one full lifecycle scenario produces that
+// must be bit-identical across same-seed runs.
+type scenarioResult struct {
+	actions   []string          // decision actions in order
+	versions  []string          // candidate/target versions per decision
+	serving   []string          // gateway ModelVersion after each step
+	replays   [][]int           // response status sequences per canary replay
+	decisions []byte            // decisions.jsonl, raw
+	manifests map[string][]byte // version -> manifest.json, raw
+}
+
+// runScenario executes the acceptance round: bootstrap from scratch;
+// round 1 crawls a faulty portal, retrains, and has its candidate
+// tampered into a dud — the gate must reject it and keep v000001
+// serving; round 2 crawls the second faulty portal and the clean
+// candidate must pass the gate, survive the canary, and promote; then a
+// forced rollback rewinds to v000001. No wall-clock sleeps anywhere: the
+// crawler's sleeper is a no-op and all traffic is replayed in-process.
+func runScenario(t *testing.T, root string) scenarioResult {
+	t.Helper()
+
+	portalA := startPortal(t, 24, 21, faultify.Config{Seed: 42, Rates: faultify.Uniform(0.20), Repeats: 2})
+	portalB := startPortal(t, 24, 22, faultify.Config{Seed: 43, Rates: faultify.Uniform(0.20), Repeats: 2})
+	up := echoUpstream(t)
+
+	store, err := OpenStore(filepath.Join(root, "store"))
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	sources := RoundSources{
+		&CrawlSource{URL: portalA.URL, Options: crawlOptions(portalA), CheckpointPath: filepath.Join(root, "a.checkpoint")},
+		&CrawlSource{URL: portalB.URL, Options: crawlOptions(portalB), CheckpointPath: filepath.Join(root, "b.checkpoint")},
+	}
+	cfg := RunnerConfig{
+		Gate: GateConfig{
+			MinTPR: 0.80, MaxFPR: 0.05,
+			AttackTests: 200, BenignTests: 400,
+			Seed: 5, ProbeSamples: 150, ProbeSeed: 9,
+		},
+		Canary: CanaryOptions{Fraction: 1, Seed: 31, MinSampled: 1, MaxRegressions: 25},
+		// Round 1's candidate is sabotaged after retraining: thresholds
+		// pushed past 1 so it never alerts. The gate must catch it.
+		Tamper: func(round int, m *core.Model) *core.Model {
+			if round != 1 {
+				return nil
+			}
+			return neuteredClone(t, m)
+		},
+	}
+	runner := NewRunner(store, sources, cfg)
+
+	attacks, benign := corpora(t)
+	if _, err := runner.Bootstrap(attacks, benign, core.Config{}); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+
+	m, man, err := runner.CurrentDetector()
+	if err != nil {
+		t.Fatalf("CurrentDetector: %v", err)
+	}
+	gw, err := gateway.New(up.URL, m, gateway.Options{
+		Client: up.Client(), ModelVersion: man.Version, ModelSHA256: man.ModelSHA256,
+	})
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	runner.AttachGateway(gw)
+
+	res := scenarioResult{manifests: map[string][]byte{}}
+	record := func(action, version string) {
+		res.actions = append(res.actions, action)
+		res.versions = append(res.versions, version)
+		res.serving = append(res.serving, gw.Snapshot().ModelVersion)
+	}
+	replay := func() error {
+		res.replays = append(res.replays, ReplayMix(gw, 60, 20, 71))
+		return nil
+	}
+
+	// Round 1: faulty crawl, incremental retrain, tampered candidate.
+	d1, err := runner.Round(replay)
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if d1.Action != "gate-rejected" || d1.Version != "v000002" || d1.Parent != "v000001" {
+		t.Fatalf("round 1 decision %+v, want gate-rejected v000002", d1)
+	}
+	if d1.FreshSamples == 0 {
+		t.Fatal("round 1 crawled no fresh samples")
+	}
+	if got := gw.Snapshot().ModelVersion; got != "v000001" {
+		t.Fatalf("serving %q after gate rejection, want v000001", got)
+	}
+	if cur, _ := store.Current(); cur != "v000001" {
+		t.Fatalf("CURRENT %q after gate rejection", cur)
+	}
+	if len(res.replays) != 0 {
+		t.Fatal("gate-rejected round must not reach the canary replay")
+	}
+	record(d1.Action, d1.Version)
+
+	// Round 2: second portal, clean candidate — gate, canary, promote.
+	d2, err := runner.Round(replay)
+	if err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	if d2.Action != "promoted" || d2.Version != "v000003" || d2.Parent != "v000001" {
+		t.Fatalf("round 2 decision %+v, want promoted v000003 from v000001", d2)
+	}
+	if d2.Canary == nil || d2.Canary.Sampled == 0 || d2.Canary.Panics != 0 {
+		t.Fatalf("round 2 canary %+v", d2.Canary)
+	}
+	if got := gw.Snapshot().ModelVersion; got != "v000003" {
+		t.Fatalf("serving %q after promotion, want v000003", got)
+	}
+	if cur, _ := store.Current(); cur != "v000003" {
+		t.Fatalf("CURRENT %q after promotion", cur)
+	}
+	record(d2.Action, d2.Version)
+
+	// Forced rollback: the pointer and the gateway rewind to the parent.
+	d3, err := runner.Rollback()
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if d3.Action != "rolled-back" || d3.Version != "v000001" {
+		t.Fatalf("rollback decision %+v", d3)
+	}
+	if got := gw.Snapshot().ModelVersion; got != "v000001" {
+		t.Fatalf("serving %q after rollback, want v000001", got)
+	}
+	if cur, _ := store.Current(); cur != "v000001" {
+		t.Fatalf("CURRENT %q after rollback", cur)
+	}
+	record(d3.Action, d3.Version)
+
+	raw, err := os.ReadFile(store.DecisionLog())
+	if err != nil {
+		t.Fatalf("decision log: %v", err)
+	}
+	res.decisions = raw
+	versions, err := store.Versions()
+	if err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("stored versions %v, want 3", versions)
+	}
+	for _, v := range versions {
+		mb, err := os.ReadFile(filepath.Join(store.VersionDir(v), core.ManifestFile))
+		if err != nil {
+			t.Fatalf("manifest %s: %v", v, err)
+		}
+		res.manifests[v] = mb
+	}
+	return res
+}
+
+// TestLifecycleChaosDeterministic is the acceptance test: one full
+// lifecycle round under injected crawl faults — faulty crawl →
+// incremental retrain → gate rejection of a sabotaged candidate (old
+// model keeps serving) → gate pass → canary → promote → forced rollback
+// — run twice with the same seeds, asserting bit-identical manifests,
+// decision journals and replayed verdict sequences. Zero wall-clock
+// sleeps on either run.
+func TestLifecycleChaosDeterministic(t *testing.T) {
+	a := runScenario(t, t.TempDir())
+	b := runScenario(t, t.TempDir())
+
+	if !reflect.DeepEqual(a.actions, b.actions) || !reflect.DeepEqual(a.versions, b.versions) {
+		t.Fatalf("decision sequences diverged:\n%v %v\n%v %v", a.actions, a.versions, b.actions, b.versions)
+	}
+	if !reflect.DeepEqual(a.serving, b.serving) {
+		t.Fatalf("serving sequences diverged: %v vs %v", a.serving, b.serving)
+	}
+	if !reflect.DeepEqual(a.replays, b.replays) {
+		t.Fatal("canary replay verdict sequences diverged between same-seed runs")
+	}
+	if string(a.decisions) != string(b.decisions) {
+		t.Fatalf("decision journals diverged:\n--- run A\n%s--- run B\n%s", a.decisions, b.decisions)
+	}
+	if len(a.manifests) != len(b.manifests) {
+		t.Fatalf("manifest counts diverged: %d vs %d", len(a.manifests), len(b.manifests))
+	}
+	for v, raw := range a.manifests {
+		if string(raw) != string(b.manifests[v]) {
+			t.Fatalf("manifest %s diverged:\n--- run A\n%s--- run B\n%s", v, raw, b.manifests[v])
+		}
+	}
+
+	// The blocked share of each replay proves both detectors scored live
+	// traffic: some requests forwarded (200), some blocked (403).
+	for i, codes := range a.replays {
+		var ok, blocked int
+		for _, c := range codes {
+			switch c {
+			case 200:
+				ok++
+			case 403:
+				blocked++
+			}
+		}
+		if ok == 0 || blocked == 0 {
+			t.Fatalf("replay %d: %d forwarded / %d blocked — detector not exercised", i, ok, blocked)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lifecycle
+
+import (
+	"fmt"
+
+	"psigene/internal/analysis"
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/ids"
+	"psigene/internal/traffic"
+)
+
+// GateConfig sets the bars a candidate model must clear before it may
+// canary. The zero value gets usable defaults (see fill).
+type GateConfig struct {
+	// MinTPR is the per-tool detection-rate floor: the candidate must
+	// reach it against every evaluation tool corpus. Default 0.90.
+	MinTPR float64
+	// MaxFPR is the false-alarm ceiling on benign traffic. Default 0.05.
+	MaxFPR float64
+	// AttackTests is the per-tool attack corpus size; BenignTests the
+	// benign corpus size. Defaults 400 and 1000.
+	AttackTests, BenignTests int
+	// Seed keys the evaluation corpora generators.
+	Seed int64
+	// ProbeSamples and ProbeSeed configure the probe corpus behind the
+	// signature audit (analysis.AuditModel); ProbeSamples 0 uses
+	// analysis.DefaultProbeSamples, negative disables the corpus checks.
+	ProbeSamples int
+	ProbeSeed    int64
+	// MaxSubsumed, when non-nil, caps the audit's subsumed-signature
+	// count. Trained sets legitimately carry some subsumption (broad
+	// signatures are the paper's point), so the runner fills this with
+	// the serving model's own count: only regressions fail the gate. Nil
+	// means unlimited.
+	MaxSubsumed *int
+	// MaxDeadSignatures caps the audit's dead-signature count (signatures
+	// whose threshold no probe can reach). Default 0: dead weight never
+	// ships.
+	MaxDeadSignatures int
+}
+
+func (c GateConfig) fill() GateConfig {
+	if c.MinTPR == 0 {
+		c.MinTPR = 0.90
+	}
+	if c.MaxFPR == 0 {
+		c.MaxFPR = 0.05
+	}
+	if c.AttackTests == 0 {
+		c.AttackTests = 400
+	}
+	if c.BenignTests == 0 {
+		c.BenignTests = 1000
+	}
+	if c.ProbeSamples == 0 {
+		c.ProbeSamples = analysis.DefaultProbeSamples
+	}
+	if c.ProbeSeed == 0 {
+		c.ProbeSeed = analysis.DefaultProbeSeed
+	}
+	return c
+}
+
+// ToolResult is the gate's per-tool detection record.
+type ToolResult struct {
+	Tool string  `json:"tool"`
+	TPR  float64 `json:"tpr"`
+	TP   int     `json:"tp"`
+	FN   int     `json:"fn"`
+}
+
+// GateReport is the full verdict on one candidate. Every field is a pure
+// function of the model and the gate seeds — no maps, no timestamps — so
+// same-seed gate runs marshal to identical JSON.
+type GateReport struct {
+	Version string       `json:"version"`
+	Tools   []ToolResult `json:"tools"`
+	FPR     float64      `json:"fpr"`
+	FP      int          `json:"fp"`
+	TN      int          `json:"tn"`
+	// DeadSignatures, Subsumed and NeverMatch are the audit counts from
+	// analysis.AuditModel.
+	DeadSignatures int `json:"deadSignatures"`
+	Subsumed       int `json:"subsumed"`
+	NeverMatch     int `json:"neverMatch"`
+	// Pass is the verdict; Reasons lists every floor the candidate
+	// missed (empty on pass).
+	Pass    bool     `json:"pass"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// gateTools are the attack corpora a candidate is held to — the same
+// three scanner profiles the paper's Experiment 1 generalizes across.
+var gateTools = []struct {
+	name    string
+	profile func() attackgen.Profile
+}{
+	{"sqlmap", attackgen.SQLMapProfile},
+	{"arachni", attackgen.ArachniProfile},
+	{"vega", attackgen.VegaProfile},
+}
+
+// RunGate evaluates one candidate against the gate's floors: per-tool
+// TPR, benign FPR, and the signature audit (dead and subsumed
+// signatures). The candidate never sees production traffic here — gating
+// is entirely synthetic and deterministic, so a candidate that fails
+// costs nothing but the compute.
+func RunGate(m *core.Model, version string, cfg GateConfig) GateReport {
+	cfg = cfg.fill()
+	rep := GateReport{Version: version}
+
+	for i, tool := range gateTools {
+		attacks := attackgen.NewGenerator(tool.profile(), cfg.Seed+int64(i)+1).Requests(cfg.AttackTests)
+		res := ids.Evaluate(m, attacks)
+		tr := ToolResult{Tool: tool.name, TPR: res.TPR(), TP: res.TP, FN: res.FN}
+		rep.Tools = append(rep.Tools, tr)
+		if tr.TPR < cfg.MinTPR {
+			rep.Reasons = append(rep.Reasons, fmt.Sprintf("TPR(%s) %.4f < %.4f", tool.name, tr.TPR, cfg.MinTPR))
+		}
+	}
+
+	benign := traffic.NewGenerator(cfg.Seed).Requests(cfg.BenignTests)
+	res := ids.Evaluate(m, benign)
+	rep.FPR, rep.FP, rep.TN = res.FPR(), res.FP, res.TN
+	if rep.FPR > cfg.MaxFPR {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("FPR %.4f > %.4f", rep.FPR, cfg.MaxFPR))
+	}
+
+	var corpus []string
+	if cfg.ProbeSamples > 0 {
+		corpus = analysis.ProbeCorpus(cfg.ProbeSamples, cfg.ProbeSeed)
+	}
+	counts := analysis.CountByCheck(analysis.AuditModel(m, corpus, version))
+	rep.DeadSignatures = counts[analysis.CheckDeadSig]
+	rep.Subsumed = counts[analysis.CheckSubsumed]
+	rep.NeverMatch = counts[analysis.CheckNeverMatch]
+	if rep.DeadSignatures > cfg.MaxDeadSignatures {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("dead signatures %d > %d", rep.DeadSignatures, cfg.MaxDeadSignatures))
+	}
+	if cfg.MaxSubsumed != nil && rep.Subsumed > *cfg.MaxSubsumed {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("subsumed signatures %d > %d", rep.Subsumed, *cfg.MaxSubsumed))
+	}
+
+	rep.Pass = len(rep.Reasons) == 0
+	return rep
+}

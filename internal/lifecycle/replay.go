@@ -1,0 +1,68 @@
+package lifecycle
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/httpx"
+	"psigene/internal/traffic"
+)
+
+// ReplayMix drives a deterministic benign/attack traffic mix through a
+// handler (a gateway's data path) and returns the response status codes
+// in request order. The mix interleaves the two streams evenly
+// (Bresenham-style, no randomness beyond the seeded generators), so the
+// same seed and counts always produce the same request sequence — the
+// chaos tests compare the full status sequence across runs byte for
+// byte. Attacks come from the sqlmap profile, the tool corpus the gate
+// also holds candidates to.
+func ReplayMix(h http.Handler, benign, attacks int, seed int64) []int {
+	breqs := traffic.NewGenerator(seed).Requests(benign)
+	areqs := attackgen.NewGenerator(attackgen.SQLMapProfile(), seed+1).Requests(attacks)
+
+	total := benign + attacks
+	codes := make([]int, 0, total)
+	ai, bi := 0, 0
+	for i := 0; i < total; i++ {
+		var req httpx.Request
+		// An attack is due whenever the even-spread quota through
+		// position i+1 exceeds the attacks already sent.
+		switch {
+		case ai < attacks && (i+1)*attacks > ai*total:
+			req, ai = areqs[ai], ai+1
+		case bi < benign:
+			req, bi = breqs[bi], bi+1
+		default:
+			req, ai = areqs[ai], ai+1
+		}
+		codes = append(codes, do(h, req))
+	}
+	return codes
+}
+
+// do issues one httpx request against the handler in-process.
+func do(h http.Handler, req httpx.Request) int {
+	method := req.Method
+	if method == "" {
+		method = http.MethodGet
+	}
+	target := req.Path
+	if target == "" {
+		target = "/"
+	}
+	if req.RawQuery != "" {
+		target += "?" + req.RawQuery
+	}
+	var body *strings.Reader
+	hr := httptest.NewRequest(method, target, nil)
+	if req.Body != "" {
+		body = strings.NewReader(req.Body)
+		hr = httptest.NewRequest(method, target, body)
+		hr.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, hr)
+	return w.Code
+}

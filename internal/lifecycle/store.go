@@ -1,0 +1,179 @@
+// Package lifecycle closes the loop the paper leaves open: pSigene
+// describes crawling, training and evaluating as one-shot steps, and this
+// package strings the reproduced subsystems into a continuous
+// crawl → retrain → validate → canary cycle over versioned model
+// artifacts (core.SaveArtifact/LoadArtifact). A Store keeps the artifact
+// lineage on disk; RunGate holds candidates to TPR/FPR floors and the
+// signature-audit checks; the Runner drives rounds end to end against a
+// serving gateway, promoting through its canary stage or rolling back.
+//
+// The whole package is clock-free and seed-deterministic: no timestamps,
+// no wall-clock reads, no unseeded randomness. Two runs with the same
+// seeds, sources and faults produce bit-identical manifests, decisions
+// and verdict sequences — which is what makes the chaos tests able to
+// assert byte equality across runs.
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"psigene/internal/core"
+)
+
+const (
+	versionsDir = "versions"
+	currentFile = "CURRENT"
+	decisionLog = "decisions.jsonl"
+)
+
+// Store is the on-disk home of a model lineage: immutable artifact
+// directories under versions/ plus a CURRENT pointer naming the one in
+// production. Layout:
+//
+//	<root>/versions/v000001/{manifest.json,model.json}
+//	<root>/versions/v000002/...
+//	<root>/CURRENT
+//	<root>/decisions.jsonl
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, versionsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("lifecycle: open store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// VersionDir returns the artifact directory for a version name.
+func (s *Store) VersionDir(version string) string {
+	return filepath.Join(s.root, versionsDir, version)
+}
+
+// DecisionLog returns the path of the append-only decision journal.
+func (s *Store) DecisionLog() string {
+	return filepath.Join(s.root, decisionLog)
+}
+
+// Versions lists stored version names in lexicographic (= numeric, the
+// names are zero-padded) order.
+func (s *Store) Versions() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, versionsDir))
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: list versions: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "v") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NextVersion returns the name the next saved candidate will get:
+// v000001 for an empty store, else one past the highest stored version.
+func (s *Store) NextVersion() (string, error) {
+	vs, err := s.Versions()
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, v := range vs {
+		var n int
+		if _, err := fmt.Sscanf(v, "v%06d", &n); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return fmt.Sprintf("v%06d", next), nil
+}
+
+// SaveCandidate writes m as the artifact for man.Version (the caller
+// supplies Version, Parent and CorpusFingerprint; see
+// core.Model.SaveArtifact for the fields filled in). The artifact is
+// immutable: saving an existing version fails.
+func (s *Store) SaveCandidate(m *core.Model, man core.Manifest) (core.Manifest, error) {
+	return m.SaveArtifact(s.VersionDir(man.Version), man)
+}
+
+// Current returns the version CURRENT points at, or "" when the store
+// has no promoted model yet.
+func (s *Store) Current() (string, error) {
+	raw, err := os.ReadFile(filepath.Join(s.root, currentFile))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("lifecycle: read CURRENT: %w", err)
+	}
+	return strings.TrimSpace(string(raw)), nil
+}
+
+// SetCurrent atomically repoints CURRENT at version, which must exist in
+// the store. The pointer is written to a temp file and renamed, so a
+// crash mid-promotion leaves the old pointer intact.
+func (s *Store) SetCurrent(version string) error {
+	if _, err := core.ReadManifest(s.VersionDir(version)); err != nil {
+		return fmt.Errorf("lifecycle: promote %s: %w", version, err)
+	}
+	tmp, err := os.CreateTemp(s.root, ".current-*")
+	if err != nil {
+		return fmt.Errorf("lifecycle: stage CURRENT: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.WriteString(version + "\n"); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(name)
+		return fmt.Errorf("lifecycle: write CURRENT: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("lifecycle: write CURRENT: %w", err)
+	}
+	if err := os.Rename(name, filepath.Join(s.root, currentFile)); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("lifecycle: publish CURRENT: %w", err)
+	}
+	return nil
+}
+
+// Load loads one stored version, hash-verified.
+func (s *Store) Load(version string) (*core.Model, core.Manifest, error) {
+	return core.LoadArtifact(s.VersionDir(version))
+}
+
+// Manifest reads one stored version's manifest without loading the model.
+func (s *Store) Manifest(version string) (core.Manifest, error) {
+	return core.ReadManifest(s.VersionDir(version))
+}
+
+// appendDecision writes one decision as a JSON line to the journal.
+func (s *Store) appendDecision(d *Decision) error {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return fmt.Errorf("lifecycle: encode decision: %w", err)
+	}
+	f, err := os.OpenFile(s.DecisionLog(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("lifecycle: open decision log: %w", err)
+	}
+	_, werr := f.Write(append(raw, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("lifecycle: append decision: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("lifecycle: close decision log: %w", cerr)
+	}
+	return nil
+}
