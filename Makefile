@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race race-parallel bench smoke chaos gateway-chaos lifecycle-chaos fuzz
+.PHONY: check vet fmt lint build test race race-parallel bench bench-fastpath fastpath-smoke smoke chaos gateway-chaos lifecycle-chaos fuzz
 
-check: vet fmt build lint test smoke chaos gateway-chaos lifecycle-chaos fuzz
+check: vet fmt build lint test smoke fastpath-smoke chaos gateway-chaos lifecycle-chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -33,9 +33,11 @@ race: race-parallel
 	$(GO) test -race -timeout 45m ./...
 
 # Fast race pass over just the parallel kernels and their parity tests —
-# the worker pools, disjoint-slot writes, and ownership partitioning.
+# the worker pools, disjoint-slot writes, ownership partitioning, and the
+# prefiltered serving path (shared extractor + atomic gate toggling under
+# concurrent sessions).
 race-parallel:
-	$(GO) test -race -timeout 20m -run 'Parallel' ./internal/...
+	$(GO) test -race -timeout 20m -run 'Parallel|Prefilter|Session' ./internal/...
 	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/ ./internal/resilience/
 
 # Sparse-vs-dense, serial-vs-parallel train, and pipeline micro benchmarks
@@ -44,6 +46,19 @@ race-parallel:
 bench:
 	$(GO) test -run '^$$' -bench 'Featurize|PairwiseDistances|TrainParallel|DenseMatch|SparseMatch|GatewayThroughput' -benchmem .
 	$(GO) run ./cmd/evalharness -experiment lifecycle -out BENCH_lifecycle.json
+
+# The serving fast-path benchmark: Inspect and gateway throughput with the
+# literal prefilter on vs. off, allocations per benign Inspect, and the
+# prefilter census, written to the committed BENCH_fastpath.json (see
+# EXPERIMENTS.md "Serving fast path").
+bench-fastpath:
+	$(GO) run ./cmd/evalharness -experiment fastpath -out BENCH_fastpath.json
+
+# Fast-path smoke: the bit-identity gates (train/serve/session parity,
+# countMatches-vs-FindAll cross-check, corpus soundness) and the
+# benign-path allocation budget, without the timing runs.
+fastpath-smoke:
+	$(GO) test -count=1 -run 'Prefilter|Fastpath|Session|ZeroAlloc|CountMatch|FullyGated|Opaque' ./internal/feature/ ./internal/core/ ./internal/analysis/
 
 # End-to-end smoke test: the quickstart example must train and classify.
 smoke:
@@ -78,3 +93,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeComponent$$' -fuzztime 3s ./internal/httpx
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRequestLine$$' -fuzztime 3s ./internal/httpx
 	$(GO) test -run '^$$' -fuzz '^FuzzParseParams$$' -fuzztime 3s ./internal/httpx
+	$(GO) test -run '^$$' -fuzz '^FuzzPrefilterSoundness$$' -fuzztime 3s ./internal/feature

@@ -7,9 +7,11 @@
 //	evalharness -experiment figure2 -out heatmap.svg
 //
 // Experiments: table1 table2 table3 table4 table5 table6 figure2 figure3
-// figure4 incremental perdisci perf ablations all. The extra "lifecycle"
-// experiment (not part of "all") benchmarks the crawl→retrain→validate→
-// canary loop and writes a machine-readable JSON report to -out.
+// figure4 incremental perdisci perf ablations all. Two extra experiments
+// (not part of "all") write machine-readable JSON reports to -out:
+// "lifecycle" benchmarks the crawl→retrain→validate→canary loop, and
+// "fastpath" benchmarks the serving fast path with the literal prefilter
+// on vs. off (BENCH_fastpath.json).
 package main
 
 import (
@@ -35,7 +37,7 @@ func main() {
 func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("evalharness", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, all)")
+		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, fastpath, all)")
 		out        = fs.String("out", "", "write figure artifacts (SVG/CSV) to this file")
 		paperScale = fs.Bool("paper-scale", false, "use the paper's full corpus sizes (slow)")
 
@@ -77,7 +79,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	}
 
 	sel := strings.ToLower(*exp)
-	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle"
+	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle" && sel != "fastpath"
 
 	var env *experiments.Env
 	if needsEnv {
@@ -245,6 +247,31 @@ func run(args []string, w io.Writer) (retErr error) {
 			fmt.Fprintf(w, "bootstrap: %s, %d signatures in %.1fms; serving %s after %d rounds\n",
 				"v000001", res.Signatures, res.BootstrapMillis, res.ServingVersion, len(res.Rounds))
 			tbl.Render(w)
+			if *out != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "JSON written to %s\n", *out)
+			}
+		case "fastpath":
+			res, err := experiments.FastpathBenchmark(scale.Seed)
+			if err != nil {
+				return err
+			}
+			tbl := &report.Table{Title: "Fast-path benchmark", Headers: []string{"Case", "ns/op", "allocs/op", "B/op", "ops/s"}}
+			for _, c := range res.Cases {
+				tbl.AddRow(c.Name, report.F(c.NsPerOp, 0), fmt.Sprint(c.AllocsPerOp), fmt.Sprint(c.BytesPerOp), report.F(c.OpsPerSec, 0))
+			}
+			tbl.Render(w)
+			fmt.Fprintf(w, "prefilter: %d literals gate %d/%d patterns (%d always-run); %d of %d evaluations skipped\n",
+				res.Prefilter.Literals, res.Prefilter.Gated, res.Prefilter.Gated+res.Prefilter.AlwaysRun,
+				res.Prefilter.AlwaysRun, res.Prefilter.Skipped, res.Prefilter.Skipped+res.Prefilter.Evaluated)
+			fmt.Fprintf(w, "speedup: %.2fx inspect, %.2fx gateway; benign inspect %d allocs/op\n",
+				res.InspectSpeedup, res.GatewaySpeedup, res.BenignAllocsPerOp)
 			if *out != "" {
 				blob, err := json.MarshalIndent(res, "", "  ")
 				if err != nil {

@@ -2,8 +2,9 @@
 // analyzers enforcing the determinism, parallel-hygiene and
 // error-discipline invariants, and catalog analyzers reporting
 // signature-set flaws (duplicate, subsumed and never-matching features,
-// redundant case classes, dead signatures) in the compiled feature
-// catalog and, with -model, in a trained signature set.
+// redundant case classes, prefilter-opaque patterns that defeat the
+// serving fast path, dead signatures) in the compiled feature catalog
+// and, with -model, in a trained signature set.
 //
 //	psigenelint [-json] [-model file] [-corpus n] [-checks a,b] [packages]
 //

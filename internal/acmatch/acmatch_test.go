@@ -1,0 +1,192 @@
+package acmatch
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// collect runs Scan and returns every reported pattern index in order.
+func collect(t *testing.T, a *Automaton, s string) []int {
+	t.Helper()
+	var got []int
+	a.Scan([]byte(s), func(p int32) { got = append(got, int(p)) })
+	return got
+}
+
+// naiveCount counts occurrences of pat in the folded sample, including
+// overlapping ones — the semantics Scan promises per pattern.
+func naiveCount(sample, pat string) int {
+	f := Fold(sample)
+	n := 0
+	for i := 0; i+len(pat) <= len(f); i++ {
+		if f[i:i+len(pat)] == pat {
+			n++
+		}
+	}
+	return n
+}
+
+func TestScanFindsEveryOccurrence(t *testing.T) {
+	pats := []string{"union", "select", "or", "--", "'", "1=1", "s", "kk"}
+	a, err := New(pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []string{
+		"",
+		"id=42",
+		"1' UNION SELECT username FROM users--",
+		"oorr",
+		"ssss",
+		"UNIONunionUnIoN",
+		"a\x00b'c\xff--",
+		"1=1=1",
+	}
+	for _, s := range samples {
+		got := make(map[int]int)
+		a.Scan([]byte(s), func(p int32) { got[int(p)]++ })
+		for pi, pat := range pats {
+			if want := naiveCount(s, pat); got[pi] != want {
+				t.Errorf("sample %q pattern %q: got %d hits, want %d", s, pat, got[pi], want)
+			}
+		}
+	}
+}
+
+func TestScanCaseInsensitive(t *testing.T) {
+	a, err := New([]string{"SeLeCt", "union"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, a, "SELECT * FROM t uNiOn select 1")
+	want := []int{0, 1, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestScanUnicodeFolds pins the two non-ASCII folds: ſ U+017F scans as
+// 's' and the Kelvin sign U+212A as 'k', matching Go regexp's (?i)
+// simple fold for ASCII literals.
+func TestScanUnicodeFolds(t *testing.T) {
+	a, err := New([]string{"select", "kill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const longS = "ſ"  // ſ, bytes C5 BF
+	const kelvin = "K" // K, bytes E2 84 AA
+	cases := []struct {
+		name, sample string
+		want         []int
+	}{
+		{"ascii", "select kill", []int{0, 1}},
+		{"long-s", longS + "elect", []int{0}},
+		{"long-s mixed case", longS + "ELECT", []int{0}},
+		{"kelvin", kelvin + "ill", []int{1}},
+		{"both", "SELECT " + kelvin + "ILL", []int{0, 1}},
+		{"bare long-s pair", longS + longS, nil},
+		{"double kelvin", kelvin + kelvin + "ill", []int{1}},
+	}
+	for _, c := range cases {
+		if got := collect(t, a, c.sample); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s (%q): got %v want %v", c.name, c.sample, got, c.want)
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	if got := Fold("AbC ſ K \xc5x \xe2\x84x"); got != "abc s k \xc5x \xe2\x84x" {
+		t.Fatalf("Fold = %q", got)
+	}
+}
+
+func TestNewRejectsBadPatterns(t *testing.T) {
+	if _, err := New([]string{""}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := New([]string{"caf\xc3\xa9"}); err == nil {
+		t.Fatal("non-ASCII pattern accepted")
+	}
+}
+
+// TestDeterministicConstruction compiles the same set twice and compares
+// the automata field by field.
+func TestDeterministicConstruction(t *testing.T) {
+	ps := []string{"or", "union", "select", "'", "=", "--", "s", "sel"}
+	a, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.next, b.next) || !reflect.DeepEqual(a.out, b.out) {
+		t.Fatal("same pattern list produced different automata")
+	}
+}
+
+// TestScanMatchesNaiveRandomized cross-checks the automaton against the
+// naive folded-substring count on random byte strings drawn from an
+// alphabet rich in fold-relevant bytes.
+func TestScanMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("aAbB'=-\xc5\xbf\xe2\x84\xaa\x00 sSkKunio")
+	ps := []string{"a", "ab", "'='", "s", "kk", "--", "ba"}
+	a, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := string(buf)
+		got := make(map[int]int)
+		a.Scan(buf, func(p int32) { got[int(p)]++ })
+		for pi, pat := range ps {
+			if want := naiveCount(s, pat); got[pi] != want {
+				t.Fatalf("trial %d sample %q pattern %q: got %d want %d", trial, s, pat, got[pi], want)
+			}
+		}
+	}
+}
+
+// TestScanHitOrder verifies hits arrive in end-position order with
+// suffix-contained patterns reported at the same end position.
+func TestScanHitOrder(t *testing.T) {
+	a, err := New([]string{"he", "she", "his", "hers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, a, "ushers")
+	// "she" and its suffix "he" end at byte 4, "hers" at byte 6.
+	want := []int{1, 0, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Fatalf("sorted got %v", got)
+	}
+}
+
+func TestScanZeroAlloc(t *testing.T) {
+	a, err := New([]string{"union", "select", "'"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	b := []byte(strings.Repeat("benign traffic with no literals at all ", 8))
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Scan(b, func(int32) { sink++ })
+	})
+	if allocs != 0 {
+		t.Fatalf("Scan allocated %.1f objects/op", allocs)
+	}
+}

@@ -13,12 +13,13 @@ import (
 
 // Catalog check names.
 const (
-	CheckDupFeature = "dupfeature" // exact-duplicate pattern or word
-	CheckBadPattern = "badpattern" // pattern fails to compile under (?i)
-	CheckCaseClass  = "caseclass"  // character class lists both letter cases under (?i)
-	CheckNeverMatch = "nevermatch" // pattern fires on no probe-corpus sample
-	CheckSubsumed   = "subsumed"   // two features are corpus-indistinguishable
-	CheckDeadSig    = "deadsig"    // signature whose weights zero out every feature
+	CheckDupFeature    = "dupfeature"    // exact-duplicate pattern or word
+	CheckBadPattern    = "badpattern"    // pattern fails to compile under (?i)
+	CheckCaseClass     = "caseclass"     // character class lists both letter cases under (?i)
+	CheckNeverMatch    = "nevermatch"    // pattern fires on no probe-corpus sample
+	CheckSubsumed      = "subsumed"      // two features are corpus-indistinguishable
+	CheckDeadSig       = "deadsig"       // signature whose weights zero out every feature
+	CheckOpaquePattern = "opaquepattern" // pattern defeats the serving literal prefilter
 )
 
 // Anchors maps feature names to their source positions in the catalog
@@ -142,6 +143,10 @@ func CheckCatalog(set feature.Set, corpus []string, anchors *Anchors, parallelis
 		if cls := redundantCaseClass(f.Pattern); cls != "" {
 			out = append(out, Diagnostic{Check: CheckCaseClass, Pos: posOf[j], Message: fmt.Sprintf(
 				"character class %q lists both letter cases; the extractor compiles every pattern with (?i), so one case is redundant", cls)})
+		}
+		if _, ok := feature.RequiredLiterals(f.Pattern); !ok {
+			out = append(out, Diagnostic{Check: CheckOpaquePattern, Pos: posOf[j], Message: fmt.Sprintf(
+				"pattern %q has no derivable required-literal set, so the serving prefilter must run it on every sample; anchor it on a literal or suppress with a reason", f.Pattern)})
 		}
 	}
 

@@ -99,6 +99,46 @@ func TestCheckCatalogSubsumedCountsDiffer(t *testing.T) {
 	}
 }
 
+func TestCheckCatalogOpaquePatterns(t *testing.T) {
+	set := feature.Set{Features: []feature.Feature{
+		pat("any", `.+`),        // no literal anywhere in the tree
+		pat("wide", `[^\x00]+`), // class far over the per-class literal cap
+		pat("star", `(union)*`), // may match empty, so no literal is required
+		pat("gated", `union\s+select`),
+		pat("class", `[<>]`), // small class: per-member literals derive
+		word("select"),       // reserved words bypass the regex engine entirely
+	}}
+	ds := CheckCatalog(set, nil, nil, 0)
+	var opaque []Diagnostic
+	for _, d := range ds {
+		if d.Check == CheckOpaquePattern {
+			opaque = append(opaque, d)
+		}
+	}
+	if len(opaque) != 3 {
+		t.Fatalf("opaquepattern: %d findings, want 3 (any, wide, star)\n%v", len(opaque), ds)
+	}
+	for _, d := range opaque {
+		if !strings.Contains(d.Message, "required-literal") {
+			t.Errorf("message should explain the missing literal set: %s", d.Message)
+		}
+	}
+}
+
+// TestCatalogFullyGated pins the property the serving fast path relies
+// on: every regex feature in the shipped catalog derives at least one
+// required literal, so the prefilter's always-run set is empty. A new
+// catalog pattern that breaks this shows up here (and in psigenelint)
+// rather than as a silent per-request slowdown.
+func TestCatalogFullyGated(t *testing.T) {
+	ds := CheckCatalog(feature.Catalog(), nil, nil, 0)
+	for _, d := range ds {
+		if d.Check == CheckOpaquePattern {
+			t.Errorf("shipped catalog pattern is prefilter-opaque: %s", d.Message)
+		}
+	}
+}
+
 func TestRedundantCaseClass(t *testing.T) {
 	cases := []struct {
 		pattern, want string

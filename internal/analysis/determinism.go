@@ -18,12 +18,16 @@ import (
 // the determinism analyzers are scoped here. The lifecycle orchestrator
 // belongs to the set too: its manifests, gate reports and promotion
 // decisions must be bit-identical across same-seed runs, which holds
-// only while the package itself stays clock- and randomness-free.
+// only while the package itself stays clock- and randomness-free. The
+// acmatch automaton joins because prefiltered extraction is bit-identical
+// to plain extraction only while its construction and scan order stay
+// deterministic.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
 	"internal/cluster",
 	"internal/feature",
+	"internal/acmatch",
 	"internal/crawl",
 	"internal/faultify",
 	"internal/resilience",

@@ -75,6 +75,14 @@ type Config struct {
 	// samples arrive, so a mostly-failed crawl cannot silently train a
 	// near-empty model. 0 means 1 (any non-empty corpus trains).
 	MinAttackSamples int
+	// DisablePrefilter turns off the Aho-Corasick literal prefilter in
+	// front of the catalog regexes (feature.Extractor's staged fast path)
+	// for this model's extractors, both at training time and in the model
+	// it produces. The prefilter is a pure gating optimization — vectors,
+	// scores, and trained coefficients are bit-identical either way, which
+	// the parity tests enforce — so this exists for verification and
+	// benchmark baselines, not tuning.
+	DisablePrefilter bool
 	// Parallelism is the worker count for the training pipeline: feature
 	// extraction, the distance kernels inside biclustering, and the
 	// per-bicluster logistic regressions. 0 means GOMAXPROCS, 1 forces the
@@ -130,8 +138,14 @@ type Signature struct {
 	// Threshold is the alert probability cutoff.
 	Threshold float64
 
-	indexOnce   sync.Once
-	weightByCol map[int]float64 // observed column -> weight, for sparse scoring
+	// The sparse-scoring index: a dense observed-column → weight table
+	// (with a presence mask — absent columns must contribute nothing, not
+	// a zero term, for bit-identity with Probability) plus the alert label,
+	// both built once off the hot path.
+	indexOnce sync.Once
+	colWeight []float64
+	colUsed   []bool
+	label     string
 }
 
 // Probability evaluates the signature on a full observed-feature vector.
@@ -145,35 +159,52 @@ func (s *Signature) Probability(full []float64) float64 {
 
 // ProbabilitySparse evaluates the signature on a sparse observed-feature
 // vector (ascending column indices with their nonzero counts). Cost is
-// O(request nonzeros): each firing feature is looked up in the signature's
-// column→weight index, so benign traffic — which fires almost nothing —
-// is scored almost for free. This is the serving hot path.
+// O(request nonzeros): each firing feature indexes the signature's dense
+// column→weight table, so benign traffic — which fires almost nothing —
+// is scored almost for free, with no per-call allocation. This is the
+// serving hot path.
 func (s *Signature) ProbabilitySparse(cols []int, vals []float64) float64 {
-	idx := s.weightIndex()
+	s.buildIndex()
 	// Accumulate the dot product first and add the bias afterwards — the
-	// same association Probability uses — so both paths produce identical
-	// bits.
+	// same association Probability uses — and walk cols ascending with a
+	// presence check, the same terms in the same order as the map-based
+	// walk this replaces, so both paths produce identical bits.
 	var dot float64
+	w, used := s.colWeight, s.colUsed
 	for k, j := range cols {
-		if w, ok := idx[j]; ok {
-			dot += w * vals[k]
+		if j < len(w) && used[j] {
+			dot += w[j] * vals[k]
 		}
 	}
 	return ml.Sigmoid(s.Model.Bias + dot)
 }
 
-// weightIndex lazily builds the observed-column → model-weight map. The
-// sync.Once makes it safe under ids.ParallelEvaluate's concurrent Inspect
-// calls.
-func (s *Signature) weightIndex() map[int]float64 {
+// Label returns the identifier Inspect reports for this signature.
+func (s *Signature) Label() string {
+	s.buildIndex()
+	return s.label
+}
+
+// buildIndex lazily builds the dense observed-column → model-weight table
+// and the alert label. The sync.Once makes it safe under
+// ids.ParallelEvaluate's concurrent Inspect calls.
+func (s *Signature) buildIndex() {
 	s.indexOnce.Do(func() {
-		m := make(map[int]float64, len(s.Features))
-		for k, j := range s.Features {
-			m[j] = s.Model.Weights[k]
+		maxCol := -1
+		for _, j := range s.Features {
+			if j > maxCol {
+				maxCol = j
+			}
 		}
-		s.weightByCol = m
+		w := make([]float64, maxCol+1)
+		used := make([]bool, maxCol+1)
+		for k, j := range s.Features {
+			w[j] = s.Model.Weights[k]
+			used[j] = true
+		}
+		s.colWeight, s.colUsed = w, used
+		s.label = fmt.Sprintf("psigene:%d", s.ID)
 	})
-	return s.weightByCol
 }
 
 // Model is a trained pSigene signature set.
@@ -260,6 +291,7 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("extractor: %w", err)
 	}
+	ex.SetPrefilter(!cfg.DisablePrefilter)
 	// The training matrix is CSR by default; cfg.DenseBacking selects the
 	// dense reference path, which must produce bit-identical signatures.
 	var full matrix.RowMatrix
@@ -288,6 +320,7 @@ func Train(attacks, benign []httpx.Request, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("observed extractor: %w", err)
 	}
+	obsEx.SetPrefilter(!cfg.DisablePrefilter)
 	zeroFrac, oneFrac := observed.Sparsity()
 
 	// Phase 3: biclustering, on a capped subsample when the unique corpus
@@ -552,22 +585,101 @@ func (m *Model) Probabilities(req httpx.Request) []float64 {
 	return out
 }
 
+// scoreScratch is the per-call serving state Inspect borrows from a pool:
+// the payload view, the normalization buffers, and (checked out separately,
+// because it is sized to the model's extractor) the feature scratch. With
+// all three pooled, inspecting a request that raises no alert performs zero
+// heap allocations at steady state — the fast-path benchmarks pin this.
+type scoreScratch struct {
+	payload []byte
+	norm    normalize.Buffer
+}
+
+// scorePool holds scoreScratch values. It is package-level rather than a
+// Model field so that Model stays shallow-copyable (WithSignatures) and
+// models restored by Load share the same warm pool.
+var scorePool = sync.Pool{New: func() any { return new(scoreScratch) }}
+
 // Inspect implements ids.Detector: alert when any signature's probability
 // crosses its threshold. Matching goes through the sparse feature vector, so
 // per-request cost scales with the number of firing features rather than the
-// observed-feature count.
+// observed-feature count. All intermediate state is pooled; serving loops
+// that want to skip even the pool round-trip hold a Session instead.
 func (m *Model) Inspect(req httpx.Request) ids.Verdict {
-	cols, vals := m.SparseVector(req)
+	ss := scorePool.Get().(*scoreScratch)
+	fs := m.extractor.AcquireScratch()
+	v := m.inspect(req, ss, fs)
+	m.extractor.ReleaseScratch(fs)
+	scorePool.Put(ss)
+	return v
+}
+
+// inspect is the allocation-free scoring core shared by Inspect and
+// Session.Inspect. It only allocates when the verdict is an alert (the
+// Matched list escapes to the caller).
+func (m *Model) inspect(req httpx.Request, ss *scoreScratch, fs *feature.Scratch) ids.Verdict {
+	ss.payload = req.AppendPayload(ss.payload[:0])
+	cols, vals := m.extractor.SparseInto(ss.norm.NormalizeBytes(ss.payload), fs)
+	if m.binary {
+		for i := range vals {
+			vals[i] = 1
+		}
+	}
 	var v ids.Verdict
 	for _, s := range m.Signatures {
 		if p := s.ProbabilitySparse(cols, vals); p >= s.Threshold {
 			v.Alert = true
 			v.Score++
-			v.Matched = append(v.Matched, fmt.Sprintf("psigene:%d", s.ID))
+			v.Matched = append(v.Matched, s.Label())
 		}
 	}
 	return v
 }
+
+// Session is a checked-out serving context: one goroutine's scratch for
+// repeated Inspect calls with no pool traffic at all. It implements
+// ids.InspectSession; verdicts are identical to Model.Inspect.
+type Session struct {
+	m  *Model
+	ss *scoreScratch
+	fs *feature.Scratch
+}
+
+var _ ids.SessionDetector = (*Model)(nil)
+
+// NewSession implements ids.SessionDetector.
+func (m *Model) NewSession() ids.InspectSession {
+	return &Session{
+		m:  m,
+		ss: scorePool.Get().(*scoreScratch),
+		fs: m.extractor.AcquireScratch(),
+	}
+}
+
+// Inspect implements ids.InspectSession.
+func (s *Session) Inspect(req httpx.Request) ids.Verdict {
+	return s.m.inspect(req, s.ss, s.fs)
+}
+
+// Close implements ids.InspectSession, returning the scratch to the pools.
+func (s *Session) Close() {
+	s.m.extractor.ReleaseScratch(s.fs)
+	scorePool.Put(s.ss)
+	s.ss, s.fs = nil, nil
+}
+
+// SetPrefilter toggles the extractor's literal prefilter at serving time
+// (Config.DisablePrefilter is the training-time knob). Verdicts and scores
+// are bit-identical either way; the parity tests flip this on a trained
+// model and compare.
+func (m *Model) SetPrefilter(enabled bool) { m.extractor.SetPrefilter(enabled) }
+
+// PrefilterEnabled reports whether the literal prefilter is active.
+func (m *Model) PrefilterEnabled() bool { return m.extractor.PrefilterEnabled() }
+
+// PrefilterStats returns the extractor's cumulative prefilter counters —
+// how many regex evaluations the staged fast path skipped.
+func (m *Model) PrefilterStats() feature.PrefilterStats { return m.extractor.PrefilterStats() }
 
 // WithSignatures returns a shallow copy of the model restricted to the
 // given signature IDs — how the paper evaluates the 7- vs 9-signature sets.

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/httpx"
+	"psigene/internal/traffic"
+)
+
+// fastpathProbes is the probe mix the prefilter parity tests replay:
+// attack traffic from two tool profiles plus a benign majority, so both
+// the gated and the always-run regex sets are exercised.
+func fastpathProbes() []httpx.Request {
+	probes := attackgen.NewGenerator(attackgen.SQLMapProfile(), 31).Requests(150)
+	probes = append(probes, attackgen.NewGenerator(attackgen.ArachniProfile(), 32).Requests(150)...)
+	return append(probes, traffic.NewGenerator(33).Requests(500)...)
+}
+
+// TestPrefilterTrainParity trains the full pipeline twice — literal
+// prefilter on (the default) and off — and demands bit-identical models.
+// The prefilter only decides which regexes run; every regex it skips is
+// one that cannot match, so the extracted matrices are equal and training
+// is equal to the last bit.
+func TestPrefilterTrainParity(t *testing.T) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 41).Requests(600)
+	benign := traffic.NewGenerator(42).Requests(800)
+
+	gated, err := Train(attacks, benign, Config{})
+	if err != nil {
+		t.Fatalf("Train (prefilter on): %v", err)
+	}
+	if !gated.PrefilterEnabled() {
+		t.Fatal("default-config model does not have the prefilter enabled")
+	}
+	plain, err := Train(attacks, benign, Config{DisablePrefilter: true})
+	if err != nil {
+		t.Fatalf("Train (prefilter off): %v", err)
+	}
+	if plain.PrefilterEnabled() {
+		t.Fatal("DisablePrefilter model still has the prefilter enabled")
+	}
+	requireIdenticalModels(t, "prefilter-vs-plain", gated, plain, fastpathProbes())
+}
+
+// TestPrefilterServeParity flips the prefilter on one trained model and
+// pins every serving product — sparse vectors, probabilities, verdicts —
+// to be bit-identical with it on and off.
+func TestPrefilterServeParity(t *testing.T) {
+	m := smallModel(t)
+	defer m.SetPrefilter(true)
+	for _, req := range fastpathProbes() {
+		m.SetPrefilter(true)
+		onCols, onVals := m.SparseVector(req)
+		onProbs := m.Probabilities(req)
+		onVerdict := m.Inspect(req)
+
+		m.SetPrefilter(false)
+		offCols, offVals := m.SparseVector(req)
+		offProbs := m.Probabilities(req)
+		offVerdict := m.Inspect(req)
+
+		if !reflect.DeepEqual(onCols, offCols) || !reflect.DeepEqual(onVals, offVals) {
+			t.Fatalf("sparse vectors differ on %q:\non  %v %v\noff %v %v",
+				req.Payload(), onCols, onVals, offCols, offVals)
+		}
+		if !reflect.DeepEqual(onProbs, offProbs) {
+			t.Fatalf("probabilities differ on %q: on %v, off %v", req.Payload(), onProbs, offProbs)
+		}
+		if !reflect.DeepEqual(onVerdict, offVerdict) {
+			t.Fatalf("verdicts differ on %q: on %+v, off %+v", req.Payload(), onVerdict, offVerdict)
+		}
+	}
+}
+
+// TestPrefilterServeParityQuick drives the on/off verdict parity over
+// random byte strings — the same adversarial idiom the normalize and CSR
+// parity suites use. Random bytes stress the unicode folding edges of the
+// literal scanner (ſ, Kelvin sign, invalid UTF-8) far harder than
+// generated traffic does.
+func TestPrefilterServeParityQuick(t *testing.T) {
+	m := smallModel(t)
+	defer m.SetPrefilter(true)
+	f := func(raw []byte, body []byte) bool {
+		req := httpx.Request{RawQuery: string(raw), Body: string(body)}
+		m.SetPrefilter(true)
+		on := m.Inspect(req)
+		m.SetPrefilter(false)
+		off := m.Inspect(req)
+		return reflect.DeepEqual(on, off)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionMatchesInspect pins Session.Inspect to Model.Inspect verdict
+// for verdict: a checked-out session is a pure scratch-reuse optimization.
+func TestSessionMatchesInspect(t *testing.T) {
+	m := smallModel(t)
+	sess := m.NewSession()
+	defer sess.Close()
+	for _, req := range fastpathProbes() {
+		want := m.Inspect(req)
+		got := sess.Inspect(req)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("session verdict differs on %q: model %+v, session %+v", req.Payload(), want, got)
+		}
+	}
+}
+
+// TestInspectBenignZeroAlloc pins the tentpole allocation contract. All
+// state the fast path owns — payload view, normalization buffers, feature
+// scratch, signature walk — is pooled, so the only possible allocation on
+// a non-alerting request is the 2-int match-position slice Go's regexp
+// engine allocates internally per successful match of a non-literal
+// pattern (pure-literal features are counted engine-free). The test pins
+// both halves: requests whose firing features are all literal-counted
+// inspect with exactly zero allocations, and the full benign mix stays
+// under the engine's per-match bound.
+func TestInspectBenignZeroAlloc(t *testing.T) {
+	m := smallModel(t)
+	sess := m.NewSession()
+	defer sess.Close()
+
+	var quiet, zero []httpx.Request
+	for _, req := range traffic.NewGenerator(51).Requests(300) {
+		if sess.Inspect(req).Alert {
+			continue
+		}
+		quiet = append(quiet, req)
+		if testing.AllocsPerRun(5, func() { sess.Inspect(req) }) == 0 {
+			zero = append(zero, req)
+		}
+	}
+	if len(quiet) < 100 {
+		t.Fatalf("only %d of 300 benign probes are non-alerting; corpus unusable for the alloc pin", len(quiet))
+	}
+	// A meaningful share of generated benign traffic must take the fully
+	// allocation-free path, and re-measuring that set must stay at zero —
+	// any pooled buffer regressing to a per-call allocation trips this.
+	if len(zero) < len(quiet)/20 {
+		t.Fatalf("only %d of %d non-alerting probes inspect allocation-free", len(zero), len(quiet))
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		for _, req := range zero {
+			sess.Inspect(req)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state quiet Inspect allocated %.1f objects per pass of %d requests", allocs, len(zero))
+	}
+	// Full benign mix: average allocations per request may not exceed the
+	// regexp engine's own per-match cost by more than a small margin.
+	perPass := testing.AllocsPerRun(20, func() {
+		for _, req := range quiet {
+			sess.Inspect(req)
+		}
+	})
+	if perReq := perPass / float64(len(quiet)); perReq > 4 {
+		t.Fatalf("benign Inspect averages %.2f allocs/request; fast-path state is leaking per call", perReq)
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/feature"
+	"psigene/internal/gateway"
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/traffic"
+)
+
+// The fast-path benchmark measures what the staged-detection work
+// actually bought on the serving path: single-request Inspect latency
+// and allocations with the literal prefilter on vs. off, end-to-end
+// gateway throughput over an in-process upstream (no sockets, so the
+// numbers isolate gateway+scoring work rather than loopback RTT), and
+// the sharded batch evaluator. Every pair is measured on the same
+// benign-dominated mix, and on/off verdict parity is re-verified here
+// before any timing runs — a benchmark of a wrong fast path is
+// worthless.
+
+// FastpathCase is one measured configuration.
+type FastpathCase struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	OpsPerSec   float64 `json:"opsPerSec"`
+}
+
+// FastpathBenchResult is the machine-readable output of the fast-path
+// benchmark (BENCH_fastpath.json).
+type FastpathBenchResult struct {
+	Seed       int64 `json:"seed"`
+	Signatures int   `json:"signatures"`
+	// Mix is the benchmark traffic composition.
+	MixBenign  int `json:"mixBenign"`
+	MixAttacks int `json:"mixAttacks"`
+	// Prefilter is the static census of the compiled gate (literal
+	// count, gated vs. always-run patterns) plus the evaluation counters
+	// accumulated while benchmarking.
+	Prefilter feature.PrefilterStats `json:"prefilter"`
+	Cases     []FastpathCase         `json:"cases"`
+	// InspectSpeedup and GatewaySpeedup are the on/off ns-per-op ratios
+	// for the Inspect mix and the gateway mix.
+	InspectSpeedup float64 `json:"inspectSpeedup"`
+	GatewaySpeedup float64 `json:"gatewaySpeedup"`
+	// BenignAllocsPerOp is allocations per Inspect of a benign request
+	// with the prefilter on (the steady-state serving number).
+	BenignAllocsPerOp int64 `json:"benignAllocsPerOp"`
+}
+
+// memUpstream answers every proxied request in-process with an empty
+// 200, so gateway benchmarks measure the gateway, not a TCP loopback.
+type memUpstream struct{}
+
+func (memUpstream) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Body != nil {
+		if _, err := io.Copy(io.Discard, r.Body); err != nil {
+			return nil, err
+		}
+		if err := r.Body.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header:  make(http.Header),
+		Body:    http.NoBody,
+		Request: r,
+	}, nil
+}
+
+// fastpathMix builds the benchmark traffic: a benign-dominated gateway
+// mix with attacks spread evenly through it, deterministic in seed.
+func fastpathMix(seed int64, benign, attacks int) []httpx.Request {
+	breqs := traffic.NewGenerator(seed).Requests(benign)
+	areqs := attackgen.NewGenerator(attackgen.SQLMapProfile(), seed+1).Requests(attacks)
+	total := benign + attacks
+	mix := make([]httpx.Request, 0, total)
+	ai, bi := 0, 0
+	for i := 0; i < total; i++ {
+		if ai < attacks && (i+1)*attacks > ai*total {
+			mix = append(mix, areqs[ai])
+			ai++
+			continue
+		}
+		mix = append(mix, breqs[bi])
+		bi++
+	}
+	return mix
+}
+
+// FastpathBenchmark trains one model, verifies prefilter on/off verdict
+// parity over the whole mix, and measures the serving fast path.
+func FastpathBenchmark(seed int64) (*FastpathBenchResult, error) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), seed).Requests(1200)
+	benign := traffic.NewGenerator(seed + 1).Requests(1500)
+	model, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	const mixBenign, mixAttacks = 950, 50
+	mix := fastpathMix(seed+10, mixBenign, mixAttacks)
+	benignOnly := traffic.NewGenerator(seed + 20).Requests(500)
+
+	// Parity gate: identical verdicts with the prefilter on and off, on
+	// every request this benchmark will time. Hard-fail on divergence.
+	for _, req := range mix {
+		model.SetPrefilter(true)
+		on := model.Inspect(req)
+		model.SetPrefilter(false)
+		off := model.Inspect(req)
+		if !reflect.DeepEqual(on, off) {
+			return nil, fmt.Errorf("verdict parity violated on %q: prefilter=%+v plain=%+v",
+				req.RawQuery, on, off)
+		}
+	}
+
+	res := &FastpathBenchResult{
+		Seed:       seed,
+		Signatures: len(model.Signatures),
+		MixBenign:  mixBenign,
+		MixAttacks: mixAttacks,
+	}
+
+	inspectBench := func(reqs []httpx.Request) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			sess := model.NewSession()
+			defer sess.Close()
+			for i := 0; i < b.N; i++ {
+				sess.Inspect(reqs[i%len(reqs)])
+			}
+		})
+	}
+	gatewayBench := func(gw *gateway.Gateway) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := mix[i%len(mix)]
+				target := req.Path
+				if target == "" {
+					target = "/"
+				}
+				if req.RawQuery != "" {
+					target += "?" + req.RawQuery
+				}
+				method := req.Method
+				if method == "" {
+					method = http.MethodGet
+				}
+				var body io.Reader
+				if req.Body != "" {
+					body = strings.NewReader(req.Body)
+				}
+				hr := httptest.NewRequest(method, target, body)
+				w := httptest.NewRecorder()
+				gw.ServeHTTP(w, hr)
+			}
+		})
+	}
+	record := func(name string, r testing.BenchmarkResult) FastpathCase {
+		c := FastpathCase{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.NsPerOp() > 0 {
+			c.OpsPerSec = 1e9 / float64(r.NsPerOp())
+		}
+		res.Cases = append(res.Cases, c)
+		return c
+	}
+
+	model.SetPrefilter(true)
+	onMix := record("inspect/mix/prefilter=on", inspectBench(mix))
+	onBenign := record("inspect/benign/prefilter=on", inspectBench(benignOnly))
+	res.BenignAllocsPerOp = onBenign.AllocsPerOp
+	model.SetPrefilter(false)
+	offMix := record("inspect/mix/prefilter=off", inspectBench(mix))
+	record("inspect/benign/prefilter=off", inspectBench(benignOnly))
+	if onMix.NsPerOp > 0 {
+		res.InspectSpeedup = offMix.NsPerOp / onMix.NsPerOp
+	}
+
+	newGateway := func() (*gateway.Gateway, error) {
+		return gateway.New("http://upstream.invalid", model, gateway.Options{
+			Client: &http.Client{Transport: memUpstream{}},
+		})
+	}
+	model.SetPrefilter(true)
+	gwOn, err := newGateway()
+	if err != nil {
+		return nil, err
+	}
+	onGw := record("gateway/mix/prefilter=on", gatewayBench(gwOn))
+	model.SetPrefilter(false)
+	gwOff, err := newGateway()
+	if err != nil {
+		return nil, err
+	}
+	offGw := record("gateway/mix/prefilter=off", gatewayBench(gwOff))
+	if onGw.NsPerOp > 0 {
+		res.GatewaySpeedup = offGw.NsPerOp / onGw.NsPerOp
+	}
+
+	model.SetPrefilter(true)
+	record("parallel-evaluate/mix/prefilter=on", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ids.ParallelEvaluate(model, mix, 0)
+		}
+	}))
+
+	res.Prefilter = model.PrefilterStats()
+	return res, nil
+}

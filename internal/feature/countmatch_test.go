@@ -1,0 +1,71 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// countMatchSamples are crafted to stress every counting path: fold
+// variants (including the multi-byte orbit runes ſ and K), overlapping
+// candidates, empty-ish inputs, and payload-shaped text.
+var countMatchSamples = []string{
+	"",
+	"=",
+	"a",
+	"id=1&name=x&x==y",
+	"' OR ''=''--",
+	"---- -- --\t--\n",
+	"UNION SELECT * FROM users WHERE a=b",
+	"union ſelect verſion() and K and KB",
+	"aaaaaa",
+	"concat ( concat( CONCAT  (x)",
+	"?a&b?c&&d",
+	"%27%20or%201=1",
+	"exists exists&exists",
+	"\x00\x01binary\xff\xfe junk =' --",
+	"ſſſſ KKKK sSkK",
+}
+
+// TestCountMatchesAgainstFindAll pins countMatches — the literal scan,
+// the incremental context-free loop, and the FindAllIndex fallback — to
+// len(FindAllIndex), the reference the old extractor used, for every
+// catalog pattern over crafted and random samples.
+func TestCountMatchesAgainstFindAll(t *testing.T) {
+	ex, err := NewExtractor(Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := append([]string(nil), countMatchSamples...)
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("aAsSkK=&?'-*()<>| \t\n/%#;xyz01ſK\xc5\xbf\xff")
+	for i := 0; i < 200; i++ {
+		b := make([]byte, rng.Intn(60))
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		samples = append(samples, string(b))
+	}
+	litPats, incPats := 0, 0
+	for pi := range ex.patterns {
+		cp := &ex.patterns[pi]
+		if cp.lit != nil {
+			litPats++
+		} else if cp.contextFree {
+			incPats++
+		}
+		for _, s := range samples {
+			want := len(cp.re.FindAllString(s, -1))
+			got := countMatches(cp, []byte(s))
+			if got != want {
+				t.Fatalf("pattern %q (lit=%q contextFree=%v) on %q: count %d, want %d",
+					ex.set.Features[cp.col].Pattern, cp.lit, cp.contextFree, s, got, want)
+			}
+		}
+	}
+	// The catalog must actually exercise both fast paths.
+	if litPats == 0 || incPats == 0 {
+		t.Fatalf("catalog exercises litPats=%d incPats=%d; fast paths untested", litPats, incPats)
+	}
+	t.Logf("catalog counting paths: %d literal, %d incremental, %d FindAllIndex",
+		litPats, incPats, len(ex.patterns)-litPats-incPats)
+}

@@ -15,10 +15,13 @@ package feature
 import (
 	"fmt"
 	"regexp"
+	"regexp/syntax"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"psigene/internal/matrix"
 )
@@ -119,25 +122,48 @@ func Catalog() Set {
 
 // Extractor turns samples into count vectors over a feature set. Reserved
 // words are counted by tokenizing once per sample; regex features are
-// matched individually.
+// gated by the literal pre-filter (see prefilter.go) and matched only
+// when one of their required literals occurred in the sample.
 type Extractor struct {
 	set      Set
 	words    map[string][]int // token -> feature columns
 	patterns []compiledPattern
-	scratch  sync.Pool // *sparseScratch, reused across SparseVector calls
+	pre      *prefilter
+	preOff   atomic.Bool
+	stats    prefilterStats
+	scratch  sync.Pool // *Scratch, reused across extraction calls
 }
 
-// sparseScratch is the reusable per-call state of SparseVector: a
-// full-width accumulator plus the list of touched columns, so building a
-// sparse vector allocates only the O(nnz) result.
-type sparseScratch struct {
+// Scratch holds every reusable buffer of one extraction: the full-width
+// accumulator, the touched-column list, the borrowed sparse result, the
+// sample and token copy buffers, and the generation-stamped pre-filter
+// dedup arrays. One Scratch serves one extraction at a time; acquire it
+// from the owning Extractor and release it when done, or hold one per
+// serving session to make the hot path allocation-free.
+type Scratch struct {
 	v       []float64
 	touched []int
+	cols    []int
+	vals    []float64
+	sample  []byte
+	tok     []byte
+	fired   []int32
+	litGen  []uint32
+	patGen  []uint32
+	gen     uint32
 }
 
 type compiledPattern struct {
 	col int
 	re  *regexp.Regexp
+	// contextFree marks patterns with no anchors or word boundaries,
+	// whose match count can be accumulated with FindIndex from an
+	// advancing offset instead of materializing every match position.
+	contextFree bool
+	// lit, when non-nil, is the folded form of a pattern that is exactly
+	// one case-insensitive literal; such patterns are counted by a direct
+	// byte scan with no regexp-engine call (and no allocation) at all.
+	lit []byte
 }
 
 // NewExtractor compiles a feature set. Duplicate names and invalid patterns
@@ -164,13 +190,73 @@ func NewExtractor(set Set) (*Extractor, error) {
 			if err != nil {
 				return nil, fmt.Errorf("feature %q: %w", f.Name, err)
 			}
-			e.patterns = append(e.patterns, compiledPattern{col: j, re: re})
+			e.patterns = append(e.patterns, compiledPattern{
+				col: j, re: re,
+				contextFree: isContextFree(f.Pattern),
+				lit:         pureLiteral(f.Pattern),
+			})
 		default:
 			return nil, fmt.Errorf("feature %q: neither Word nor Pattern set", f.Name)
 		}
 	}
+	if err := e.buildPrefilter(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
+
+// isContextFree reports whether a pattern's match set at any position is
+// independent of the surrounding text: no text/line anchors and no word
+// boundaries. Only context-free patterns may count matches by re-slicing
+// the sample from an advancing offset — slicing resets the context those
+// constructs inspect. Parse errors return false (the compile step in
+// NewExtractor reports them properly).
+func isContextFree(pattern string) bool {
+	re, err := syntax.Parse("(?i)"+pattern, syntax.Perl)
+	if err != nil {
+		return false
+	}
+	return contextFreeNode(re)
+}
+
+func contextFreeNode(re *syntax.Regexp) bool {
+	switch re.Op {
+	case syntax.OpBeginLine, syntax.OpEndLine, syntax.OpBeginText,
+		syntax.OpEndText, syntax.OpWordBoundary, syntax.OpNoWordBoundary:
+		return false
+	}
+	for _, sub := range re.Sub {
+		if !contextFreeNode(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+// newScratch builds a Scratch sized for this extractor.
+func (e *Extractor) newScratch() *Scratch {
+	sc := &Scratch{v: make([]float64, len(e.set.Features))}
+	if e.pre != nil {
+		sc.litGen = make([]uint32, len(e.pre.lits))
+		sc.patGen = make([]uint32, len(e.patterns))
+	}
+	return sc
+}
+
+// AcquireScratch borrows a Scratch from the extractor's pool. Callers on
+// a steady-state serving path should hold one per session (see
+// core.Model's session support) so extraction allocates nothing.
+func (e *Extractor) AcquireScratch() *Scratch {
+	sc, _ := e.scratch.Get().(*Scratch)
+	if sc == nil || len(sc.v) != len(e.set.Features) {
+		sc = e.newScratch()
+	}
+	return sc
+}
+
+// ReleaseScratch returns a Scratch to the pool. The slices borrowed from
+// it by SparseInto become invalid.
+func (e *Extractor) ReleaseScratch(sc *Scratch) { e.scratch.Put(sc) }
 
 // Set returns the feature set the extractor was built from.
 func (e *Extractor) Set() Set { return e.set }
@@ -195,12 +281,13 @@ func (e *Extractor) VectorInto(sample string, v []float64) []float64 {
 	for i := range v {
 		v[i] = 0
 	}
-	e.countWords(sample, v)
-	for _, cp := range e.patterns {
-		if m := cp.re.FindAllStringIndex(sample, -1); m != nil {
-			v[cp.col] = float64(len(m))
-		}
+	sc := e.AcquireScratch()
+	sc.sample = append(sc.sample[:0], sample...)
+	cols, vals := e.SparseInto(sc.sample, sc)
+	for k, j := range cols {
+		v[j] = vals[k]
 	}
+	e.ReleaseScratch(sc)
 	return v
 }
 
@@ -208,12 +295,30 @@ func (e *Extractor) VectorInto(sample string, v []float64) []float64 {
 // (normalized) sample, returning ascending column indices and their
 // counts. The per-call cost and allocation are proportional to the number
 // of features that actually fire — on benign serving traffic (the paper's
-// FPR-dominated workload) that is a handful out of hundreds.
+// FPR-dominated workload) that is a handful out of hundreds. The returned
+// slices are fresh; zero-allocation callers use SparseInto with a held
+// Scratch instead.
 func (e *Extractor) SparseVector(sample string) (cols []int, vals []float64) {
-	sc, _ := e.scratch.Get().(*sparseScratch)
-	if sc == nil || len(sc.v) != len(e.set.Features) {
-		sc = &sparseScratch{v: make([]float64, len(e.set.Features))}
-	}
+	sc := e.AcquireScratch()
+	sc.sample = append(sc.sample[:0], sample...)
+	bcols, bvals := e.SparseInto(sc.sample, sc)
+	cols = make([]int, len(bcols))
+	vals = make([]float64, len(bvals))
+	copy(cols, bcols)
+	copy(vals, bvals)
+	e.ReleaseScratch(sc)
+	return cols, vals
+}
+
+// SparseInto extracts the sparse count vector of one (normalized) sample
+// given as bytes, using only sc's buffers: ascending column indices and
+// their counts, borrowed from sc and valid until its next use. This is
+// the allocation-free serving core every other extraction entry point
+// wraps.
+func (e *Extractor) SparseInto(sample []byte, sc *Scratch) (cols []int, vals []float64) {
+	sc.touched = sc.touched[:0]
+
+	// Reserved words: one tokenization pass shared by every word feature.
 	i := 0
 	for i < len(sample) {
 		if !isWordByte(sample[i]) {
@@ -224,8 +329,7 @@ func (e *Extractor) SparseVector(sample string) (cols []int, vals []float64) {
 		for j < len(sample) && isWordByte(sample[j]) {
 			j++
 		}
-		tok := strings.ToLower(sample[i:j])
-		for _, col := range e.words[tok] {
+		for _, col := range e.lookupWord(sample[i:j], sc) {
 			if sc.v[col] == 0 {
 				sc.touched = append(sc.touched, col)
 			}
@@ -233,48 +337,171 @@ func (e *Extractor) SparseVector(sample string) (cols []int, vals []float64) {
 		}
 		i = j
 	}
-	for _, cp := range e.patterns {
-		if m := cp.re.FindAllStringIndex(sample, -1); m != nil {
-			sc.v[cp.col] = float64(len(m))
-			sc.touched = append(sc.touched, cp.col)
+
+	// Regex patterns: all of them when the pre-filter is off, otherwise
+	// only those whose required literals occurred plus the always-run set.
+	if e.preOff.Load() || e.pre == nil {
+		for pi := range e.patterns {
+			e.countPattern(pi, sample, sc)
 		}
+	} else {
+		pre := e.pre
+		sc.gen++
+		if sc.gen == 0 { // generation wrapped: stamps are ambiguous, reset
+			clear(sc.litGen)
+			clear(sc.patGen)
+			sc.gen = 1
+		}
+		sc.fired = sc.fired[:0]
+		if pre.ac != nil {
+			pre.ac.Scan(sample, func(lit int32) {
+				if sc.litGen[lit] == sc.gen {
+					return
+				}
+				sc.litGen[lit] = sc.gen
+				for _, pi := range pre.owners[lit] {
+					if sc.patGen[pi] != sc.gen {
+						sc.patGen[pi] = sc.gen
+						sc.fired = append(sc.fired, pi)
+					}
+				}
+			})
+		}
+		for _, pi := range sc.fired {
+			e.countPattern(int(pi), sample, sc)
+		}
+		for _, pi := range pre.always {
+			e.countPattern(int(pi), sample, sc)
+		}
+		ran := len(sc.fired) + len(pre.always)
+		e.stats.samples.Add(1)
+		e.stats.evaluated.Add(int64(ran))
+		e.stats.skipped.Add(int64(len(e.patterns) - ran))
 	}
+
+	// Sorting the touched columns makes the output independent of the
+	// order patterns were evaluated in, so the gated and ungated paths
+	// are bit-identical by construction.
 	sort.Ints(sc.touched)
-	cols = make([]int, len(sc.touched))
-	vals = make([]float64, len(sc.touched))
-	for k, j := range sc.touched {
-		cols[k] = j
-		vals[k] = sc.v[j]
+	sc.cols, sc.vals = sc.cols[:0], sc.vals[:0]
+	for _, j := range sc.touched {
+		sc.cols = append(sc.cols, j)
+		sc.vals = append(sc.vals, sc.v[j])
 		sc.v[j] = 0
 	}
-	sc.touched = sc.touched[:0]
-	e.scratch.Put(sc)
-	return cols, vals
+	return sc.cols, sc.vals
+}
+
+// countPattern evaluates one regex feature and records its match count.
+func (e *Extractor) countPattern(pi int, sample []byte, sc *Scratch) {
+	cp := &e.patterns[pi]
+	if n := countMatches(cp, sample); n > 0 {
+		sc.v[cp.col] = float64(n)
+		sc.touched = append(sc.touched, cp.col)
+	}
+}
+
+// countMatches counts non-overlapping matches with FindAllIndex
+// semantics. Context-free patterns (the catalog norm) count incrementally
+// with FindIndex from an advancing offset — no per-match allocations —
+// replicating regexp's non-overlapping scan exactly: empty matches
+// abutting the previous match are skipped and advance by one rune.
+// Patterns with anchors or word boundaries fall back to FindAllIndex,
+// because re-slicing the sample would reset the context they inspect.
+func countMatches(cp *compiledPattern, sample []byte) int {
+	if cp.lit != nil {
+		return countFoldedLiteral(sample, cp.lit)
+	}
+	if !cp.contextFree {
+		return len(cp.re.FindAllIndex(sample, -1))
+	}
+	n, pos, prevEnd := 0, 0, -1
+	for pos <= len(sample) {
+		loc := cp.re.FindIndex(sample[pos:])
+		if loc == nil {
+			break
+		}
+		start, end := pos+loc[0], pos+loc[1]
+		if end > start {
+			n++
+			pos, prevEnd = end, end
+			continue
+		}
+		// Empty match. A context-free pattern that matches empty anywhere
+		// matches empty everywhere, so start == pos here; count it unless
+		// it abuts the previous match, then advance one rune.
+		if start != prevEnd {
+			n++
+		}
+		prevEnd = end
+		if start == len(sample) {
+			break
+		}
+		_, width := utf8.DecodeRune(sample[start:])
+		pos = start + width
+	}
+	return n
+}
+
+// countFoldedLiteral counts non-overlapping occurrences of a folded
+// pure-literal pattern (see pureLiteral) with an ASCII case-folding byte
+// scan — the same leftmost scan-and-skip order as the regexp engine's
+// non-overlapping FindAll, so the counts are identical, without the
+// per-match position slice the engine allocates.
+func countFoldedLiteral(sample, lit []byte) int {
+	n := 0
+	for i := 0; i+len(lit) <= len(sample); {
+		if foldedEqAt(sample, i, lit) {
+			n++
+			i += len(lit)
+			continue
+		}
+		i++
+	}
+	return n
+}
+
+func foldedEqAt(sample []byte, i int, lit []byte) bool {
+	for k, want := range lit {
+		c := sample[i+k]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != want {
+			return false
+		}
+	}
+	return true
 }
 
 func isWordByte(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
 }
 
-// countWords tokenizes sample into maximal word-character runs and counts
-// reserved-word features, equivalent to matching \bword\b per word.
-func (e *Extractor) countWords(sample string, v []float64) {
-	i := 0
-	for i < len(sample) {
-		if !isWordByte(sample[i]) {
-			i++
-			continue
+// lookupWord resolves a token's feature columns. Tokens are pure ASCII
+// word bytes, so ASCII folding equals the Unicode lowering the word index
+// was built with; all-lowercase tokens (the normalized-sample norm) index
+// the map directly without copying.
+func (e *Extractor) lookupWord(tok []byte, sc *Scratch) []int {
+	lower := true
+	for _, c := range tok {
+		if c >= 'A' && c <= 'Z' {
+			lower = false
+			break
 		}
-		j := i + 1
-		for j < len(sample) && isWordByte(sample[j]) {
-			j++
-		}
-		tok := strings.ToLower(sample[i:j])
-		for _, col := range e.words[tok] {
-			v[col]++
-		}
-		i = j
 	}
+	if lower {
+		return e.words[string(tok)]
+	}
+	t := sc.tok[:0]
+	for _, c := range tok {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		t = append(t, c)
+	}
+	sc.tok = t
+	return e.words[string(t)]
 }
 
 // Matrix extracts all samples into an n×d dense count matrix — the

@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"strconv"
 
 	"psigene/internal/core"
+	"psigene/internal/feature"
 	"psigene/internal/ids"
 	"psigene/internal/resilience"
 )
@@ -304,6 +306,21 @@ type Snapshot struct {
 	Breaker         *resilience.BreakerSnapshot `json:"breaker,omitempty"`
 	ScoringLatency  ids.LatencyStats            `json:"scoringLatency"`
 	Canary          *CanaryReport               `json:"canary,omitempty"`
+	// Scored counts requests that reached the detector; Prefilter, present
+	// when the serving detector exposes the staged fast path, reports its
+	// regex-gating effectiveness. AllocsPerRequest is the process's heap
+	// allocation growth since the gateway was built divided by Scored —
+	// approximate (the whole process allocates, not only scoring) but a
+	// faithful trend gauge for the allocation-free serving contract.
+	Scored           int64                   `json:"scored"`
+	Prefilter        *feature.PrefilterStats `json:"prefilter,omitempty"`
+	AllocsPerRequest float64                 `json:"allocsPerRequest"`
+}
+
+// prefilterReporter is implemented by detectors that expose staged
+// fast-path counters (core.Model does).
+type prefilterReporter interface {
+	PrefilterStats() feature.PrefilterStats
 }
 
 // Snapshot assembles the current stats document.
@@ -330,7 +347,17 @@ func (g *Gateway) Snapshot() Snapshot {
 		BudgetSpent:     g.stats.budgetSpent.Load(),
 		Reloads:         g.stats.reloads.Load(),
 		ReloadFailures:  g.stats.reloadFailures.Load(),
+		Scored:          g.stats.scored.Load(),
 		ScoringLatency:  ids.SummarizeLatency(g.latencyWindow()),
+	}
+	if pr, ok := state.det.(prefilterReporter); ok {
+		ps := pr.PrefilterStats()
+		s.Prefilter = &ps
+	}
+	if s.Scored > 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.AllocsPerRequest = float64(ms.Mallocs-g.baseMallocs) / float64(s.Scored)
 	}
 	if g.breaker != nil {
 		g.mu.Lock()

@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -213,12 +214,17 @@ type Gateway struct {
 	ringNext int
 
 	stats gatewayStats
+
+	// baseMallocs is the process Mallocs count captured at construction;
+	// Snapshot divides the growth since then by scored requests for the
+	// approximate allocs-per-request gauge.
+	baseMallocs uint64
 }
 
 // gatewayStats is the atomic counter block behind /-/statz.
 type gatewayStats struct {
 	total, shed, tooLarge, blocked, forwarded    atomic.Int64
-	bodyErrors                                   atomic.Int64
+	bodyErrors, scored                           atomic.Int64
 	scorePanics, failedOpen, failedClosed        atomic.Int64
 	upstreamErrors, breakerRejected, budgetSpent atomic.Int64
 	reloads, reloadFailures                      atomic.Int64
@@ -250,6 +256,9 @@ func New(upstream string, det ids.Detector, opts Options) (*Gateway, error) {
 		det: det, gen: g.gen.Add(1),
 		version: opts.ModelVersion, hash: opts.ModelSHA256,
 	})
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.baseMallocs = ms.Mallocs
 	return g, nil
 }
 
@@ -304,7 +313,11 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	state := g.state.Load()
 	w.Header().Set("X-Psigene-Gen", genHeader(state))
 
-	req, body, err := g.inbound(r)
+	// The body read buffer is pooled and held until the upstream leg has
+	// replayed it; requests without bodies never touch the heap for it.
+	bb := bodyPool.Get().(*bodyBuf)
+	defer bodyPool.Put(bb)
+	req, body, err := g.inbound(r, bb)
 	if errors.Is(err, errBodyTooLarge) {
 		g.stats.tooLarge.Add(1)
 		http.Error(w, fmt.Sprintf("gateway: body exceeds %d bytes", g.opts.MaxBodyBytes), http.StatusRequestEntityTooLarge)
@@ -318,6 +331,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	verdict, scoreErr := g.score(state.det, req)
+	g.stats.scored.Add(1)
 	elapsed := g.opts.Now().Sub(start)
 	g.recordLatency(elapsed)
 
@@ -359,10 +373,40 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request) {
 // errBodyTooLarge distinguishes the over-cap case from body read errors.
 var errBodyTooLarge = errors.New("gateway: request body exceeds cap")
 
+// bodyBuf is a pooled request-body read buffer. The pointer wrapper keeps
+// the grown backing array with the pool entry across requests.
+type bodyBuf struct{ b []byte }
+
+var bodyPool = sync.Pool{New: func() any { return new(bodyBuf) }}
+
+// readBodyInto reads r to EOF into bb's buffer, stopping as soon as the
+// length exceeds limit (one byte past the cap is enough to distinguish
+// "exactly at" from "over"). The returned slice aliases bb.
+func readBodyInto(bb *bodyBuf, r io.Reader, limit int64) ([]byte, error) {
+	buf := bb.b[:0]
+	for int64(len(buf)) <= limit {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			bb.b = buf
+			return nil, err
+		}
+	}
+	bb.b = buf
+	return buf, nil
+}
+
 // inbound converts the wire request into the httpx view the detectors
-// score, reading at most MaxBodyBytes of body. The body is returned for
-// replay to the upstream.
-func (g *Gateway) inbound(r *http.Request) (httpx.Request, []byte, error) {
+// score, reading at most MaxBodyBytes of body into bb's pooled buffer.
+// The body is returned for replay to the upstream; it aliases bb and is
+// valid until bb returns to the pool.
+func (g *Gateway) inbound(r *http.Request, bb *bodyBuf) (httpx.Request, []byte, error) {
 	// Server-side requests are origin-form: the host lives in r.Host
 	// (r.URL.Hostname() would be empty), possibly with a port attached.
 	host := r.Host
@@ -380,17 +424,17 @@ func (g *Gateway) inbound(r *http.Request) (httpx.Request, []byte, error) {
 	}
 	var body []byte
 	if r.Body != nil {
-		// Read one byte past the cap so "exactly at the cap" and "over
-		// the cap" are distinguishable.
-		b, err := io.ReadAll(io.LimitReader(r.Body, g.opts.MaxBodyBytes+1))
+		b, err := readBodyInto(bb, r.Body, g.opts.MaxBodyBytes)
 		if err != nil {
 			return req, nil, fmt.Errorf("gateway: read body: %w", err)
 		}
 		if int64(len(b)) > g.opts.MaxBodyBytes {
 			return req, nil, errBodyTooLarge
 		}
-		body = b
-		req.Body = string(b)
+		if len(b) > 0 {
+			body = b
+			req.Body = string(b)
+		}
 	}
 	return req, body, nil
 }

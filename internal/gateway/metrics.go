@@ -49,6 +49,17 @@ func writeMetrics(w io.Writer, s Snapshot) {
 	fmt.Fprintf(w, "psigened_model_info{detector=%q,version=%q,sha256=%q} 1\n",
 		s.Detector, s.ModelVersion, s.ModelSHA256)
 
+	counter("psigened_scored_total", "Requests scored by the serving detector.", s.Scored)
+	gauge("psigened_allocs_per_request", "Approximate process heap allocations per scored request since startup.", s.AllocsPerRequest)
+	if p := s.Prefilter; p != nil {
+		counter("psigened_prefilter_samples_total", "Samples extracted through the literal prefilter.", p.Samples)
+		counter("psigened_prefilter_evaluated_total", "Regex evaluations run after prefilter gating.", p.Evaluated)
+		counter("psigened_prefilter_skipped_total", "Regex evaluations skipped by the literal prefilter.", p.Skipped)
+		gauge("psigened_prefilter_literals", "Distinct literals compiled into the prefilter automaton.", float64(p.Literals))
+		gauge("psigened_prefilter_gated_patterns", "Catalog patterns gated by derived literals.", float64(p.Gated))
+		gauge("psigened_prefilter_always_run_patterns", "Prefilter-opaque catalog patterns evaluated on every sample.", float64(p.AlwaysRun))
+	}
+
 	gauge("psigened_scoring_latency_seconds_p50", "Median scoring latency over the stats window.", s.ScoringLatency.P50.Seconds())
 	gauge("psigened_scoring_latency_seconds_p99", "99th-percentile scoring latency over the stats window.", s.ScoringLatency.P99.Seconds())
 	gauge("psigened_scoring_latency_seconds_max", "Slowest scoring latency over the stats window.", s.ScoringLatency.Max.Seconds())

@@ -124,6 +124,21 @@ func (r Request) Payload() string {
 	return r.RawQuery + "&" + r.Body
 }
 
+// AppendPayload appends Payload to dst and returns it — the
+// allocation-free request view the serving hot path scores, identical
+// byte for byte to Payload.
+func (r Request) AppendPayload(dst []byte) []byte {
+	if r.Body == "" {
+		return append(dst, r.RawQuery...)
+	}
+	if r.RawQuery == "" {
+		return append(dst, r.Body...)
+	}
+	dst = append(dst, r.RawQuery...)
+	dst = append(dst, '&')
+	return append(dst, r.Body...)
+}
+
 // URL reconstructs the request target (path plus query) for logging.
 func (r Request) URL() string {
 	if r.RawQuery == "" {

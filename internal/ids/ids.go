@@ -37,6 +37,29 @@ type Detector interface {
 	Inspect(req httpx.Request) Verdict
 }
 
+// InspectSession is a single-goroutine serving context checked out from a
+// SessionDetector. It produces verdicts identical to the detector's own
+// Inspect but may reuse private scratch buffers between calls, so a held
+// session inspects without heap allocations. Not safe for concurrent use;
+// Close returns the scratch to the detector's pools.
+type InspectSession interface {
+	// Inspect classifies a single request, exactly as Detector.Inspect.
+	Inspect(req httpx.Request) Verdict
+	// Close releases the session's scratch. The session must not be used
+	// afterwards.
+	Close()
+}
+
+// SessionDetector is a Detector that can check out per-goroutine serving
+// sessions. Evaluate and ParallelEvaluate use one session per worker when
+// the detector offers them, which keeps the measured hot path
+// allocation-free without changing any verdict.
+type SessionDetector interface {
+	Detector
+	// NewSession checks out a serving session; callers own it until Close.
+	NewSession() InspectSession
+}
+
 // Options configures rule-engine construction.
 type Options struct {
 	// IncludeDisabled loads rules that ship disabled by default, as the
@@ -212,11 +235,17 @@ func Evaluate(d Detector, reqs []httpx.Request) EvalResult {
 // percentile math is testable against a synthetic monotonic clock; the
 // confusion counts never depend on it.
 func evaluate(d Detector, reqs []httpx.Request, clock func() time.Time) (EvalResult, []time.Duration) {
+	inspect := d.Inspect
+	if sd, ok := d.(SessionDetector); ok {
+		sess := sd.NewSession()
+		defer sess.Close()
+		inspect = sess.Inspect
+	}
 	var r EvalResult
 	lats := make([]time.Duration, 0, len(reqs))
 	for _, req := range reqs {
 		start := clock()
-		alert := d.Inspect(req).Alert
+		alert := inspect(req).Alert
 		lats = append(lats, clock().Sub(start))
 		switch {
 		case alert && req.Malicious:

@@ -1,0 +1,212 @@
+package normalize
+
+import (
+	"bytes"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Buffer is the allocation-free normalization path: it owns every
+// intermediate buffer of the five-transformation pipeline, so repeated
+// Normalize calls on a held Buffer reach a steady state with zero heap
+// allocations. The package-level Normalize delegates here, which keeps
+// the serving and training paths one implementation — they cannot
+// diverge.
+//
+// A Buffer serves one call at a time (hold one per goroutine or pool
+// them); the returned slice aliases the Buffer and is valid until the
+// next call.
+type Buffer struct {
+	prev, mid, next, out []byte
+}
+
+// Normalize applies the full five-transformation pipeline to s and
+// returns the normalized bytes, borrowed from the Buffer.
+func (nb *Buffer) Normalize(s string) []byte {
+	nb.prev = append(nb.prev[:0], s...)
+	return nb.run()
+}
+
+// NormalizeBytes is Normalize for a byte-slice sample. src may not alias
+// the Buffer's own storage (i.e. a previous result).
+func (nb *Buffer) NormalizeBytes(src []byte) []byte {
+	nb.prev = append(nb.prev[:0], src...)
+	return nb.run()
+}
+
+// run executes the pipeline over nb.prev. Each stage reads one buffer
+// and appends into another; the decode stages ping-pong prev/next (mid
+// carries the half-step) so the fixpoint comparison still sees the
+// previous round.
+func (nb *Buffer) run() []byte {
+	for i := 0; i < maxDecodePasses; i++ {
+		nb.mid = appendURLDecode(nb.mid[:0], nb.prev)
+		nb.next = appendUnicodeToASCII(nb.next[:0], nb.mid)
+		if bytes.Equal(nb.next, nb.prev) {
+			break
+		}
+		nb.prev, nb.next = nb.next, nb.prev
+	}
+	nb.mid = appendHTMLEntityDecode(nb.mid[:0], nb.prev)
+	nb.next = appendLower(nb.next[:0], nb.mid)
+	nb.out = appendCollapseWhitespace(nb.out[:0], nb.next)
+	return nb.out
+}
+
+// appendURLDecode is URLDecode appending into dst.
+func appendURLDecode(dst, src []byte) []byte {
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch c {
+		case '+':
+			dst = append(dst, ' ')
+		case '%':
+			if i+2 < len(src) {
+				hi, ok1 := hexVal(src[i+1])
+				lo, ok2 := hexVal(src[i+2])
+				if ok1 && ok2 {
+					dst = append(dst, hi<<4|lo)
+					i += 2
+					continue
+				}
+			}
+			dst = append(dst, c)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// appendUnicodeToASCII is UnicodeToASCII appending into dst.
+func appendUnicodeToASCII(dst, src []byte) []byte {
+	for i := 0; i < len(src); {
+		if src[i] == '%' && i+5 < len(src) && (src[i+1] == 'u' || src[i+1] == 'U') {
+			h1, ok1 := hexVal(src[i+2])
+			h2, ok2 := hexVal(src[i+3])
+			h3, ok3 := hexVal(src[i+4])
+			h4, ok4 := hexVal(src[i+5])
+			if ok1 && ok2 && ok3 && ok4 {
+				r := rune(h1)<<12 | rune(h2)<<8 | rune(h3)<<4 | rune(h4)
+				dst = utf8.AppendRune(dst, foldToASCII(r))
+				i += 6
+				continue
+			}
+		}
+		r, size := decodeRuneBytes(src[i:])
+		dst = utf8.AppendRune(dst, foldToASCII(r))
+		i += size
+	}
+	return dst
+}
+
+// decodeRuneBytes mirrors decodeRune for byte slices: invalid UTF-8 (and
+// a literal U+FFFD, which decodeRune's range-loop check also treats as
+// invalid) falls back to Latin-1 single bytes.
+func decodeRuneBytes(src []byte) (rune, int) {
+	if src[0] < 0x80 {
+		return rune(src[0]), 1
+	}
+	r, size := utf8.DecodeRune(src)
+	if r == unicode.ReplacementChar {
+		return rune(src[0]), 1
+	}
+	return r, size
+}
+
+// appendHTMLEntityDecode is HTMLEntityDecode appending into dst. The
+// entity-name lowering stays allocation-free for ASCII names (the only
+// kind that can resolve, modulo non-ASCII runes that lower into ASCII —
+// those take the allocating strings.ToLower fallback for exactness).
+func appendHTMLEntityDecode(dst, src []byte) []byte {
+	for i := 0; i < len(src); {
+		c := src[i]
+		if c != '&' {
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		semi := bytes.IndexByte(src[i:], ';')
+		if semi <= 1 || semi > 10 {
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		name := src[i+1 : i+semi]
+		if r, ok := lookupEntity(name); ok {
+			dst = utf8.AppendRune(dst, r)
+			i += semi + 1
+			continue
+		}
+		if name[0] == '#' {
+			if r, ok := parseNumericEntity(name[1:]); ok {
+				dst = utf8.AppendRune(dst, r)
+				i += semi + 1
+				continue
+			}
+		}
+		dst = append(dst, c)
+		i++
+	}
+	return dst
+}
+
+// lookupEntity resolves a named entity, lowering the name the way
+// HTMLEntityDecode does (strings.ToLower) without allocating for ASCII
+// names. Entity names are at most 9 bytes by the semi <= 10 guard.
+func lookupEntity(name []byte) (rune, bool) {
+	var buf [10]byte
+	for i, c := range name {
+		if c >= 0x80 {
+			// Unicode lowering can differ from ASCII folding here (e.g.
+			// İ U+0130 lowers into ASCII 'i'); defer to the reference.
+			r, ok := htmlEntities[strings.ToLower(string(name))]
+			return r, ok
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	r, ok := htmlEntities[string(buf[:len(name)])]
+	return r, ok
+}
+
+// appendLower mirrors strings.ToLower (strings.Map over unicode.ToLower:
+// each invalid byte becomes U+FFFD) appending into dst.
+func appendLower(dst, src []byte) []byte {
+	for i := 0; i < len(src); {
+		if c := src[i]; c < 0x80 {
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(src[i:])
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+		i += size
+	}
+	return dst
+}
+
+// appendCollapseWhitespace is CollapseWhitespace appending into dst. dst
+// must start empty: the leading-space suppression keys off len(dst).
+func appendCollapseWhitespace(dst, src []byte) []byte {
+	inWS := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' {
+			inWS = true
+			continue
+		}
+		if inWS && len(dst) > 0 {
+			dst = append(dst, ' ')
+		}
+		inWS = false
+		dst = append(dst, c)
+	}
+	return dst
+}

@@ -1,0 +1,82 @@
+package normalize
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bufferParitySamples covers every stage and its edge cases: encodings,
+// double encodings, broken escapes, entities (named, numeric, uppercase,
+// unknown), fullwidth forms, %uXXXX, invalid UTF-8, a literal U+FFFD,
+// fold-sensitive runes, and whitespace shapes.
+var bufferParitySamples = []string{
+	"",
+	"id=42",
+	"1%27%20UNION%20SELECT%20*%20FROM%20users--",
+	"%2527 double encoded",
+	"a+b+c",
+	"broken %2 escape % and %zz",
+	"&quot;&APOS;&#39;&#x27;&unknown;&#xZZ;&;& amp;",
+	"&semi&semi;",
+	"%uFF35%uFF2E%uFF29%uFF2F%uFF2E fullwidth",
+	"ＵＮＩＯＮ raw fullwidth",
+	"　ideographic　space　",
+	"mixed \xc3\x28 invalid utf8 \xff\xfe bytes",
+	"literal replacement � char",
+	"long s ſ and kelvin K",
+	"dotted capital I İ lowers to ascii",
+	"  \t\n\r\f\v  whitespace   runs  ",
+	"trailing ws \t ",
+	"UPPER lower MiXeD",
+	"%u0041%U0061 iis escapes",
+	"&#1114111; &#1114112; &#x10FFFF; &#xD800;",
+}
+
+func TestBufferMatchesReference(t *testing.T) {
+	var nb Buffer
+	for _, s := range bufferParitySamples {
+		want := NormalizeReference(s)
+		if got := string(nb.Normalize(s)); got != want {
+			t.Errorf("Buffer.Normalize(%q) = %q, want %q", s, got, want)
+		}
+		if got := string(nb.NormalizeBytes([]byte(s))); got != want {
+			t.Errorf("Buffer.NormalizeBytes(%q) = %q, want %q", s, got, want)
+		}
+		if got := Normalize(s); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestBufferMatchesReferenceQuick drives the parity over random byte
+// strings, the same idiom as the CSR and parallel-train parity suites.
+func TestBufferMatchesReferenceQuick(t *testing.T) {
+	var nb Buffer
+	f := func(raw []byte) bool {
+		s := string(raw)
+		return string(nb.Normalize(s)) == NormalizeReference(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferSteadyStateZeroAlloc pins the zero-allocation contract of a
+// held Buffer once its buffers have grown to the workload.
+func TestBufferSteadyStateZeroAlloc(t *testing.T) {
+	var nb Buffer
+	samples := bufferParitySamples
+	for _, s := range samples { // warm the buffers
+		nb.Normalize(s)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, s := range samples {
+			nb.Normalize(s)
+		}
+	})
+	// The only allocating sample class is non-ASCII entity names (the
+	// strings.ToLower fallback); none are in the steady-state set.
+	if allocs != 0 {
+		t.Fatalf("steady-state Normalize allocated %.1f objects per pass", allocs)
+	}
+}

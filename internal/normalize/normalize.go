@@ -21,8 +21,20 @@ import (
 // most double- or triple-encoded.
 const maxDecodePasses = 4
 
-// Normalize applies the full five-transformation pipeline.
+// Normalize applies the full five-transformation pipeline. It delegates
+// to Buffer, the allocation-free byte implementation the serving path
+// holds per session, so the training and serving views of a sample are
+// one code path. The individual exported transformations below remain
+// the reference implementations; parity tests compare the two.
 func Normalize(s string) string {
+	var nb Buffer
+	return string(nb.Normalize(s))
+}
+
+// NormalizeReference is the composed string-transformation pipeline the
+// package documentation describes, kept as the oracle the Buffer path is
+// parity-tested against.
+func NormalizeReference(s string) string {
 	prev := s
 	for i := 0; i < maxDecodePasses; i++ {
 		next := URLDecode(prev)
@@ -185,15 +197,15 @@ func HTMLEntityDecode(s string) string {
 	return b.String()
 }
 
-func parseNumericEntity(s string) (rune, bool) {
-	if s == "" {
+func parseNumericEntity[T ~string | ~[]byte](s T) (rune, bool) {
+	if len(s) == 0 {
 		return 0, false
 	}
 	base := 10
 	if s[0] == 'x' || s[0] == 'X' {
 		base = 16
 		s = s[1:]
-		if s == "" {
+		if len(s) == 0 {
 			return 0, false
 		}
 	}
