@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race race-parallel bench bench-fastpath fastpath-smoke smoke chaos gateway-chaos lifecycle-chaos fuzz
+.PHONY: check vet fmt lint lint-baseline build test race race-parallel bench bench-fastpath fastpath-smoke smoke chaos gateway-chaos lifecycle-chaos fuzz
 
 check: vet fmt build lint test smoke fastpath-smoke chaos gateway-chaos lifecycle-chaos fuzz
 
@@ -13,10 +13,18 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The repository analyzer suite (code invariants + catalog flaws); exits
-# nonzero on any unsuppressed finding. See DESIGN.md "Analysis".
+# The repository analyzer suite (code invariants, concurrency discipline,
+# catalog flaws); exits nonzero on any unsuppressed finding not in the
+# committed baseline, so new findings fail CI from day one. See DESIGN.md
+# "Analysis" and "Concurrency analysis".
 lint:
-	$(GO) run ./cmd/psigenelint ./...
+	$(GO) run ./cmd/psigenelint -baseline lint-baseline.json ./...
+
+# Regenerate the accepted-findings baseline. New entries get a placeholder
+# reason the gate rejects: justify each one in lint-baseline.json before
+# committing, or fix the finding instead.
+lint-baseline:
+	$(GO) run ./cmd/psigenelint -write-baseline lint-baseline.json ./...
 
 build:
 	$(GO) build ./...
@@ -35,10 +43,16 @@ race: race-parallel
 # Fast race pass over just the parallel kernels and their parity tests —
 # the worker pools, disjoint-slot writes, ownership partitioning, and the
 # prefiltered serving path (shared extractor + atomic gate toggling under
-# concurrent sessions).
+# concurrent sessions) — plus the gateway and lifecycle chaos suites,
+# whose reload storms and canary swaps exercise exactly the pool/atomic/
+# lock invariants the static analyzers prove. The analyzer fixture
+# modules under cmd/psigenelint/testdata carry deliberate races by
+# design; `go test ./...` never builds testdata directories, so they are
+# excluded from this pass by construction.
 race-parallel:
 	$(GO) test -race -timeout 20m -run 'Parallel|Prefilter|Session' ./internal/...
 	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/ ./internal/resilience/
+	$(GO) test -race -timeout 20m -count=1 -run 'Chaos|Reload|Lifecycle|Canary' ./internal/gateway/ ./internal/lifecycle/
 
 # Sparse-vs-dense, serial-vs-parallel train, and pipeline micro benchmarks
 # (EXPERIMENTS.md numbers), plus the machine-readable lifecycle benchmark

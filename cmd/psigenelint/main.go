@@ -1,18 +1,29 @@
 // Command psigenelint runs the repository's analyzer suite: code
-// analyzers enforcing the determinism, parallel-hygiene and
-// error-discipline invariants, and catalog analyzers reporting
-// signature-set flaws (duplicate, subsumed and never-matching features,
-// redundant case classes, prefilter-opaque patterns that defeat the
-// serving fast path, dead signatures) in the compiled feature catalog
-// and, with -model, in a trained signature set.
+// analyzers enforcing the determinism, parallel-hygiene,
+// error-discipline and concurrency invariants (pool escape, atomic
+// access, lock order and span, goroutine leaks), and catalog analyzers
+// reporting signature-set flaws (duplicate, subsumed and never-matching
+// features, redundant case classes, prefilter-opaque patterns that
+// defeat the serving fast path, dead signatures) in the compiled feature
+// catalog and, with -model, in a trained signature set.
 //
-//	psigenelint [-json] [-model file] [-corpus n] [-checks a,b] [packages]
+//	psigenelint [-json] [-model file] [-corpus n] [-checks a,b]
+//	            [-baseline file] [-write-baseline file] [-time] [packages]
 //
 // Packages are go-style directory patterns relative to the module root
 // (default "./..."). The exit status is nonzero when any diagnostic is
 // reported. Findings are suppressed in source with
 // `//lint:ignore <check> <reason>` on the flagged line or the line above,
 // or `//lint:file-ignore <check> <reason>` for a whole file.
+//
+// With -baseline, findings recorded in the committed baseline file are
+// accepted (each entry carries a mandatory reason) and only new findings
+// fail the run; entries whose finding no longer exists are reported as
+// stale so the baseline shrinks as debt is paid. -write-baseline
+// regenerates the file from the current findings, carrying existing
+// reasons forward and stamping new entries with a placeholder the loader
+// rejects — a human must justify each one before the file can gate CI.
+// -time prints per-analyzer wall time to stderr.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"psigene/internal/analysis"
 	"psigene/internal/core"
@@ -53,6 +65,9 @@ func run(args []string, root string, w io.Writer) (int, error) {
 		corpusN   = fs.Int("corpus", analysis.DefaultProbeSamples, "probe-corpus samples per attackgen profile (0 disables corpus checks)")
 		seed      = fs.Int64("seed", analysis.DefaultProbeSeed, "probe-corpus generator seed")
 		checks    = fs.String("checks", "", "comma-separated check names to report (default all)")
+		baseline  = fs.String("baseline", "", "accepted-findings file: only findings not in it fail the run")
+		writeBase = fs.String("write-baseline", "", "regenerate the baseline file from current findings and exit")
+		timing    = fs.Bool("time", false, "print per-analyzer wall time to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
@@ -65,16 +80,29 @@ func run(args []string, root string, w io.Writer) (int, error) {
 			return 0, err
 		}
 	}
+	loadStart := time.Now()
 	prog, err := analysis.Load(root)
 	if err != nil {
 		return 0, err
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "%-12s %8.1fms\n", "load", time.Since(loadStart).Seconds()*1000)
 	}
 	pkgs := prog.Select(patterns)
 	if len(pkgs) == 0 {
 		return 0, fmt.Errorf("no packages match %v", patterns)
 	}
 
-	ds := prog.RunCode(pkgs, analysis.CodeAnalyzers())
+	var ds []analysis.Diagnostic
+	if *timing {
+		for _, a := range analysis.CodeAnalyzers() {
+			start := time.Now()
+			ds = append(ds, prog.RunCode(pkgs, []*analysis.CodeAnalyzer{a})...)
+			fmt.Fprintf(os.Stderr, "%-12s %8.1fms\n", a.Name, time.Since(start).Seconds()*1000)
+		}
+	} else {
+		ds = prog.RunCode(pkgs, analysis.CodeAnalyzers())
+	}
 
 	// The probe corpus backs both the catalog corpus checks and the
 	// -model audit; synthesize it once.
@@ -114,6 +142,29 @@ func run(args []string, root string, w io.Writer) (int, error) {
 		ds = analysis.Filter(ds, allow)
 	}
 	analysis.SortDiagnostics(ds)
+
+	if *writeBase != "" {
+		prev, _ := analysis.ReadBaseline(*writeBase)
+		if err := analysis.WriteBaseline(*writeBase, ds, prev); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(w, "wrote %d baseline entries to %s\n", len(ds), *writeBase)
+		return 0, nil
+	}
+
+	var stale []analysis.BaselineEntry
+	if *baseline != "" {
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			return 0, err
+		}
+		ds, stale = b.Apply(ds)
+	}
+	// Stale notices go to stderr: they must not perturb the byte-identical
+	// stdout contract or the JSON array, and they are advice, not findings.
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "psigenelint: stale baseline entry (finding fixed, delete it): %s: %s: %s\n", e.File, e.Check, e.Message)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(w)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,12 +30,74 @@ func TestFixtureGolden(t *testing.T) {
 	if got := buf.String(); got != string(want) {
 		t.Errorf("report differs from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	if n != 7 {
-		t.Errorf("run returned %d findings, want 7 (one per code analyzer)", n)
+	if n != 19 {
+		t.Errorf("run returned %d findings, want 19 (the fixture violations)", n)
 	}
 }
 
-// TestFixtureJSON exercises -json and -checks together: only the two
+// TestDeterministicOutput runs the suite twice in one process and
+// requires byte-identical reports: analyzer output must not leak map
+// iteration order or any other run-to-run state.
+func TestDeterministicOutput(t *testing.T) {
+	var first, second bytes.Buffer
+	if _, err := run([]string{"./..."}, filepath.Join("testdata", "src"), &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"./..."}, filepath.Join("testdata", "src"), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("two runs differ\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+	}
+}
+
+// TestBaselineFlow exercises the full baseline lifecycle: regenerate,
+// reject unjustified entries, justify, gate to zero.
+func TestBaselineFlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var buf bytes.Buffer
+	n, err := run([]string{"-write-baseline", path, "./..."}, filepath.Join("testdata", "src"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("-write-baseline reported %d findings, want 0 (write mode must not fail the run)", n)
+	}
+
+	// Freshly written entries carry the placeholder reason, which the
+	// gate must reject: nobody has justified the debt yet.
+	if _, err := run([]string{"-baseline", path, "./..."}, filepath.Join("testdata", "src"), io.Discard); err == nil {
+		t.Fatal("baseline with placeholder reasons was accepted")
+	}
+
+	b, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 19 {
+		t.Fatalf("baseline holds %d entries, want 19", len(b.Entries))
+	}
+	for i := range b.Entries {
+		b.Entries[i].Reason = "fixture violation kept on purpose"
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err = run([]string{"-baseline", path, "./..."}, filepath.Join("testdata", "src"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("justified baseline still reported %d findings, want 0", n)
+	}
+}
+
+// TestFixtureJSON exercises -json and -checks together: only the three
 // error-discipline findings survive the filter, as valid JSON.
 func TestFixtureJSON(t *testing.T) {
 	var buf bytes.Buffer
@@ -42,8 +105,8 @@ func TestFixtureJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("filtered run returned %d findings, want 2", n)
+	if n != 3 {
+		t.Fatalf("filtered run returned %d findings, want 3", n)
 	}
 	var ds []analysis.Diagnostic
 	if err := json.Unmarshal(buf.Bytes(), &ds); err != nil {

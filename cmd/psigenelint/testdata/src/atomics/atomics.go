@@ -1,0 +1,27 @@
+// Package atomics is a fixture for the atomicguard mixed-access rule.
+package atomics
+
+import "sync/atomic"
+
+// Counter counts hits; the field is accessed through sync/atomic.
+type Counter struct {
+	hits int64
+}
+
+// Incr is the sanctioned access path.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads the same field plainly (atomicguard): this load races
+// with every concurrent Incr.
+func (c *Counter) Snapshot() int64 {
+	return c.hits
+}
+
+// Reset also writes it plainly, but the directive suppresses the finding
+// — the golden test proves suppression by the absence of a report here.
+func (c *Counter) Reset() {
+	//lint:ignore atomicguard fixture demonstrating suppression
+	c.hits = 0
+}

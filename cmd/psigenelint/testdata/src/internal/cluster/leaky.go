@@ -1,0 +1,44 @@
+// Package cluster is a fixture for the leakcheck analyzer: the
+// import-path suffix matches the concurrency scope, so every goroutine
+// spawned here must carry a provable termination signal.
+package cluster
+
+import "sync"
+
+// Fire spawns a goroutine with no termination signal (leakcheck): no
+// WaitGroup, no channel, nothing ever joins or stops it.
+func Fire(n *int) {
+	go func() {
+		*n++
+	}()
+}
+
+// Spin drains events forever: the receive is a signal, but the `for {}`
+// has no return or break, so the goroutine can never exit (leakcheck).
+func Spin(events chan int, total *int) {
+	go func() {
+		for {
+			*total += <-events
+		}
+	}()
+}
+
+// Joined is the clean pattern: the WaitGroup joins the goroutine.
+func Joined(n *int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		*n++
+	}()
+	wg.Wait()
+}
+
+// Quiet has no signal either, but the directive suppresses the finding —
+// the suppression proof for leakcheck.
+func Quiet(n *int) {
+	//lint:ignore leakcheck fixture demonstrating suppression
+	go func() {
+		*n++
+	}()
+}

@@ -1,0 +1,39 @@
+// Package gateway is a fixture for the atomicguard validate-probe-swap
+// rule: the import-path suffix matches the probe-gated scope, so every
+// non-nil store into an atomic.Pointer needs a probe call in the same
+// function.
+package gateway
+
+import "sync/atomic"
+
+// Model is the hot-swapped serving state.
+type Model struct{ gen uint64 }
+
+// probe validates a candidate before it may serve.
+func probe(m *Model) bool { return m != nil }
+
+// Install stores a candidate without probing it (atomicguard): a corrupt
+// model push becomes the serving detector.
+func Install(slot *atomic.Pointer[Model], m *Model) {
+	slot.Store(m)
+}
+
+// InstallChecked follows validate-probe-swap: the probe gates the store.
+func InstallChecked(slot *atomic.Pointer[Model], m *Model) bool {
+	if !probe(m) {
+		return false
+	}
+	slot.Store(m)
+	return true
+}
+
+// InstallQuiet skips the probe under a directive — the suppression proof.
+func InstallQuiet(slot *atomic.Pointer[Model], m *Model) {
+	//lint:ignore atomicguard fixture demonstrating suppression
+	slot.Store(m)
+}
+
+// Clear swaps nil in: clearing a slot installs nothing to validate.
+func Clear(slot *atomic.Pointer[Model]) {
+	slot.Swap(nil)
+}

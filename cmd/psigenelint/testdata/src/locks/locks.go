@@ -1,0 +1,47 @@
+// Package locks is a fixture for the lockorder and mutexspan analyzers.
+package locks
+
+import "sync"
+
+var (
+	reloadMu  sync.Mutex
+	breakerMu sync.Mutex
+)
+
+// Swap acquires reloadMu before breakerMu.
+func Swap() {
+	reloadMu.Lock()
+	breakerMu.Lock()
+	breakerMu.Unlock()
+	reloadMu.Unlock()
+}
+
+// Trip acquires them in the opposite order (lockorder): with Swap
+// running concurrently this deadlocks on the right interleaving.
+func Trip() {
+	breakerMu.Lock()
+	reloadMu.Lock()
+	reloadMu.Unlock()
+	breakerMu.Unlock()
+}
+
+// Detector stands in for the serving hot dependency.
+type Detector struct{ mu sync.Mutex }
+
+// Inspect is the hot call no lock may span.
+func (d *Detector) Inspect(s string) bool { return len(s) > 0 }
+
+// Guarded calls Inspect with the lock held (mutexspan).
+func (d *Detector) Guarded(s string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Inspect(s)
+}
+
+// Quiet does the same under a directive — the suppression proof.
+func (d *Detector) Quiet(s string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//lint:ignore mutexspan fixture demonstrating suppression
+	return d.Inspect(s)
+}

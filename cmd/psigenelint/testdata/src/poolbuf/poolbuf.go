@@ -1,0 +1,62 @@
+// Package poolbuf is a fixture for the poolescape analyzer. Every
+// function below carries exactly one deliberate violation of the pool
+// recycling discipline, except the suppressed proof at the bottom.
+package poolbuf
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+
+// UseAfterPut reads the buffer after handing it back (poolescape).
+func UseAfterPut(data []byte) int {
+	buf := bufPool.Get().([]byte)
+	n := copy(buf[:cap(buf)], data)
+	bufPool.Put(buf)
+	return n + len(buf)
+}
+
+// EarlyLeak returns before the Put on the empty-input path (poolescape).
+func EarlyLeak(data []byte) int {
+	buf := bufPool.Get().([]byte)
+	if len(data) == 0 {
+		return 0
+	}
+	n := copy(buf[:cap(buf)], data)
+	bufPool.Put(buf)
+	return n
+}
+
+// DeferredReturn hands the caller a buffer the deferred Put releases on
+// return (poolescape).
+func DeferredReturn(data []byte) []byte {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	n := copy(buf[:cap(buf)], data)
+	return buf[:n]
+}
+
+// AliasAfterPut reads a sub-slice of the buffer after the Put
+// (poolescape): the alias points into recycled memory.
+func AliasAfterPut(data []byte) byte {
+	buf := bufPool.Get().([]byte)
+	head := buf[:1]
+	copy(head, data)
+	bufPool.Put(buf)
+	return head[0]
+}
+
+// Clean is the correct shape: Get, deferred Put, nothing escapes.
+func Clean(data []byte) int {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	return copy(buf[:cap(buf)], data)
+}
+
+// Quiet carries the UseAfterPut violation under a directive — the golden
+// test proves suppression works by the absence of a finding here.
+func Quiet(data []byte) int {
+	buf := bufPool.Get().([]byte)
+	bufPool.Put(buf)
+	//lint:ignore poolescape fixture demonstrating suppression
+	return len(buf)
+}

@@ -1,0 +1,14 @@
+//go:build neverbuild
+
+// This file never builds: the tag is satisfied on no platform. If the
+// loader parsed it anyway, the duplicate modeName declaration would fail
+// type checking, and the errcheck violation below would pollute the
+// golden output — the clean run is the proof of exclusion.
+package tagged
+
+import "os"
+
+func modeName() string {
+	os.Remove("excluded")
+	return "excluded"
+}

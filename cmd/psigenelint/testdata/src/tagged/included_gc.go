@@ -1,0 +1,13 @@
+//go:build gc
+
+package tagged
+
+import "os"
+
+// modeName carries a deliberate errcheck violation: the gc tag is true
+// under the analyzing toolchain, so the loader must parse this file and
+// the analyzers must report it.
+func modeName() string {
+	os.Remove("included")
+	return "gc"
+}

@@ -1,0 +1,9 @@
+// Package tagged is a fixture for the loader's build-constraint support:
+// excluded.go declares a clashing modeName behind a never-true tag (the
+// run only succeeds if the loader skips it), and included_gc.go provides
+// the real one behind the always-true gc tag with a deliberate errcheck
+// violation proving constrained-true files are still analyzed.
+package tagged
+
+// Mode reports which file variant built.
+func Mode() string { return modeName() }

@@ -51,7 +51,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", pos, d.Check, d.Message)
 }
 
-// SortDiagnostics orders findings by file, line, column, then check name.
+// SortDiagnostics orders findings by file, line, column, check name, then
+// message — a total order, so equal inputs always render byte-identically.
 func SortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
@@ -64,7 +65,10 @@ func SortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 }
 
@@ -89,6 +93,11 @@ func CodeAnalyzers() []*CodeAnalyzer {
 		LoopCaptureAnalyzer(),
 		ErrCheckAnalyzer(),
 		ErrWrapAnalyzer(),
+		PoolEscapeAnalyzer(),
+		AtomicGuardAnalyzer(DefaultProbeGatedPackages),
+		LockOrderAnalyzer(),
+		MutexSpanAnalyzer(),
+		LeakCheckAnalyzer(DefaultConcurrencyPackages()),
 	}
 }
 

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the committed set of accepted findings: CI fails on any
+// finding not in the baseline, so the tree can adopt a new analyzer
+// before every legacy finding is fixed without losing the gate on *new*
+// findings. Every entry carries a mandatory reason — the invariant or
+// plan that makes the debt acceptable — so the baseline documents its own
+// expiry conditions instead of silently growing.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry identifies one accepted finding by check, file and exact
+// message. Line numbers are deliberately not part of the key: edits above
+// a finding must not invalidate the baseline, while any change to what
+// the analyzer reports must.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Reason  string `json:"reason"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Check + "\x00" + e.File + "\x00" + e.Message
+}
+
+func diagKey(d Diagnostic) string {
+	return d.Check + "\x00" + d.Pos.Filename + "\x00" + d.Message
+}
+
+// PlaceholderReason marks freshly written baseline entries that a human
+// has not yet justified; LoadBaseline rejects it so a regenerated
+// baseline cannot be committed without reasons.
+const PlaceholderReason = "TODO: justify or fix"
+
+// ReadBaseline reads a baseline file without validating reasons — the
+// regeneration path uses it to carry reasons forward from a file that may
+// still hold placeholders.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// LoadBaseline reads and validates a baseline file. Every entry must have
+// a non-empty, non-placeholder reason — an unjustified entry is an error,
+// not a warning, because the baseline is the mechanism that keeps debt
+// visible.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := ReadBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range b.Entries {
+		if e.Check == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("analysis: baseline %s: entry missing check/file/message", path)
+		}
+		if e.Reason == "" || e.Reason == PlaceholderReason {
+			return nil, fmt.Errorf("analysis: baseline %s: entry for %s in %s has no reason: every accepted finding must name why", path, e.Check, e.File)
+		}
+	}
+	return b, nil
+}
+
+// Apply splits findings against the baseline: kept are the findings not
+// covered (the ones that must fail CI), stale are baseline entries whose
+// finding no longer exists (fixed debt whose entry should be deleted).
+func (b *Baseline) Apply(ds []Diagnostic) (kept []Diagnostic, stale []BaselineEntry) {
+	if b == nil {
+		return ds, nil
+	}
+	covered := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		covered[e.key()] = false
+	}
+	for _, d := range ds {
+		k := diagKey(d)
+		if _, ok := covered[k]; ok {
+			covered[k] = true
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for _, e := range b.Entries {
+		if !covered[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return kept, stale
+}
+
+// WriteBaseline writes the findings as a baseline file, carrying reasons
+// forward from prev for entries that already existed and stamping new
+// entries with the placeholder (which LoadBaseline rejects, forcing a
+// human to justify each one before the file can gate CI). Output is
+// sorted and indented so diffs review cleanly.
+func WriteBaseline(path string, ds []Diagnostic, prev *Baseline) error {
+	reasons := make(map[string]string)
+	if prev != nil {
+		for _, e := range prev.Entries {
+			reasons[e.key()] = e.Reason
+		}
+	}
+	b := Baseline{Entries: []BaselineEntry{}}
+	seen := make(map[string]bool)
+	for _, d := range ds {
+		e := BaselineEntry{Check: d.Check, File: d.Pos.Filename, Message: d.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		e.Reason = reasons[e.key()]
+		if e.Reason == "" {
+			e.Reason = PlaceholderReason
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].key() < b.Entries[j].key() })
+	data, err := json.MarshalIndent(&b, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

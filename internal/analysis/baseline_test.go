@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiag(check, file, msg string) Diagnostic {
+	return Diagnostic{Check: check, Pos: token.Position{Filename: file, Line: 1}, Message: msg}
+}
+
+func TestBaselineApply(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Check: "poolescape", File: "a.go", Message: "old debt", Reason: "migrating in PR 9"},
+		{Check: "leakcheck", File: "gone.go", Message: "fixed long ago", Reason: "was real"},
+	}}
+	ds := []Diagnostic{
+		baselineDiag("poolescape", "a.go", "old debt"),
+		baselineDiag("poolescape", "a.go", "new finding"),
+	}
+	kept, stale := b.Apply(ds)
+	if len(kept) != 1 || kept[0].Message != "new finding" {
+		t.Errorf("kept = %v, want only the new finding", kept)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %v, want only the fixed entry", stale)
+	}
+	// A nil baseline keeps everything.
+	kept, stale = (*Baseline)(nil).Apply(ds)
+	if len(kept) != 2 || len(stale) != 0 {
+		t.Errorf("nil baseline: kept %d stale %d, want 2 and 0", len(kept), len(stale))
+	}
+}
+
+func TestBaselineWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	ds := []Diagnostic{
+		baselineDiag("lockorder", "b.go", "inversion"),
+		baselineDiag("atomicguard", "a.go", "plain access"),
+	}
+	if err := WriteBaseline(path, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh entries carry the placeholder, which the validating loader
+	// rejects: an unjustified baseline must not gate CI.
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("LoadBaseline accepted placeholder reasons")
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 || b.Entries[0].Check != "atomicguard" {
+		t.Fatalf("entries = %v, want 2 sorted with atomicguard first", b.Entries)
+	}
+
+	// Rewriting with a justified previous baseline carries the reason
+	// forward and keeps the placeholder only for the still-new entry.
+	prev := &Baseline{Entries: []BaselineEntry{
+		{Check: "lockorder", File: "b.go", Message: "inversion", Reason: "ordering fix lands with the breaker rework"},
+	}}
+	if err := WriteBaseline(path, ds, prev); err != nil {
+		t.Fatal(err)
+	}
+	b, err = ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range b.Entries {
+		switch e.Check {
+		case "lockorder":
+			if e.Reason != "ordering fix lands with the breaker rework" {
+				t.Errorf("reason not carried forward: %q", e.Reason)
+			}
+		case "atomicguard":
+			if e.Reason != PlaceholderReason {
+				t.Errorf("new entry reason = %q, want placeholder", e.Reason)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the shared machinery of the concurrency-discipline
+// analyzers (poolescape, atomicguard, lockorder, mutexspan, leakcheck):
+// type predicates for the sync primitives, method-call resolution, and a
+// per-function walker that treats every function literal as its own
+// analysis scope, because a closure's returns and defers do not belong to
+// the surrounding function's control flow.
+
+// DefaultConcurrencyPackages scope the analyzers whose findings are only
+// meaningful where goroutines are spawned on the guaranteed paths: the
+// kernel set plus the serving loop (core's pooled Inspect/Session and the
+// ids evaluation worker pools). The aliasing analyzers (poolescape,
+// atomicguard, lockorder, mutexspan) run everywhere — they fire only on
+// sync.Pool, sync/atomic and mutex usage, which is absent elsewhere by
+// construction.
+func DefaultConcurrencyPackages() []string {
+	return append([]string{"internal/core", "internal/ids"}, DefaultKernelPackages...)
+}
+
+// isNamedType reports whether t (through any pointers) is the named type
+// pkgPath.name — generic instantiations such as atomic.Pointer[T] match
+// their origin declaration.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			obj := x.Obj()
+			return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+		default:
+			return false
+		}
+	}
+}
+
+// methodCall resolves call as recv.Name(...) where Name is a method (not
+// a package-qualified function), returning the receiver expression, the
+// method name, and the receiver's type.
+func methodCall(pkg *Package, call *ast.CallExpr) (recv ast.Expr, name string, typ types.Type, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", nil, false
+	}
+	if s, found := pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+		return sel.X, sel.Sel.Name, s.Recv(), true
+	}
+	return nil, "", nil, false
+}
+
+// calleeName returns the syntactic name of the called function — the
+// identifier or selector member — for name-based idiom checks (probe
+// calls), without requiring type resolution.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// funcScope is one function body analyzed in isolation: a declaration or
+// a function literal. Name is the declaration's name, or the enclosing
+// declaration's name for literals ("Train.func").
+type funcScope struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// funcScopes yields every function body in the package: each top-level
+// declaration and each function literal as its own scope.
+func funcScopes(pkg *Package) []funcScope {
+	var out []funcScope
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				out = append(out, funcScope{name: fd.Name.Name, body: fd.Body})
+				name := fd.Name.Name
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						out = append(out, funcScope{name: name + ".func", body: lit.Body})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// walkShallow walks the nodes of body without descending into nested
+// function literals: a closure's statements execute on its own schedule,
+// so they never belong to the enclosing scope's straight-line order.
+func walkShallow(body ast.Node, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// useObject resolves an identifier to the object it uses or defines.
+func useObject(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// exprRootIdent unwraps an expression to its root identifier through
+// indexing, slicing, selection, dereference, parens and type assertions:
+// `buf[4:]`, `(*s).field` and `v.(*T)` all root at the identifier.
+func exprRootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFuncDecl finds the top-level function declaration containing
+// pos, or nil. The probe-idiom check treats the whole declaration as one
+// validation scope even when the store site sits inside a closure.
+func enclosingFuncDecl(pkg *Package, pos token.Pos) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && pos >= fd.Pos() && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadModule writes a throwaway module to disk and loads it through the
+// real loader, so the analyzers under test see fully type-checked
+// packages exactly as the driver does.
+func loadModule(t *testing.T, files map[string]string) *Program {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// wantFindings asserts the diagnostics match the expected (check,
+// message-substring) pairs in order.
+func wantFindings(t *testing.T, ds []Diagnostic, wants ...[2]string) {
+	t.Helper()
+	if len(ds) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(ds), len(wants), ds)
+	}
+	for i, w := range wants {
+		if ds[i].Check != w[0] || !strings.Contains(ds[i].Message, w[1]) {
+			t.Errorf("finding %d = %s, want check %q with message containing %q", i, ds[i], w[0], w[1])
+		}
+	}
+}
+
+func TestPoolEscapeRules(t *testing.T) {
+	prog := loadModule(t, map[string]string{"p/p.go": `package p
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([64]byte) }}
+
+func useAfter() int {
+	b := pool.Get().(*[64]byte)
+	pool.Put(b)
+	return len(b)
+}
+
+func earlyReturn(bad bool) {
+	b := pool.Get().(*[64]byte)
+	if bad {
+		return
+	}
+	b[0] = 1
+	pool.Put(b)
+}
+
+func returnsDeferred() *[64]byte {
+	b := pool.Get().(*[64]byte)
+	defer pool.Put(b)
+	return b
+}
+
+func checkout() *[64]byte {
+	return pool.Get().(*[64]byte) // ownership transfer: no Put here, exempt
+}
+
+func clean() {
+	b := pool.Get().(*[64]byte)
+	defer pool.Put(b)
+	b[0] = 1
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{PoolEscapeAnalyzer()})
+	wantFindings(t, ds,
+		[2]string{"poolescape", "used after Put in useAfter"},
+		[2]string{"poolescape", "return leaks pooled value"},
+		[2]string{"poolescape", "deferred Put releases on return"},
+	)
+}
+
+func TestPoolEscapeAliasTracking(t *testing.T) {
+	prog := loadModule(t, map[string]string{"p/p.go": `package p
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return make([]byte, 64) }}
+
+func aliased() byte {
+	b := pool.Get().([]byte)
+	head := b[:8]
+	pool.Put(b)
+	return head[0]
+}
+
+func rebound() int {
+	b := pool.Get().([]byte)
+	pool.Put(b)
+	b = make([]byte, 4)
+	return len(b) // fresh value under the old name: not a pooled read
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{PoolEscapeAnalyzer()})
+	wantFindings(t, ds,
+		[2]string{"poolescape", "alias of pooled value"},
+	)
+}
+
+func TestLockOrderInversionAndPropagation(t *testing.T) {
+	prog := loadModule(t, map[string]string{"p/p.go": `package p
+
+import "sync"
+
+var a, b sync.Mutex
+
+func lockB() {
+	b.Lock()
+	b.Unlock()
+}
+
+func forward() {
+	a.Lock()
+	lockB()
+	a.Unlock()
+}
+
+func inverse() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+func again() {
+	a.Lock()
+	a.Lock()
+	a.Unlock()
+	a.Unlock()
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{LockOrderAnalyzer()})
+	wantFindings(t, ds,
+		[2]string{"lockorder", "opposite order"}, // forward's call site, via lockB
+		[2]string{"lockorder", "opposite order"}, // inverse's direct acquisition
+		[2]string{"lockorder", "self-deadlock"},  // again
+	)
+}
+
+func TestMutexSpanBlockingOps(t *testing.T) {
+	prog := loadModule(t, map[string]string{"p/p.go": `package p
+
+import (
+	"sync"
+	"time"
+)
+
+func waits(c chan int) int {
+	var mu sync.Mutex
+	mu.Lock()
+	v := <-c
+	mu.Unlock()
+	return v
+}
+
+func sleeps(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+
+func clean(mu *sync.Mutex, c chan int) {
+	mu.Lock()
+	mu.Unlock()
+	<-c // after release: fine
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{MutexSpanAnalyzer()})
+	wantFindings(t, ds,
+		[2]string{"mutexspan", "channel receive"},
+		[2]string{"mutexspan", "time.Sleep"},
+	)
+}
+
+func TestLeakCheckResolvesNamedWorkers(t *testing.T) {
+	prog := loadModule(t, map[string]string{"internal/cluster/c.go": `package cluster
+
+func worker(c chan int, out *int) {
+	for v := range c {
+		*out += v
+	}
+}
+
+func Start(c chan int, out *int) {
+	go worker(c, out) // named same-package worker with a range signal: clean
+}
+
+func Leak() {
+	go func() {}()
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{LeakCheckAnalyzer(DefaultConcurrencyPackages())})
+	wantFindings(t, ds,
+		[2]string{"leakcheck", "no termination signal"},
+	)
+}
+
+func TestLeakCheckScope(t *testing.T) {
+	// The same leak outside the concurrency scope is not reported.
+	prog := loadModule(t, map[string]string{"other/o.go": `package other
+
+func Leak() {
+	go func() {}()
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{LeakCheckAnalyzer(DefaultConcurrencyPackages())})
+	if len(ds) != 0 {
+		t.Errorf("leakcheck fired outside its scope: %v", ds)
+	}
+}
+
+func TestAtomicGuardMixedAccess(t *testing.T) {
+	prog := loadModule(t, map[string]string{"p/p.go": `package p
+
+import "sync/atomic"
+
+var gen uint64
+
+func bump() {
+	atomic.AddUint64(&gen, 1)
+}
+
+func read() uint64 {
+	return gen
+}
+`})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{AtomicGuardAnalyzer(nil)})
+	wantFindings(t, ds,
+		[2]string{"atomicguard", "plain access races"},
+	)
+}
+
+func TestFileIgnoreDoesNotLeakAcrossFiles(t *testing.T) {
+	prog := loadModule(t, map[string]string{
+		"p/a.go": `package p
+
+//lint:file-ignore errcheck this file opts out with a reason
+
+import "os"
+
+func A() {
+	os.Remove("a")
+}
+`,
+		"p/b.go": `package p
+
+import "os"
+
+func B() {
+	os.Remove("b")
+}
+`,
+	})
+	ds := prog.RunCode(prog.Pkgs, []*CodeAnalyzer{ErrCheckAnalyzer()})
+	wantFindings(t, ds,
+		[2]string{"errcheck", "os.Remove"},
+	)
+	if !strings.HasSuffix(ds[0].Pos.Filename, "b.go") {
+		t.Errorf("surviving finding should be in b.go, got %s", ds[0].Pos.Filename)
+	}
+}
+
+func TestLoaderSkipsFalseBuildTags(t *testing.T) {
+	prog := loadModule(t, map[string]string{
+		"tagged/a.go": `package tagged
+
+func Mode() string { return modeName() }
+`,
+		"tagged/skip.go": `//go:build neverbuild
+
+package tagged
+
+func modeName() string { return "excluded" }
+`,
+		"tagged/keep.go": `//go:build gc
+
+package tagged
+
+func modeName() string { return "gc" }
+`,
+	})
+	pkg := prog.Package("tagged")
+	if pkg == nil {
+		t.Fatal("tagged package not loaded")
+	}
+	// Loading succeeded at all means skip.go was excluded: its modeName
+	// would otherwise clash with keep.go's during type checking.
+	if len(pkg.Files) != 2 {
+		t.Errorf("loaded %d files, want 2 (a.go and keep.go)", len(pkg.Files))
+	}
+}
+
+func TestBuildTagExcluded(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n", false},
+		{"//go:build neverbuild\n\npackage p\n", true},
+		{"//go:build gc\n\npackage p\n", false},
+		{"//go:build !neverbuild\n\npackage p\n", false},
+		{"//go:build go1.18\n\npackage p\n", false},
+		// A constraint-looking comment after the package clause is not a
+		// constraint.
+		{"package p\n\n//go:build neverbuild\n", false},
+	}
+	for _, c := range cases {
+		if got := buildTagExcluded([]byte(c.src)); got != c.want {
+			t.Errorf("buildTagExcluded(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}

@@ -21,7 +21,10 @@ import (
 // only while the package itself stays clock- and randomness-free. The
 // acmatch automaton joins because prefiltered extraction is bit-identical
 // to plain extraction only while its construction and scan order stay
-// deterministic.
+// deterministic. The gateway completes the serving path: its breaker,
+// canary and reload decisions replay deterministically in the chaos
+// suites only while every clock it consults is an injected one, so plain
+// wall-clock reads there need a reasoned exemption, not a free pass.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
@@ -32,6 +35,7 @@ var DefaultKernelPackages = []string{
 	"internal/faultify",
 	"internal/resilience",
 	"internal/lifecycle",
+	"internal/gateway",
 }
 
 func isKernelPackage(pkg *Package, kernel []string) bool {

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheckAnalyzer proves every goroutine spawned in the concurrency
+// packages has a termination signal (check "leakcheck"). A goroutine with
+// no WaitGroup.Done, no channel operation and no select can never be
+// joined or told to stop: under the retrain lifecycle that is a leak per
+// reload, and leaked workers holding pooled buffers break the
+// allocation-free serving loop's accounting. Two rules per spawn site:
+//
+//   - the goroutine body must contain at least one signal — a
+//     WaitGroup.Done call, a channel send or receive, a select, or a
+//     range over a channel;
+//   - every unconditional `for {}` loop in the body must contain a
+//     return or break on some path, or the goroutine provably never
+//     exits even when signalled.
+//
+// Bodies are resolved for `go func(){...}()` literals and for calls to
+// functions and methods declared in the same package; a spawn whose body
+// cannot be seen (external function, function value) is reported too —
+// the analyzer cannot prove it terminates, and the fix is a one-line
+// wrapper or an ignore directive naming the external contract.
+func LeakCheckAnalyzer(scope []string) *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "leakcheck",
+		Doc:  "every spawned goroutine needs a provable termination signal",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			if !isKernelPackage(pkg, scope) {
+				return nil
+			}
+			var out []Diagnostic
+			inspectFiles(pkg, func(f *ast.File, n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := goroutineBody(pkg, gs)
+				if body == nil {
+					out = append(out, prog.diag("leakcheck", gs.Pos(),
+						"goroutine body is not visible to analysis (external function or function value): termination cannot be proven"))
+					return true
+				}
+				if !hasTerminationSignal(pkg, body) {
+					out = append(out, prog.diag("leakcheck", gs.Pos(),
+						"goroutine has no termination signal: no WaitGroup.Done, channel operation or select in its body"))
+				}
+				out = append(out, checkInfiniteLoops(prog, body)...)
+				return true
+			})
+			SortDiagnostics(out)
+			return dedupeDiagnostics(out)
+		},
+	}
+}
+
+// goroutineBody resolves the body a go statement runs: the literal's body
+// for `go func(){...}()`, the declaration's body for calls to same-package
+// functions and methods, nil otherwise.
+func goroutineBody(pkg *Package, gs *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn, _ := pkg.Info.Uses[selIdent(gs.Call.Fun)].(*types.Func)
+	if fn == nil || fn.Pkg() != pkg.Types {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && pkg.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasTerminationSignal scans the whole goroutine body (including nested
+// literals — a signal forwarded through a helper closure still counts)
+// for any construct that can join or stop the goroutine.
+func hasTerminationSignal(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, name, typ, ok := methodCall(pkg, st); ok && name == "Done" && isNamedType(typ, "sync", "WaitGroup") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkInfiniteLoops flags `for {}` loops in the goroutine body with no
+// reachable return or break. Nested function literals are excluded on
+// both sides: their loops run on their own schedule, and a return inside
+// one does not exit this loop.
+func checkInfiniteLoops(prog *Program, body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	walkShallow(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		exits := false
+		walkShallow(loop.Body, func(m ast.Node) bool {
+			switch br := m.(type) {
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				if br.Tok == token.BREAK || br.Tok == token.GOTO {
+					exits = true
+				}
+			}
+			return !exits
+		})
+		if !exits {
+			out = append(out, prog.diag("leakcheck", loop.Pos(),
+				"infinite loop in goroutine has no return or break: the goroutine can never exit"))
+		}
+		return true
+	})
+	return out
+}

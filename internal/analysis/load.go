@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -153,6 +155,9 @@ func (prog *Program) parseDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if buildTagExcluded(src) {
+			continue // the go tool would not build this file here either
+		}
 		f, err := parser.ParseFile(prog.Fset, relFile, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
@@ -168,6 +173,44 @@ func (prog *Program) parseDir(dir string) (*Package, error) {
 		pkg.Path = prog.Module + "/" + pkg.Dir
 	}
 	return pkg, nil
+}
+
+// buildTagExcluded reports whether a //go:build line before the package
+// clause evaluates false for the analyzing platform. Files the go tool
+// would not compile here must not reach the type checker: they may
+// declare symbols that clash with their platform-specific siblings.
+func buildTagExcluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return false // malformed constraint: let the parser report it
+			}
+			return !expr.Eval(buildTagSatisfied)
+		}
+		if strings.HasPrefix(trimmed, "package ") {
+			return false // constraints are only valid before the package clause
+		}
+	}
+	return false
+}
+
+// buildTagSatisfied mirrors the go tool's default tag set: target OS and
+// architecture, the gc compiler, the "unix" alias, and every go1.N
+// language version up to the toolchain's own.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos", "aix":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // check type-checks a package, resolving module-internal imports from the

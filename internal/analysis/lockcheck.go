@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the two mutex-discipline analyzers:
+//
+//   - lockorder: every pair of mutexes must be acquired in one global
+//     order. An A-then-B path in one function and a B-then-A path in
+//     another is a deadlock waiting for the right interleaving; the check
+//     builds the acquired-while-held graph across the package (with
+//     one level of same-package call propagation, enough to see a
+//     helper that locks the breaker while the caller holds reloadMu)
+//     and reports every inverted pair and every re-acquisition of a
+//     held mutex.
+//
+//   - mutexspan: a held mutex must span only fast, local work. Blocking
+//     inside the critical section — detector Inspect calls, upstream
+//     HTTP round trips, io.ReadAll/io.Copy, dials, sleeps, channel
+//     operations — stalls every request behind the lock, which on the
+//     serving path turns one slow upstream into a full outage.
+//
+// The analysis is intra-procedural and branch-insensitive: events are
+// simulated in source order per function body, deferred Unlocks keep the
+// lock held to the end of the scope, and function literals are separate
+// scopes (their bodies run on their own schedule).
+
+type lockEventKind int
+
+const (
+	lockAcquire lockEventKind = iota
+	lockRelease
+	lockCall   // same-package call; propagates the callee's direct locks
+	lockBanned // a blocking operation (mutexspan)
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	kind lockEventKind
+	obj  types.Object // the mutex, for acquire/release
+	fn   *types.Func  // the callee, for lockCall
+	what string       // description of the blocking op, for lockBanned
+}
+
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// mutexObject resolves the receiver expression of a Lock/Unlock call to
+// the object identifying the mutex: the package-level var for mu.Lock(),
+// the struct field for s.mu.Lock().
+func mutexObject(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return useObject(pkg, x)
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[x.Sel]
+	case *ast.StarExpr:
+		return mutexObject(pkg, x.X)
+	}
+	return nil
+}
+
+// bannedCall describes a call that must not happen under a lock, or ""
+// when the call is fine.
+func bannedCall(pkg *Package, call *ast.CallExpr) string {
+	if _, name, typ, ok := methodCall(pkg, call); ok {
+		switch {
+		case name == "Inspect":
+			return "Inspect call"
+		case name == "RoundTrip":
+			return "RoundTrip call"
+		case name == "Do" && isNamedType(typ, "net/http", "Client"):
+			return "upstream HTTP request"
+		}
+		return ""
+	}
+	fn, _ := pkg.Info.Uses[selIdent(call.Fun)].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch full := fn.FullName(); {
+	case full == "io.ReadAll" || full == "io.Copy":
+		return full + " call"
+	case full == "time.Sleep":
+		return "time.Sleep"
+	case strings.HasPrefix(full, "net.Dial"):
+		return full + " call"
+	}
+	return ""
+}
+
+// collectLockEvents walks one function body in source order and records
+// acquisitions, releases, same-package calls and blocking operations.
+// Deferred Unlocks are dropped on purpose — the mutex stays held to the
+// end of the scope — and deferred function values are opaque.
+func collectLockEvents(pkg *Package, fs funcScope) []lockEvent {
+	var evs []lockEvent
+	deferredCall := make(map[ast.Node]bool)
+	walkShallow(fs.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			deferredCall[st.Call] = true
+		case *ast.GoStmt:
+			deferredCall[st.Call] = true // runs concurrently, not under this scope's locks
+		case *ast.SendStmt:
+			evs = append(evs, lockEvent{pos: st.Pos(), kind: lockBanned, what: "channel send"})
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW {
+				evs = append(evs, lockEvent{pos: st.Pos(), kind: lockBanned, what: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			evs = append(evs, lockEvent{pos: st.Pos(), kind: lockBanned, what: "select"})
+		case *ast.CallExpr:
+			if recv, name, typ, ok := methodCall(pkg, st); ok && isMutexType(typ) {
+				obj := mutexObject(pkg, recv)
+				if obj == nil {
+					return true
+				}
+				switch name {
+				case "Lock", "RLock":
+					if !deferredCall[st] {
+						evs = append(evs, lockEvent{pos: st.Pos(), kind: lockAcquire, obj: obj})
+					}
+				case "Unlock", "RUnlock":
+					if !deferredCall[st] {
+						evs = append(evs, lockEvent{pos: st.Pos(), kind: lockRelease, obj: obj})
+					}
+				}
+				return true
+			}
+			if deferredCall[st] {
+				return true
+			}
+			if what := bannedCall(pkg, st); what != "" {
+				evs = append(evs, lockEvent{pos: st.Pos(), kind: lockBanned, what: what})
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[selIdent(st.Fun)].(*types.Func); ok && fn.Pkg() == pkg.Types {
+				evs = append(evs, lockEvent{pos: st.Pos(), kind: lockCall, fn: fn})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// directLocks maps each function declared in the package to the mutexes
+// it locks directly (non-deferred Lock/RLock in its own body), the one
+// level of call propagation the lockorder graph uses.
+func directLocks(pkg *Package) map[*types.Func][]types.Object {
+	out := make(map[*types.Func][]types.Object)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			seen := make(map[types.Object]bool)
+			walkShallow(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, name, typ, ok := methodCall(pkg, call)
+				if !ok || !isMutexType(typ) || (name != "Lock" && name != "RLock") {
+					return true
+				}
+				if obj := mutexObject(pkg, recv); obj != nil && !seen[obj] {
+					seen[obj] = true
+					out[fn] = append(out[fn], obj)
+				}
+				return true
+			})
+			sort.Slice(out[fn], func(i, j int) bool { return out[fn][i].Name() < out[fn][j].Name() })
+		}
+	}
+	return out
+}
+
+// heldLock is one entry of the simulated held-set.
+type heldLock struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// lockEdge is one witnessed A-then-B acquisition.
+type lockEdge struct {
+	pos token.Pos // where B was acquired (or the call that acquires it)
+	fn  string    // enclosing function
+	via string    // callee name when the edge comes from call propagation
+}
+
+type edgeKey struct{ a, b types.Object }
+
+// LockOrderAnalyzer reports inconsistent mutex acquisition orders and
+// re-acquisitions of held mutexes (check "lockorder").
+func LockOrderAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "lockorder",
+		Doc:  "mutex pairs must be acquired in one global order; a held mutex must not be re-acquired",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			callee := directLocks(pkg)
+			edges := make(map[edgeKey]lockEdge)
+			addEdge := func(a, b types.Object, e lockEdge) {
+				k := edgeKey{a, b}
+				if old, ok := edges[k]; !ok || e.pos < old.pos {
+					edges[k] = e
+				}
+			}
+
+			for _, fs := range funcScopes(pkg) {
+				var held []heldLock
+				for _, ev := range collectLockEvents(pkg, fs) {
+					switch ev.kind {
+					case lockAcquire:
+						for _, h := range held {
+							if h.obj == ev.obj {
+								out = append(out, prog.diag("lockorder", ev.pos,
+									"mutex %q is locked in %s while already held (locked at line %d): self-deadlock",
+									ev.obj.Name(), fs.name, prog.Fset.Position(h.pos).Line))
+							} else {
+								addEdge(h.obj, ev.obj, lockEdge{pos: ev.pos, fn: fs.name})
+							}
+						}
+						held = append(held, heldLock{obj: ev.obj, pos: ev.pos})
+					case lockRelease:
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i].obj == ev.obj {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+					case lockCall:
+						for _, locked := range callee[ev.fn] {
+							for _, h := range held {
+								if h.obj == locked {
+									out = append(out, prog.diag("lockorder", ev.pos,
+										"%s calls %s while mutex %q is held, and %s locks %q: self-deadlock through the call",
+										fs.name, ev.fn.Name(), h.obj.Name(), ev.fn.Name(), locked.Name()))
+								} else {
+									addEdge(h.obj, locked, lockEdge{pos: ev.pos, fn: fs.name, via: ev.fn.Name()})
+								}
+							}
+						}
+					}
+				}
+			}
+
+			// Every A->B with a matching B->A is an inversion; report both
+			// sides so each function's fix site is visible.
+			keys := make([]edgeKey, 0, len(edges))
+			for k := range edges {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].a.Name() != keys[j].a.Name() {
+					return keys[i].a.Name() < keys[j].a.Name()
+				}
+				return edges[keys[i]].pos < edges[keys[j]].pos
+			})
+			for _, k := range keys {
+				rev, ok := edges[edgeKey{k.b, k.a}]
+				if !ok {
+					continue
+				}
+				e := edges[k]
+				site := e.fn
+				if e.via != "" {
+					site += " (via " + e.via + ")"
+				}
+				out = append(out, prog.diag("lockorder", e.pos,
+					"mutex %q is acquired while %q is held in %s, but %s acquires them in the opposite order (line %d): lock-order inversion can deadlock",
+					k.b.Name(), k.a.Name(), site, rev.fn, prog.Fset.Position(rev.pos).Line))
+			}
+			SortDiagnostics(out)
+			return dedupeDiagnostics(out)
+		},
+	}
+}
+
+// MutexSpanAnalyzer reports blocking operations performed while a mutex
+// is held (check "mutexspan").
+func MutexSpanAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "mutexspan",
+		Doc:  "no lock may be held across Inspect, upstream I/O, sleeps or channel operations",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, fs := range funcScopes(pkg) {
+				var held []heldLock
+				for _, ev := range collectLockEvents(pkg, fs) {
+					switch ev.kind {
+					case lockAcquire:
+						held = append(held, heldLock{obj: ev.obj, pos: ev.pos})
+					case lockRelease:
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i].obj == ev.obj {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+					case lockBanned:
+						if len(held) > 0 {
+							h := held[len(held)-1]
+							out = append(out, prog.diag("mutexspan", ev.pos,
+								"%s while mutex %q is held in %s (locked at line %d): blocking under the lock stalls every request behind it",
+								ev.what, h.obj.Name(), fs.name, prog.Fset.Position(h.pos).Line))
+						}
+					}
+				}
+			}
+			SortDiagnostics(out)
+			return dedupeDiagnostics(out)
+		},
+	}
+}

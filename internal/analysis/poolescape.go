@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolEscapeAnalyzer enforces the sync.Pool recycling discipline the
+// allocation-free serving loop depends on (check "poolescape"), by
+// intra-procedural dataflow over Get/Put pairs inside each function body:
+//
+//   - a pooled value (or any alias of it — a sub-slice, a field path, a
+//     rebound name) must not be read, returned, stored or sent after the
+//     value went back with Put: the pool may hand the buffer to another
+//     goroutine at any moment, so a use after Put is a latent data race
+//     that the race detector only catches when the reuse actually
+//     interleaves;
+//   - a function that checks out a value and puts it back non-deferred
+//     must not return before the Put (the classic early-error leak: every
+//     such return quietly drains the pool under error load);
+//   - a function holding a deferred Put must not return the pooled value
+//     or an alias of it — the caller would receive a buffer that is
+//     already back in the pool.
+//
+// Functions that Get without ever Putting transfer ownership on purpose
+// (the session/checkout pattern: feature.AcquireScratch, core.NewSession)
+// and are exempt by construction — every rule above requires a Put in the
+// same function to fire.
+func PoolEscapeAnalyzer() *CodeAnalyzer {
+	return &CodeAnalyzer{
+		Name: "poolescape",
+		Doc:  "pooled values must not be used, returned or retained after Put, and must not leak on early returns",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, fs := range funcScopes(pkg) {
+				out = append(out, checkPoolScope(prog, pkg, fs)...)
+			}
+			SortDiagnostics(out)
+			return dedupeDiagnostics(out)
+		},
+	}
+}
+
+// isPoolGet reports whether e is a sync.Pool Get call, looking through
+// parens and type assertions (`p.Get().(*T)` is the idiomatic form).
+func isPoolGet(pkg *Package, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			_, name, typ, ok := methodCall(pkg, x)
+			return ok && name == "Get" && isNamedType(typ, "sync", "Pool")
+		default:
+			return false
+		}
+	}
+}
+
+// poolPut matches p.Put(v) with a plain-identifier argument and returns
+// the argument's object. Puts of compound expressions (s.field) are not
+// tracked — the analysis keys on local names.
+func poolPut(pkg *Package, call *ast.CallExpr) types.Object {
+	_, name, typ, ok := methodCall(pkg, call)
+	if !ok || name != "Put" || !isNamedType(typ, "sync", "Pool") || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return useObject(pkg, id)
+}
+
+// poolFacts is everything checkPoolScope learns about one pooled root.
+type poolFacts struct {
+	getPos token.Pos
+	// puts are non-deferred Put positions (end of the call); deferred
+	// records whether a `defer p.Put(v)` exists.
+	puts     []token.Pos
+	deferred bool
+	// rebinds are positions where the root name is reassigned wholesale,
+	// which ends the pooled value's association with the name.
+	rebinds []token.Pos
+}
+
+// checkPoolScope runs the three poolescape rules over one function body.
+func checkPoolScope(prog *Program, pkg *Package, fs funcScope) []Diagnostic {
+	// Pass 1: pooled roots — locals assigned from a Pool.Get.
+	pooled := make(map[types.Object]*poolFacts)
+	walkShallow(fs.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 || len(as.Rhs) == 0 {
+			return true
+		}
+		if !isPoolGet(pkg, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := useObject(pkg, id); obj != nil {
+				if _, seen := pooled[obj]; !seen {
+					pooled[obj] = &poolFacts{getPos: as.Pos()}
+				}
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return nil
+	}
+
+	// Pass 2: aliases — locals assigned from an expression rooted at a
+	// pooled name (sub-slices, field reads, rebindings under a new name).
+	// Iterated to a fixpoint so chains of aliases resolve.
+	alias := make(map[types.Object]types.Object) // alias -> pooled root
+	rootOf := func(obj types.Object) types.Object {
+		if obj == nil {
+			return nil
+		}
+		if _, ok := pooled[obj]; ok {
+			return obj
+		}
+		return alias[obj]
+	}
+	for changed := true; changed; {
+		changed = false
+		walkShallow(fs.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				rootID := exprRootIdent(rhs)
+				if rootID == nil {
+					continue
+				}
+				root := rootOf(useObject(pkg, rootID))
+				if root == nil {
+					continue
+				}
+				lhs, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || lhs.Name == "_" {
+					continue
+				}
+				obj := useObject(pkg, lhs)
+				if obj == nil || obj == root {
+					continue
+				}
+				if _, isPooled := pooled[obj]; isPooled {
+					continue
+				}
+				if alias[obj] != root {
+					alias[obj] = root
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: events — puts, rebinds, reads, returns, all in source order.
+	type read struct {
+		pos  token.Pos
+		obj  types.Object // the identifier actually read (root or alias)
+		root types.Object
+	}
+	var reads []read
+	var returns []*ast.ReturnStmt
+	skip := make(map[ast.Node]bool) // identifier nodes that are not value reads
+	walkShallow(fs.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if obj := poolPut(pkg, st.Call); obj != nil {
+				if f, ok := pooled[rootObj(pooled, alias, obj)]; ok {
+					f.deferred = true
+				}
+				skip[st.Call] = true // the Put argument is the release, not a read
+			}
+		case *ast.CallExpr:
+			if skip[st] {
+				return false
+			}
+			if obj := poolPut(pkg, st); obj != nil {
+				if f, ok := pooled[rootObj(pooled, alias, obj)]; ok {
+					f.puts = append(f.puts, st.End())
+				}
+				if id, ok := ast.Unparen(st.Args[0]).(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					skip[id] = true // wholesale rebind, not a read
+					if obj := useObject(pkg, id); obj != nil {
+						if f, ok := pooled[obj]; ok && st.Pos() > f.getPos {
+							f.rebinds = append(f.rebinds, st.Pos())
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, st)
+		case *ast.Ident:
+			if skip[st] {
+				return true
+			}
+			obj := useObject(pkg, st)
+			root := rootObj(pooled, alias, obj)
+			if root == nil {
+				return true
+			}
+			reads = append(reads, read{pos: st.Pos(), obj: obj, root: root})
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	roots := make([]types.Object, 0, len(pooled))
+	for obj := range pooled {
+		roots = append(roots, obj)
+	}
+	sort.Slice(roots, func(i, j int) bool { return pooled[roots[i]].getPos < pooled[roots[j]].getPos })
+
+	for _, root := range roots {
+		f := pooled[root]
+		if len(f.puts) == 0 && !f.deferred {
+			continue // ownership transfer: the checkout pattern
+		}
+		sort.Slice(f.puts, func(i, j int) bool { return f.puts[i] < f.puts[j] })
+
+		// Rule 1: no read of the value or an alias after the last Put
+		// (unless the root name was rebound to a fresh value in between).
+		if len(f.puts) > 0 {
+			lastPut := f.puts[len(f.puts)-1]
+			for _, r := range reads {
+				if r.pos <= lastPut || rebound(f.rebinds, lastPut, r.pos) {
+					continue
+				}
+				what := "pooled value"
+				if r.obj != root {
+					what = "alias of pooled value"
+				}
+				out = append(out, prog.diag("poolescape", r.pos,
+					"%s %q used after Put in %s: the pool may already have handed the buffer to another goroutine", what, root.Name(), fs.name))
+				break // one finding per root keeps loop bodies readable
+			}
+		}
+
+		// Rule 2: with only non-deferred Puts, a return before the first
+		// Put leaks the checkout on that path.
+		if !f.deferred && len(f.puts) > 0 {
+			firstPut := f.puts[0]
+			for _, ret := range returns {
+				if ret.Pos() > f.getPos && ret.Pos() < firstPut {
+					out = append(out, prog.diag("poolescape", ret.Pos(),
+						"return leaks pooled value %q checked out at line %d in %s: defer the Put or release before returning",
+						root.Name(), prog.Fset.Position(f.getPos).Line, fs.name))
+				}
+			}
+		}
+
+		// Rule 3: with a deferred Put, returning the value or an alias
+		// hands the caller a buffer that is released on return.
+		if f.deferred {
+			for _, ret := range returns {
+				for _, res := range ret.Results {
+					id := exprRootIdent(res)
+					if id == nil {
+						continue
+					}
+					if rootObj(pooled, alias, useObject(pkg, id)) == root {
+						out = append(out, prog.diag("poolescape", ret.Pos(),
+							"%s returns pooled value %q (or an alias) that the deferred Put releases on return", fs.name, root.Name()))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rootObj maps an object to its pooled root: itself when pooled, the
+// alias target when aliased, nil otherwise.
+func rootObj(pooled map[types.Object]*poolFacts, alias map[types.Object]types.Object, obj types.Object) types.Object {
+	if obj == nil {
+		return nil
+	}
+	if _, ok := pooled[obj]; ok {
+		return obj
+	}
+	return alias[obj]
+}
+
+// rebound reports whether any rebind position falls in (after, before).
+func rebound(rebinds []token.Pos, after, before token.Pos) bool {
+	for _, p := range rebinds {
+		if p > after && p < before {
+			return true
+		}
+	}
+	return false
+}

@@ -148,6 +148,7 @@ func (o *Options) fill() {
 		o.Client = &http.Client{}
 	}
 	if o.Now == nil {
+		//lint:ignore walltime the clock is injected: every decision reads o.Now, the chaos suites replace it with a deterministic counter, and this default only binds the real clock for production deployments
 		o.Now = time.Now
 	}
 }
@@ -252,6 +253,7 @@ func New(upstream string, det ids.Detector, opts Options) (*Gateway, error) {
 	if !opts.DisableBreaker {
 		g.breaker = resilience.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
+	//lint:ignore atomicguard construction-time install: there is no serving detector yet to protect, and the chaos suites rely on New accepting always-panicking detectors to prove containment; every subsequent swap probes via SwapTagged/StartCanary
 	g.state.Store(&detectorState{
 		det: det, gen: g.gen.Add(1),
 		version: opts.ModelVersion, hash: opts.ModelSHA256,
