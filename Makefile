@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint lint-baseline build test race race-parallel bench bench-fastpath fastpath-smoke smoke chaos gateway-chaos lifecycle-chaos fuzz
+.PHONY: check vet fmt lint lint-baseline build test race race-parallel bench bench-fastpath bench-abuse fastpath-smoke smoke chaos gateway-chaos lifecycle-chaos abuse-chaos fuzz
 
-check: vet fmt build lint test smoke fastpath-smoke chaos gateway-chaos lifecycle-chaos fuzz
+check: vet fmt build lint test smoke fastpath-smoke chaos gateway-chaos lifecycle-chaos abuse-chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -51,7 +51,7 @@ race: race-parallel
 # excluded from this pass by construction.
 race-parallel:
 	$(GO) test -race -timeout 20m -run 'Parallel|Prefilter|Session' ./internal/...
-	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/ ./internal/resilience/
+	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/ ./internal/resilience/ ./internal/admission/
 	$(GO) test -race -timeout 20m -count=1 -run 'Chaos|Reload|Lifecycle|Canary' ./internal/gateway/ ./internal/lifecycle/
 
 # Sparse-vs-dense, serial-vs-parallel train, and pipeline micro benchmarks
@@ -99,6 +99,23 @@ gateway-chaos:
 # injected and traffic replays in-process, so no wall-clock waits.
 lifecycle-chaos:
 	$(GO) test -count=1 -run 'Lifecycle|Store|Gate|Runner|Rollback|Replay|CrawlSource' ./internal/lifecycle/
+
+# Abuse-control chaos gate: the deterministic zipfian-storm suites at the
+# controller and gateway layers (hot caller penalty-boxed and recovered
+# while benign zipfian traffic rides through with zero limiter sheds,
+# bit-identical transcripts across same-seed runs), the million-entry
+# denylist build/lookup/hot-reload paths, and the admission fail-open
+# behaviors. Every clock is injected, so the suite has no wall-clock
+# sleeps and runs in seconds.
+abuse-chaos:
+	$(GO) test -count=1 -run 'AbuseChaos|Controller|XFF|CallerTable|Denylist|AdmissionPanic' ./internal/admission/ ./internal/gateway/
+
+# The abuse-control benchmark: keyed admission checks under zipfian
+# churn, million-entry denylist lookups, gateway overhead with admission
+# on vs. off, and the deterministic storm outcome tally, written to the
+# committed BENCH_abuse.json (see EXPERIMENTS.md "Abuse control").
+bench-abuse:
+	$(GO) run ./cmd/evalharness -experiment abuse -out BENCH_abuse.json
 
 # Fuzz smoke: a few seconds per httpx parsing target (plus their checked-in
 # crash corpora under testdata/fuzz). `go test -fuzz` accepts one target

@@ -9,9 +9,12 @@
 // Experiments: table1 table2 table3 table4 table5 table6 figure2 figure3
 // figure4 incremental perdisci perf ablations all. Two extra experiments
 // (not part of "all") write machine-readable JSON reports to -out:
-// "lifecycle" benchmarks the crawl→retrain→validate→canary loop, and
+// "lifecycle" benchmarks the crawl→retrain→validate→canary loop,
 // "fastpath" benchmarks the serving fast path with the literal prefilter
-// on vs. off (BENCH_fastpath.json).
+// on vs. off (BENCH_fastpath.json), and "abuse" benchmarks per-client
+// admission control — zipfian keyed checks, million-entry denylist
+// lookups, gateway overhead — plus the deterministic storm outcome
+// (BENCH_abuse.json).
 package main
 
 import (
@@ -37,7 +40,7 @@ func main() {
 func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("evalharness", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, fastpath, all)")
+		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, fastpath, abuse, all)")
 		out        = fs.String("out", "", "write figure artifacts (SVG/CSV) to this file")
 		paperScale = fs.Bool("paper-scale", false, "use the paper's full corpus sizes (slow)")
 
@@ -79,7 +82,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	}
 
 	sel := strings.ToLower(*exp)
-	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle" && sel != "fastpath"
+	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle" && sel != "fastpath" && sel != "abuse"
 
 	var env *experiments.Env
 	if needsEnv {
@@ -272,6 +275,31 @@ func run(args []string, w io.Writer) (retErr error) {
 				res.Prefilter.AlwaysRun, res.Prefilter.Skipped, res.Prefilter.Skipped+res.Prefilter.Evaluated)
 			fmt.Fprintf(w, "speedup: %.2fx inspect, %.2fx gateway; benign inspect %d allocs/op\n",
 				res.InspectSpeedup, res.GatewaySpeedup, res.BenignAllocsPerOp)
+			if *out != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "JSON written to %s\n", *out)
+			}
+		case "abuse":
+			res, err := experiments.AbuseBenchmark(scale.Seed)
+			if err != nil {
+				return err
+			}
+			tbl := &report.Table{Title: "Abuse-control benchmark", Headers: []string{"Case", "ns/op", "allocs/op", "B/op", "ops/s"}}
+			for _, c := range res.Cases {
+				tbl.AddRow(c.Name, report.F(c.NsPerOp, 0), fmt.Sprint(c.AllocsPerOp), fmt.Sprint(c.BytesPerOp), report.F(c.OpsPerSec, 0))
+			}
+			tbl.Render(w)
+			fmt.Fprintf(w, "denylist: %d entries built in %.0fms; gateway overhead with admission on: %.1f%%\n",
+				res.DenylistEntries, res.DenylistBuildMillis, res.GatewayOverheadPct)
+			st := res.Storm
+			fmt.Fprintf(w, "storm: hot caller %d allowed / %d limited / %d boxed (%d strikes); %d benign callers %d allowed, %d shed\n",
+				st.HotAllowed, st.HotLimited, st.HotBoxed, st.HotStrikes, st.BenignCallers, st.BenignAllowed, st.BenignShed)
 			if *out != "" {
 				blob, err := json.MarshalIndent(res, "", "  ")
 				if err != nil {

@@ -38,15 +38,44 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/netip"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"psigene/internal/admission"
 	"psigene/internal/core"
 	"psigene/internal/gateway"
 )
+
+// parseCIDRList parses a comma-separated list of CIDRs or bare addresses.
+func parseCIDRList(s string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.ContainsRune(part, '/') {
+			ip, err := netip.ParseAddr(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad address %q: %w", part, err)
+			}
+			ip = ip.Unmap()
+			out = append(out, netip.PrefixFrom(ip, ip.BitLen()))
+			continue
+		}
+		p, err := netip.ParsePrefix(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad CIDR %q: %w", part, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
@@ -81,6 +110,20 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		scoreBudget  = fs.Duration("score-budget", 10*time.Millisecond, "deadline slice reserved for scoring")
 		upTimeout    = fs.Duration("upstream-timeout", 5*time.Second, "deadline slice for the upstream leg")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		// Per-client abuse control (see internal/admission). Admission is
+		// enabled when any tier limit or a denylist is configured.
+		qps          = fs.Int("qps", 0, "per-caller requests per second; 0 disables the tier")
+		qpm          = fs.Int("qpm", 0, "per-caller requests per minute; 0 disables the tier")
+		qpd          = fs.Int("qpd", 0, "per-caller requests per day; 0 disables the tier")
+		blockSecs    = fs.Int("block-seconds", 10, "base penalty-box duration for repeat limit abusers; escalates per strike")
+		maxBlockSecs = fs.Int("max-block-seconds", 3600, "cap on the escalating penalty-box duration")
+		maxCallers   = fs.Int("max-callers", 1<<16, "bound on tracked caller limiter states (LRU-evicted beyond it)")
+		keyHeader    = fs.String("client-key-header", "", "request header naming the caller (e.g. an API key validated upstream); empty keys callers by IP")
+		keyCookie    = fs.String("client-key-cookie", "", "cookie naming the caller when the key header is absent")
+		trustedProxy = fs.String("trusted-proxies", "", "comma-separated CIDRs of proxies allowed to assert X-Forwarded-For; empty trusts no one")
+		denylistPath = fs.String("denylist", "", "file of denied IPs/CIDRs (one per line, # comments) answered with 403")
+		denyDir      = fs.String("deny-dir", "", "directory /-/denylist/reload names resolve in (default: the -denylist directory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +145,42 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
 	}
+
+	// Per-client admission control: built only when a tier or denylist is
+	// configured, so the zero-flag deployment keeps the pre-admission
+	// data path byte for byte.
+	var ctrl *admission.Controller
+	if *qps > 0 || *qpm > 0 || *qpd > 0 || *denylistPath != "" {
+		var trusted *admission.CIDRSet
+		if *trustedProxy != "" {
+			prefixes, err := parseCIDRList(*trustedProxy)
+			if err != nil {
+				return fmt.Errorf("-trusted-proxies: %w", err)
+			}
+			if trusted, err = admission.BuildCIDRSet(prefixes); err != nil {
+				return fmt.Errorf("-trusted-proxies: %w", err)
+			}
+		}
+		var denied *admission.CIDRSet
+		if *denylistPath != "" {
+			if denied, err = admission.LoadDenylistFile(*denylistPath); err != nil {
+				return fmt.Errorf("-denylist: %w", err)
+			}
+		}
+		ctrl = admission.New(admission.Config{
+			QPS: *qps, QPM: *qpm, QPD: *qpd,
+			BlockSeconds:    *blockSecs,
+			MaxBlockSeconds: *maxBlockSecs,
+			MaxCallers:      *maxCallers,
+			Identity: admission.Identity{
+				Header:         *keyHeader,
+				Cookie:         *keyCookie,
+				TrustedProxies: trusted,
+			},
+			Denylist: denied,
+		})
+	}
+
 	g, err := gateway.New(*upstream, m, gateway.Options{
 		MaxInFlight:     *maxInFlight,
 		MaxBodyBytes:    *maxBody,
@@ -110,9 +189,15 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		Policy:          pol,
 		ModelVersion:    man.Version,
 		ModelSHA256:     man.ModelSHA256,
+		Admission:       ctrl,
 	})
 	if err != nil {
 		return err
+	}
+	if ctrl != nil {
+		set, _ := ctrl.Denylist()
+		fmt.Fprintf(w, "psigened: per-client admission on (qps=%d qpm=%d qpd=%d, denylist %d entries)\n",
+			*qps, *qpm, *qpd, set.Len())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -149,9 +234,14 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		if hooks != nil && hooks.adminReady != nil {
 			hooks.adminReady <- adminLn.Addr().String()
 		}
+		dd := *denyDir
+		if dd == "" && *denylistPath != "" {
+			dd = filepath.Dir(*denylistPath)
+		}
 		adminSrv = &http.Server{Handler: g.Admin(gateway.AdminConfig{
 			Token:    *adminToken,
 			ModelDir: dir,
+			DenyDir:  dd,
 			Log:      w,
 		})}
 		go func() {

@@ -1,0 +1,367 @@
+// Package admission is per-client admission control for the serving
+// gateway: keyed rate limits, a penalty box, and a CIDR denylist, checked
+// before a request may compete for the gateway's global in-flight
+// semaphore. The global semaphore protects the process from aggregate
+// overload; this package protects the millions of legitimate callers
+// behind it from each other — one abusive client saturating the
+// semaphore starves everyone, one client exceeding its own tiers here
+// affects only itself.
+//
+// The pieces:
+//
+//   - Identity (identity.go): the caller key — a configured header or
+//     cookie value, else the client IP, with X-Forwarded-For honored
+//     only behind a trusted proxy so the key cannot be spoofed by
+//     typing a header.
+//   - Keyed tiers (lru.go + resilience.Window): per-caller fixed-window
+//     limits at second, minute and day granularity, states held in a
+//     sharded bounded LRU so unbounded distinct callers cannot exhaust
+//     memory.
+//   - Penalty box: a caller that keeps exceeding its tiers is blocked
+//     outright for escalating, jittered, deterministic durations
+//     (resilience.Penalty), and recovers cleanly after the block.
+//   - Denylist (trie.go): a binary radix trie of CIDR entries answering
+//     membership in O(address-bits), hot-reloaded atomically through the
+//     validate-probe-swap idiom.
+//
+// Every decision is a pure function of (config, request sequence,
+// injected clock): no wall-clock reads, no shared randomness — the
+// package sits in psigenelint's kernel set, and the abuse-chaos suite
+// replays bit-identical shed/block/recover sequences from a seed.
+// Degradation is explicit and graceful: limiter rejections answer 429
+// with Retry-After (a per-caller signal, distinct from the gateway's
+// global 503 shed), denylist hits answer 403, and the gateway treats a
+// panic anywhere in here as "admission unavailable, fail open to the
+// global semaphore" rather than dropping traffic.
+package admission
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"psigene/internal/resilience"
+)
+
+// Config configures a Controller. The zero value disables every tier and
+// the denylist (Check always allows).
+type Config struct {
+	// QPS, QPM and QPD are the per-caller request ceilings for the
+	// 1-second, 1-minute and 1-day fixed windows; 0 disables a tier.
+	QPS, QPM, QPD int
+	// StrikeThreshold is how many tier rejections (since the last strike
+	// or recovery) escalate the caller into the penalty box. Default 3.
+	StrikeThreshold int
+	// BlockSeconds is the base penalty-box duration; each strike doubles
+	// it (jittered, capped at MaxBlockSeconds). Default 10.
+	BlockSeconds int
+	// MaxBlockSeconds caps the escalation. Default 3600.
+	MaxBlockSeconds int
+	// MaxCallers bounds the limiter-state LRU across all shards.
+	// Default 65536.
+	MaxCallers int
+	// Shards is the lock-domain count for the caller table, rounded up to
+	// a power of two. Default 16.
+	Shards int
+	// Seed feeds the shard hash and the penalty jitter; same seed, same
+	// decisions. Default 1.
+	Seed int64
+	// Identity derives caller keys; see Identity.
+	Identity Identity
+	// Denylist is the initial denied-address set; nil means none. Swap
+	// later with SetDenylist/ReloadDenylistFile.
+	Denylist *CIDRSet
+	// Now is the clock every decision reads; injectable so the chaos
+	// suite owns time. Default time.Now.
+	Now func() time.Time
+	// KeyFunc, when non-nil, replaces Identity-based key derivation
+	// entirely (tests and exotic deployments).
+	KeyFunc func(*http.Request) Caller
+}
+
+func (c *Config) fill() {
+	if c.StrikeThreshold <= 0 {
+		c.StrikeThreshold = 3
+	}
+	if c.BlockSeconds <= 0 {
+		c.BlockSeconds = 10
+	}
+	if c.MaxBlockSeconds <= 0 {
+		c.MaxBlockSeconds = 3600
+	}
+	if c.MaxBlockSeconds < c.BlockSeconds {
+		c.MaxBlockSeconds = c.BlockSeconds
+	}
+	if c.MaxCallers <= 0 {
+		c.MaxCallers = 1 << 16
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		//lint:ignore walltime the clock is injected: every limiter decision reads cfg.Now, the abuse-chaos suite replaces it with a deterministic counter, and this default only binds the real clock for production deployments
+		c.Now = time.Now
+	}
+}
+
+// Verdict is an admission decision class.
+type Verdict uint8
+
+const (
+	// Allow admits the request to the gateway's global admission.
+	Allow Verdict = iota
+	// Denied is a denylist hit: the address is banned outright (403).
+	Denied
+	// Limited is a tier rejection: the caller exceeded qps/qpm/qpd and
+	// should retry after the window resets (429 + Retry-After).
+	Limited
+	// Boxed is a penalty-box rejection: repeated tier abuse bought the
+	// caller an escalating block (429 + Retry-After of the remainder).
+	Boxed
+)
+
+// String names the verdict for logs and counters.
+func (v Verdict) String() string {
+	switch v {
+	case Denied:
+		return "denied"
+	case Limited:
+		return "limited"
+	case Boxed:
+		return "boxed"
+	}
+	return "allow"
+}
+
+// Decision is one admission check's outcome.
+type Decision struct {
+	Verdict Verdict
+	// Key is the caller key the decision applied to.
+	Key string
+	// Tier names the exceeded tier ("qps", "qpm", "qpd") for Limited and
+	// Boxed decisions.
+	Tier string
+	// RetryAfterSeconds is the client-facing Retry-After value for
+	// Limited/Boxed decisions: at least 1, rounded up.
+	RetryAfterSeconds int
+	// Strikes is the caller's penalty-box entry count so far.
+	Strikes int
+}
+
+// tierWidths are the fixed-window widths in nanoseconds.
+const (
+	widthSecond = int64(time.Second)
+	widthMinute = int64(time.Minute)
+	widthDay    = 24 * int64(time.Hour)
+)
+
+// Controller is the admission-control engine. Create with New; Check is
+// safe for concurrent use.
+type Controller struct {
+	cfg      Config
+	callers  *callerTable
+	denylist atomic.Pointer[CIDRSet]
+	// denyGen counts successful denylist swaps, surfacing on statz so
+	// operators can verify a reload took effect.
+	denyGen atomic.Uint64
+
+	checked, allowed, denied   atomic.Int64
+	limited, boxed, recoveries atomic.Int64
+}
+
+// New builds a Controller. An all-zero Config is legal and admits
+// everything (useful as a wiring placeholder); the gateway treats a nil
+// *Controller as "admission disabled".
+func New(cfg Config) *Controller {
+	cfg.fill()
+	c := &Controller{cfg: cfg}
+	c.callers = newCallerTable(cfg.Shards, cfg.MaxCallers)
+	c.callers.seed = cfg.Seed
+	if cfg.Denylist != nil {
+		if err := c.SetDenylist(cfg.Denylist); err != nil {
+			// An initial set that cannot survive the probe is dropped; the
+			// controller still limits. Callers that need hard failure use
+			// SetDenylist directly.
+			c.denylist.Store(nil)
+		}
+	}
+	return c
+}
+
+// SetDenylist installs a new denied-address set after probing it — the
+// same validate-probe-swap idiom as the gateway's model reload, so a
+// defective trie never becomes the serving denylist. nil clears the set.
+func (c *Controller) SetDenylist(s *CIDRSet) error {
+	if s == nil {
+		c.denylist.Store(nil)
+		c.denyGen.Add(1)
+		return nil
+	}
+	if err := probeCIDRSet(s); err != nil {
+		return err
+	}
+	c.denylist.Store(s)
+	c.denyGen.Add(1)
+	return nil
+}
+
+// ReloadDenylistFile parses path and swaps the result in atomically. Any
+// malformed line rejects the whole file and the previous denylist keeps
+// serving.
+func (c *Controller) ReloadDenylistFile(path string) error {
+	s, err := LoadDenylistFile(path)
+	if err != nil {
+		return err
+	}
+	return c.SetDenylist(s)
+}
+
+// Denylist returns the serving denylist (nil when none) and its
+// generation.
+func (c *Controller) Denylist() (*CIDRSet, uint64) {
+	return c.denylist.Load(), c.denyGen.Load()
+}
+
+// Check runs the full admission decision for a request: identity, then
+// denylist, then the keyed tiers and penalty box. It never blocks beyond
+// one shard mutex held for limiter arithmetic.
+func (c *Controller) Check(r *http.Request) Decision {
+	var caller Caller
+	if c.cfg.KeyFunc != nil {
+		caller = c.cfg.KeyFunc(r)
+	} else {
+		caller = c.cfg.Identity.ClientCaller(r)
+	}
+	return c.CheckCaller(caller)
+}
+
+// CheckCaller runs the decision for an already-resolved identity.
+func (c *Controller) CheckCaller(caller Caller) Decision {
+	c.checked.Add(1)
+	if caller.IP.IsValid() && c.denylist.Load().Contains(caller.IP) {
+		c.denied.Add(1)
+		return Decision{Verdict: Denied, Key: caller.Key}
+	}
+	if c.cfg.QPS <= 0 && c.cfg.QPM <= 0 && c.cfg.QPD <= 0 {
+		c.allowed.Add(1)
+		return Decision{Verdict: Allow, Key: caller.Key}
+	}
+	now := c.cfg.Now().UnixNano()
+	d := Decision{Verdict: Allow, Key: caller.Key}
+	c.callers.withState(caller.Key, func(st *callerState) {
+		d = c.step(st, caller.Key, now)
+	})
+	switch d.Verdict {
+	case Allow:
+		c.allowed.Add(1)
+	case Limited:
+		c.limited.Add(1)
+	case Boxed:
+		c.boxed.Add(1)
+	}
+	return d
+}
+
+// step is the per-caller state machine: penalty box first, then the
+// tiers in ascending window order. Runs under the caller's shard lock.
+func (c *Controller) step(st *callerState, key string, now int64) Decision {
+	if st.blockedUntil != 0 {
+		if now < st.blockedUntil {
+			return Decision{
+				Verdict: Boxed, Key: key, Tier: "penalty",
+				RetryAfterSeconds: ceilSeconds(st.blockedUntil - now),
+				Strikes:           st.strikes,
+			}
+		}
+		// Block served: recover. Windows and the rejection tally reset so
+		// the caller starts clean; strikes persist so a relapse escalates.
+		st.sec, st.min, st.day = resilience.Window{}, resilience.Window{}, resilience.Window{}
+		st.rejections = 0
+		st.blockedUntil = 0
+		c.recoveries.Add(1)
+	}
+	tiers := [3]struct {
+		name   string
+		limit  int
+		width  int64
+		window *resilience.Window
+	}{
+		{"qps", c.cfg.QPS, widthSecond, &st.sec},
+		{"qpm", c.cfg.QPM, widthMinute, &st.min},
+		{"qpd", c.cfg.QPD, widthDay, &st.day},
+	}
+	for _, tier := range tiers {
+		if tier.window.Allow(now, int64(tier.limit), tier.width) {
+			continue
+		}
+		st.rejections++
+		if st.rejections >= c.cfg.StrikeThreshold {
+			st.strikes++
+			st.rejections = 0
+			block := resilience.Penalty(
+				resilience.HashKey(c.cfg.Seed, key), st.strikes,
+				time.Duration(c.cfg.BlockSeconds)*time.Second,
+				time.Duration(c.cfg.MaxBlockSeconds)*time.Second,
+			)
+			st.blockedUntil = now + int64(block)
+			return Decision{
+				Verdict: Boxed, Key: key, Tier: tier.name,
+				RetryAfterSeconds: ceilSeconds(int64(block)),
+				Strikes:           st.strikes,
+			}
+		}
+		return Decision{
+			Verdict: Limited, Key: key, Tier: tier.name,
+			RetryAfterSeconds: ceilSeconds(resilience.WindowReset(now, tier.width)),
+			Strikes:           st.strikes,
+		}
+	}
+	return Decision{Verdict: Allow, Key: key, Strikes: st.strikes}
+}
+
+// ceilSeconds converts nanoseconds to whole seconds, rounding up with a
+// floor of 1 — Retry-After: 0 invites an immediate retry.
+func ceilSeconds(ns int64) int {
+	if ns <= 0 {
+		return 1
+	}
+	s := (ns + int64(time.Second) - 1) / int64(time.Second)
+	return int(s)
+}
+
+// Stats is the controller's observable state for /-/statz and metrics.
+type Stats struct {
+	Checked    int64 `json:"checked"`
+	Allowed    int64 `json:"allowed"`
+	Denied     int64 `json:"denied"`
+	Limited    int64 `json:"limited"`
+	Boxed      int64 `json:"boxed"`
+	Recoveries int64 `json:"recoveries"`
+	// TrackedCallers and Evictions describe the limiter-state LRU.
+	TrackedCallers int64 `json:"trackedCallers"`
+	Evictions      int64 `json:"evictions"`
+	// DenylistEntries and DenylistGeneration describe the serving trie.
+	DenylistEntries    int64  `json:"denylistEntries"`
+	DenylistGeneration uint64 `json:"denylistGeneration"`
+}
+
+// Stats assembles the counters.
+func (c *Controller) Stats() Stats {
+	tracked, evictions := c.callers.stats()
+	s := Stats{
+		Checked:            c.checked.Load(),
+		Allowed:            c.allowed.Load(),
+		Denied:             c.denied.Load(),
+		Limited:            c.limited.Load(),
+		Boxed:              c.boxed.Load(),
+		Recoveries:         c.recoveries.Load(),
+		TrackedCallers:     int64(tracked),
+		Evictions:          evictions,
+		DenylistGeneration: c.denyGen.Load(),
+	}
+	s.DenylistEntries = int64(c.denylist.Load().Len())
+	return s
+}

@@ -1,0 +1,220 @@
+package admission
+
+import (
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injected time source for deterministic tests: a plain
+// nanosecond counter the test advances by hand.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns) }
+func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	return netip.MustParseAddr(s)
+}
+
+func testCaller(key string) Caller { return Caller{Key: key} }
+func checkN(c *Controller, key string, n int) []Decision {
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = c.CheckCaller(testCaller(key))
+	}
+	return out
+}
+
+func TestControllerTierLimit(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(Config{QPS: 2, Now: clk.now})
+	ds := checkN(c, "a", 3)
+	if ds[0].Verdict != Allow || ds[1].Verdict != Allow {
+		t.Fatalf("first two under the qps=2 tier must pass: %v %v", ds[0].Verdict, ds[1].Verdict)
+	}
+	if ds[2].Verdict != Limited || ds[2].Tier != "qps" {
+		t.Fatalf("third must be limited on qps, got %v/%s", ds[2].Verdict, ds[2].Tier)
+	}
+	if ds[2].RetryAfterSeconds != 1 {
+		t.Fatalf("Retry-After %d, want 1 (window resets within the second)", ds[2].RetryAfterSeconds)
+	}
+	// The next window starts clean.
+	clk.advance(time.Second)
+	if d := c.CheckCaller(testCaller("a")); d.Verdict != Allow {
+		t.Fatalf("fresh window must allow, got %v", d.Verdict)
+	}
+	// A different caller is unaffected throughout.
+	if d := c.CheckCaller(testCaller("b")); d.Verdict != Allow {
+		t.Fatalf("independent caller limited: %v", d.Verdict)
+	}
+}
+
+func TestControllerTierOrdering(t *testing.T) {
+	// With qps generous and qpm tight, the minute tier is the one that
+	// fires, and its Retry-After reflects the minute window.
+	clk := &fakeClock{}
+	c := New(Config{QPS: 100, QPM: 3, Now: clk.now})
+	for i := 0; i < 3; i++ {
+		clk.advance(time.Second)
+		if d := c.CheckCaller(testCaller("a")); d.Verdict != Allow {
+			t.Fatalf("request %d: %v", i, d.Verdict)
+		}
+	}
+	d := c.CheckCaller(testCaller("a"))
+	if d.Verdict != Limited || d.Tier != "qpm" {
+		t.Fatalf("want qpm limit, got %v/%s", d.Verdict, d.Tier)
+	}
+	if d.RetryAfterSeconds < 1 || d.RetryAfterSeconds > 60 {
+		t.Fatalf("qpm Retry-After %d out of the minute window", d.RetryAfterSeconds)
+	}
+}
+
+func TestControllerPenaltyBoxAndRecovery(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(Config{QPS: 1, StrikeThreshold: 3, BlockSeconds: 4, Now: clk.now, Seed: 7})
+
+	// Burn the allowance, then take three rejections (the strike
+	// threshold) inside one window.
+	if d := c.CheckCaller(testCaller("hot")); d.Verdict != Allow {
+		t.Fatalf("first: %v", d.Verdict)
+	}
+	var boxed Decision
+	for i := 0; i < 3; i++ {
+		boxed = c.CheckCaller(testCaller("hot"))
+	}
+	if boxed.Verdict != Boxed || boxed.Strikes != 1 {
+		t.Fatalf("third rejection must box with strike 1, got %v strikes=%d", boxed.Verdict, boxed.Strikes)
+	}
+	// Strike 1 block is half-jittered off 4s: within [2s, 4s).
+	if boxed.RetryAfterSeconds < 2 || boxed.RetryAfterSeconds > 4 {
+		t.Fatalf("strike-1 Retry-After %d outside [2,4]", boxed.RetryAfterSeconds)
+	}
+
+	// While blocked, every check answers Boxed with a shrinking remainder.
+	clk.advance(time.Second)
+	during := c.CheckCaller(testCaller("hot"))
+	if during.Verdict != Boxed || during.Tier != "penalty" {
+		t.Fatalf("mid-block check: %v/%s", during.Verdict, during.Tier)
+	}
+	if during.RetryAfterSeconds > boxed.RetryAfterSeconds {
+		t.Fatalf("remaining block grew: %d > %d", during.RetryAfterSeconds, boxed.RetryAfterSeconds)
+	}
+
+	// After the block expires the caller recovers and is served again.
+	clk.advance(4 * time.Second)
+	if d := c.CheckCaller(testCaller("hot")); d.Verdict != Allow {
+		t.Fatalf("post-block check must recover to Allow, got %v", d.Verdict)
+	}
+	if got := c.Stats().Recoveries; got != 1 {
+		t.Fatalf("recoveries=%d, want 1", got)
+	}
+
+	// Relapse: strikes persisted, so the second box escalates (jittered
+	// off 8s: within [4s, 8s)).
+	for i := 0; i < 3; i++ {
+		boxed = c.CheckCaller(testCaller("hot"))
+	}
+	if boxed.Verdict != Boxed || boxed.Strikes != 2 {
+		t.Fatalf("relapse must box with strike 2, got %v strikes=%d", boxed.Verdict, boxed.Strikes)
+	}
+	if boxed.RetryAfterSeconds < 4 || boxed.RetryAfterSeconds > 8 {
+		t.Fatalf("strike-2 Retry-After %d outside [4,8]", boxed.RetryAfterSeconds)
+	}
+}
+
+func TestControllerDeterministicAcrossInstances(t *testing.T) {
+	// Same config, same request sequence, same clock: decision streams are
+	// identical — the property the chaos suite leans on.
+	run := func() []Decision {
+		clk := &fakeClock{}
+		c := New(Config{QPS: 1, BlockSeconds: 4, Seed: 42, Now: clk.now})
+		var out []Decision
+		for i := 0; i < 200; i++ {
+			clk.advance(100 * time.Millisecond)
+			out = append(out, c.CheckCaller(testCaller("k")))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestControllerDenylist(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(Config{QPS: 100, Denylist: mustSet(t, "203.0.113.0/24"), Now: clk.now})
+	bad := Caller{Key: "ip:203.0.113.9", IP: mustAddr(t, "203.0.113.9")}
+	good := Caller{Key: "ip:198.51.100.1", IP: mustAddr(t, "198.51.100.1")}
+	if d := c.CheckCaller(bad); d.Verdict != Denied {
+		t.Fatalf("denylisted address: %v", d.Verdict)
+	}
+	if d := c.CheckCaller(good); d.Verdict != Allow {
+		t.Fatalf("clean address: %v", d.Verdict)
+	}
+	// Clearing the denylist lifts the ban; the generation advances on
+	// every successful swap.
+	_, gen0 := c.Denylist()
+	if err := c.SetDenylist(nil); err != nil {
+		t.Fatalf("clear: %v", err)
+	}
+	if d := c.CheckCaller(bad); d.Verdict != Allow {
+		t.Fatalf("after clear: %v", d.Verdict)
+	}
+	if _, gen := c.Denylist(); gen != gen0+1 {
+		t.Fatalf("generation %d, want %d", gen, gen0+1)
+	}
+}
+
+func TestControllerZeroConfigAllowsEverything(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 10; i++ {
+		if d := c.CheckCaller(testCaller("any")); d.Verdict != Allow {
+			t.Fatalf("zero config must admit everything: %v", d.Verdict)
+		}
+	}
+	s := c.Stats()
+	if s.Checked != 10 || s.Allowed != 10 || s.TrackedCallers != 0 {
+		t.Fatalf("zero config must not track callers: %+v", s)
+	}
+}
+
+func TestControllerCheckUsesIdentity(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(Config{QPS: 1, Now: clk.now})
+	r := request("203.0.113.5:1", nil)
+	if d := c.Check(r); d.Verdict != Allow || d.Key != "ip:203.0.113.5" {
+		t.Fatalf("first by IP: %+v", d)
+	}
+	if d := c.Check(r); d.Verdict != Limited {
+		t.Fatalf("second in-window by same IP must limit: %v", d.Verdict)
+	}
+	// KeyFunc overrides identity entirely.
+	c2 := New(Config{QPS: 1, Now: clk.now, KeyFunc: func(*http.Request) Caller {
+		return Caller{Key: "fixed"}
+	}})
+	if d := c2.Check(r); d.Key != "fixed" {
+		t.Fatalf("KeyFunc ignored: %+v", d)
+	}
+}
+
+func TestControllerStats(t *testing.T) {
+	clk := &fakeClock{}
+	c := New(Config{QPS: 1, StrikeThreshold: 2, BlockSeconds: 4,
+		Denylist: mustSet(t, "203.0.113.7"), Now: clk.now})
+	c.CheckCaller(Caller{Key: "x", IP: mustAddr(t, "203.0.113.7")}) // denied
+	checkN(c, "a", 2)                                               // allow, limited
+	c.CheckCaller(testCaller("a"))                                  // limited #2 → boxed
+	s := c.Stats()
+	if s.Checked != 4 || s.Denied != 1 || s.Allowed != 1 || s.Limited != 1 || s.Boxed != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.TrackedCallers != 1 || s.DenylistEntries != 1 || s.DenylistGeneration == 0 {
+		t.Fatalf("gauges: %+v", s)
+	}
+}

@@ -1,0 +1,125 @@
+package admission
+
+import (
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+)
+
+// Caller identity is the keyed limiters' unit of accounting, so its
+// derivation is security-critical: a client that can choose its own key
+// at will gets a fresh limiter per request and the per-caller tiers
+// degrade to no limit at all. The rules:
+//
+//   - The socket peer address is the ground truth. X-Forwarded-For is
+//     honored only when the direct peer is inside the configured
+//     trusted-proxy set — any client can type an XFF header, only a proxy
+//     we operate is believed about one. The client address is found by
+//     walking XFF right to left past trusted proxies: the first hop a
+//     trusted proxy vouches for that is not itself trusted is the caller.
+//   - An explicit key header or cookie (an API key, a session id)
+//     overrides the IP-derived key when present. Configure these only
+//     when the fronting tier validates or strips them; they are
+//     client-chosen bytes and the bounded LRU is what keeps an attacker
+//     minting fresh keys from exhausting memory rather than the key
+//     scheme itself.
+
+// Identity configures caller-key derivation.
+type Identity struct {
+	// Header names a request header whose value, when present, is the
+	// caller key (e.g. an API-key header validated upstream). Empty
+	// disables header-derived keys.
+	Header string
+	// Cookie names a cookie whose value, when present and Header yielded
+	// nothing, is the caller key. Empty disables cookie-derived keys.
+	Cookie string
+	// TrustedProxies is the set of peers allowed to assert
+	// X-Forwarded-For. Nil means no peer is trusted and the socket
+	// address is always the caller address.
+	TrustedProxies *CIDRSet
+}
+
+// Caller is one resolved identity: the limiter key and the client IP the
+// denylist checks. IP may be invalid (zero) when the peer address is
+// unparseable; such requests key on the raw RemoteAddr string so they are
+// still rate-limited as a bucket rather than waved through.
+type Caller struct {
+	Key string
+	IP  netip.Addr
+}
+
+// ClientCaller resolves the caller identity for a request under the
+// identity config.
+func (id Identity) ClientCaller(r *http.Request) Caller {
+	ip, ok := peerAddr(r.RemoteAddr)
+	if ok && id.TrustedProxies.Contains(ip) {
+		if fwd, found := forwardedClient(r.Header, id.TrustedProxies); found {
+			ip = fwd
+		}
+	}
+	if id.Header != "" {
+		if v := r.Header.Get(id.Header); v != "" {
+			return Caller{Key: "h:" + v, IP: ip}
+		}
+	}
+	if id.Cookie != "" {
+		if c, err := r.Cookie(id.Cookie); err == nil && c.Value != "" {
+			return Caller{Key: "c:" + c.Value, IP: ip}
+		}
+	}
+	if ip.IsValid() {
+		return Caller{Key: "ip:" + ip.String(), IP: ip}
+	}
+	// Unparseable peer: bucket by the raw string (typically empty only in
+	// synthetic tests), never an unlimited pass.
+	return Caller{Key: "ip:?" + r.RemoteAddr}
+}
+
+// peerAddr parses the socket peer from RemoteAddr ("host:port", or a bare
+// host in synthetic requests).
+func peerAddr(remote string) (netip.Addr, bool) {
+	host := remote
+	if h, _, err := net.SplitHostPort(remote); err == nil {
+		host = h
+	}
+	ip, err := netip.ParseAddr(host)
+	if err != nil {
+		return netip.Addr{}, false
+	}
+	return ip.Unmap(), true
+}
+
+// forwardedClient walks the X-Forwarded-For chain right to left, skipping
+// hops inside the trusted set: the first untrusted hop is the client a
+// trusted proxy vouches for. If every hop is trusted, the leftmost entry
+// (the original client as the first proxy saw it) is used. A hop that
+// does not parse as an address aborts the walk — a spoofed or mangled
+// chain falls back to the socket peer rather than yielding a
+// client-chosen key.
+func forwardedClient(h http.Header, trusted *CIDRSet) (netip.Addr, bool) {
+	// Multiple XFF headers concatenate in order, like commas.
+	var hops []string
+	for _, v := range h.Values("X-Forwarded-For") {
+		for _, hop := range strings.Split(v, ",") {
+			if hop = strings.TrimSpace(hop); hop != "" {
+				hops = append(hops, hop)
+			}
+		}
+	}
+	if len(hops) == 0 {
+		return netip.Addr{}, false
+	}
+	var leftmost netip.Addr
+	for i := len(hops) - 1; i >= 0; i-- {
+		ip, ok := peerAddr(hops[i])
+		if !ok {
+			return netip.Addr{}, false
+		}
+		if !trusted.Contains(ip) {
+			return ip, true
+		}
+		leftmost = ip
+	}
+	return leftmost, true
+}

@@ -1,0 +1,134 @@
+package admission
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func request(remote string, hdr map[string]string) *http.Request {
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	r.RemoteAddr = remote
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	return r
+}
+
+// TestXFFSpoofingFromUntrustedPeer is the limiter-key spoofing
+// regression: a client that is NOT a trusted proxy types an
+// X-Forwarded-For header, and the derived key must stay the socket peer —
+// otherwise every request could mint a fresh limiter key and the
+// per-caller tiers would be decorative.
+func TestXFFSpoofingFromUntrustedPeer(t *testing.T) {
+	id := Identity{} // no trusted proxies at all
+	r := request("203.0.113.50:4444", map[string]string{
+		"X-Forwarded-For": "10.99.99.99",
+	})
+	c := id.ClientCaller(r)
+	if c.Key != "ip:203.0.113.50" {
+		t.Fatalf("untrusted peer asserting XFF got key %q, want the socket peer", c.Key)
+	}
+	if c.IP.String() != "203.0.113.50" {
+		t.Fatalf("client IP %v, want the socket peer", c.IP)
+	}
+
+	// Same request with the peer inside the trusted set: now the XFF hop
+	// is believed.
+	id.TrustedProxies = mustSet(t, "203.0.113.0/24")
+	c = id.ClientCaller(r)
+	if c.Key != "ip:10.99.99.99" {
+		t.Fatalf("trusted peer's XFF ignored: key %q", c.Key)
+	}
+}
+
+func TestXFFWalksPastTrustedProxies(t *testing.T) {
+	// Chain: client 198.51.100.9 → proxy .2 → proxy .1 (the peer). Both
+	// proxies are trusted; the walk must stop at the first untrusted hop.
+	id := Identity{TrustedProxies: mustSet(t, "203.0.113.1", "203.0.113.2")}
+	r := request("203.0.113.1:9999", map[string]string{
+		"X-Forwarded-For": "198.51.100.9, 203.0.113.2",
+	})
+	if c := id.ClientCaller(r); c.Key != "ip:198.51.100.9" {
+		t.Fatalf("key %q, want the first untrusted hop", c.Key)
+	}
+
+	// A spoofed prefix ahead of the real client changes nothing: the walk
+	// from the right still stops at the first untrusted hop.
+	r = request("203.0.113.1:9999", map[string]string{
+		"X-Forwarded-For": "6.6.6.6, 198.51.100.9, 203.0.113.2",
+	})
+	if c := id.ClientCaller(r); c.Key != "ip:198.51.100.9" {
+		t.Fatalf("key %q; spoofed left-hand entries must not shift the caller", c.Key)
+	}
+}
+
+func TestXFFAllTrustedFallsBackToLeftmost(t *testing.T) {
+	id := Identity{TrustedProxies: mustSet(t, "203.0.113.0/24")}
+	r := request("203.0.113.1:1", map[string]string{
+		"X-Forwarded-For": "203.0.113.77, 203.0.113.2",
+	})
+	if c := id.ClientCaller(r); c.Key != "ip:203.0.113.77" {
+		t.Fatalf("key %q, want the leftmost hop when every hop is trusted", c.Key)
+	}
+}
+
+func TestXFFMangledChainFallsBackToPeer(t *testing.T) {
+	id := Identity{TrustedProxies: mustSet(t, "203.0.113.1")}
+	r := request("203.0.113.1:1", map[string]string{
+		"X-Forwarded-For": "not-an-address, 203.0.113.1",
+	})
+	if c := id.ClientCaller(r); c.Key != "ip:203.0.113.1" {
+		t.Fatalf("key %q, want the socket peer when the chain is mangled", c.Key)
+	}
+}
+
+func TestXFFMultipleHeadersConcatenate(t *testing.T) {
+	id := Identity{TrustedProxies: mustSet(t, "203.0.113.1", "203.0.113.2")}
+	r := request("203.0.113.1:1", nil)
+	r.Header.Add("X-Forwarded-For", "198.51.100.9")
+	r.Header.Add("X-Forwarded-For", "203.0.113.2")
+	if c := id.ClientCaller(r); c.Key != "ip:198.51.100.9" {
+		t.Fatalf("key %q; repeated XFF headers must behave like one comma chain", c.Key)
+	}
+}
+
+func TestHeaderAndCookieKeys(t *testing.T) {
+	id := Identity{Header: "X-Api-Key", Cookie: "session"}
+	r := request("203.0.113.50:1", map[string]string{"X-Api-Key": "k-123"})
+	if c := id.ClientCaller(r); c.Key != "h:k-123" {
+		t.Fatalf("header key %q", c.Key)
+	}
+	// Header absent → cookie.
+	r = request("203.0.113.50:1", nil)
+	r.AddCookie(&http.Cookie{Name: "session", Value: "s-9"})
+	if c := id.ClientCaller(r); c.Key != "c:s-9" {
+		t.Fatalf("cookie key %q", c.Key)
+	}
+	// Neither → IP. The denylist IP rides along regardless of key source.
+	r = request("203.0.113.50:1", map[string]string{"X-Api-Key": "k-1"})
+	if c := id.ClientCaller(r); c.IP.String() != "203.0.113.50" {
+		t.Fatalf("denylist IP %v, want socket peer", c.IP)
+	}
+}
+
+func TestUnparseablePeerStillBuckets(t *testing.T) {
+	id := Identity{}
+	r := request("not-a-socket-addr", nil)
+	c := id.ClientCaller(r)
+	if c.Key == "" {
+		t.Fatal("unparseable peer must still produce a (bucketed) key")
+	}
+	if c.IP.IsValid() {
+		t.Fatal("unparseable peer must not fabricate an IP")
+	}
+}
+
+func TestIPv4MappedPeerNormalizes(t *testing.T) {
+	id := Identity{}
+	a := id.ClientCaller(request("[::ffff:203.0.113.50]:1", nil))
+	b := id.ClientCaller(request("203.0.113.50:2", nil))
+	if a.Key != b.Key {
+		t.Fatalf("mapped and plain v4 peers key differently: %q vs %q", a.Key, b.Key)
+	}
+}

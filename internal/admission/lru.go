@@ -1,0 +1,155 @@
+package admission
+
+import (
+	"sync"
+
+	"psigene/internal/resilience"
+)
+
+// Limiter states live in a sharded, bounded LRU: millions of distinct
+// callers (or an attacker minting fresh keys per request) can only ever
+// pin MaxCallers states in memory, with the least-recently-seen caller
+// evicted to make room. Sharding by the seeded key hash keeps the lock a
+// caller contends for private to 1/Nth of the key space, so the
+// admission check ahead of the gateway's semaphore never becomes the
+// gateway's own bottleneck. Each shard is a map plus an intrusive
+// doubly-linked recency list — O(1) hit, insert and eviction, two
+// pointers per caller of overhead.
+
+// callerState is everything the limiter tiers and the penalty box track
+// for one caller. It is guarded by its shard's mutex.
+type callerState struct {
+	sec, min, day resilience.Window
+	// rejections counts tier rejections since the last strike or recovery;
+	// reaching the strike threshold escalates into the penalty box.
+	rejections int
+	// strikes counts penalty-box entries; each escalates the block.
+	strikes int
+	// blockedUntil is the penalty-box release time (nanoseconds), 0 when
+	// the caller is not boxed. A caller checked after release recovers:
+	// windows and rejections reset, strikes persist for escalation.
+	blockedUntil int64
+}
+
+// lruEntry is one shard slot: key, state, and recency links.
+type lruEntry struct {
+	key        string
+	state      callerState
+	prev, next *lruEntry
+}
+
+// lruShard is one lock domain: a bounded map with recency ordering.
+type lruShard struct {
+	mu      sync.Mutex
+	entries map[string]*lruEntry
+	// head is most recently used, tail least; nil when empty.
+	head, tail *lruEntry
+	cap        int
+	evictions  int64
+}
+
+// callerTable is the sharded LRU. Shard count is a power of two fixed at
+// construction.
+type callerTable struct {
+	shards []lruShard
+	seed   int64
+	mask   uint64
+}
+
+func newCallerTable(shards, capacity int) *callerTable {
+	if shards <= 0 {
+		shards = 1
+	}
+	// Round up to a power of two so the hash maps to a shard by mask.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	t := &callerTable{shards: make([]lruShard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i] = lruShard{entries: make(map[string]*lruEntry), cap: per}
+	}
+	return t
+}
+
+// shard picks the lock domain for a key.
+func (t *callerTable) shard(key string) *lruShard {
+	h := resilience.HashKey(t.seed, key)
+	return &t.shards[h&t.mask]
+}
+
+// withState runs fn with the caller's state under the shard lock,
+// creating (and, at capacity, evicting) as needed. fn must not block —
+// it is pure limiter arithmetic — so the critical section stays a few
+// dozen nanoseconds.
+func (t *callerTable) withState(key string, fn func(*callerState)) {
+	s := t.shard(key)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		if len(s.entries) >= s.cap {
+			s.evictTail()
+		}
+		e = &lruEntry{key: key}
+		s.entries[key] = e
+		s.pushFront(e)
+	} else if s.head != e {
+		s.unlink(e)
+		s.pushFront(e)
+	}
+	fn(&e.state)
+	s.mu.Unlock()
+}
+
+// evictTail drops the least-recently-used entry. Caller holds the lock.
+func (s *lruShard) evictTail() {
+	e := s.tail
+	if e == nil {
+		return
+	}
+	s.unlink(e)
+	delete(s.entries, e.key)
+	s.evictions++
+}
+
+func (s *lruShard) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *lruShard) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// stats sums occupancy and evictions across shards.
+func (t *callerTable) stats() (tracked int, evictions int64) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		tracked += len(s.entries)
+		evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return tracked, evictions
+}

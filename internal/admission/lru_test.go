@@ -1,0 +1,75 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCallerTableBoundedEviction(t *testing.T) {
+	// One shard, capacity 4: the fifth distinct key must evict the least
+	// recently used, and touching a key must protect it.
+	tab := newCallerTable(1, 4)
+	touch := func(key string) *callerState {
+		var got *callerState
+		tab.withState(key, func(st *callerState) { got = st })
+		return got
+	}
+	for i := 0; i < 4; i++ {
+		st := touch(fmt.Sprintf("k%d", i))
+		st.strikes = i + 1 // marker to detect state loss
+	}
+	touch("k0") // k0 becomes most recent; k1 is now LRU
+	touch("k4") // evicts k1
+	tracked, evictions := tab.stats()
+	if tracked != 4 || evictions != 1 {
+		t.Fatalf("tracked=%d evictions=%d, want 4 and 1", tracked, evictions)
+	}
+	if st := touch("k0"); st.strikes != 1 {
+		t.Fatalf("k0 state lost: strikes=%d", st.strikes)
+	}
+	// k1 was evicted, so re-touching it creates fresh state (evicting k2,
+	// the new LRU).
+	if st := touch("k1"); st.strikes != 0 {
+		t.Fatalf("evicted k1 kept state: strikes=%d", st.strikes)
+	}
+	if _, evictions = tab.stats(); evictions != 2 {
+		t.Fatalf("evictions=%d, want 2", evictions)
+	}
+}
+
+func TestCallerTableShardRounding(t *testing.T) {
+	// Shard counts round up to powers of two; capacity splits per shard
+	// with a floor of one.
+	tab := newCallerTable(5, 3)
+	if len(tab.shards) != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", len(tab.shards))
+	}
+	for i := range tab.shards {
+		if tab.shards[i].cap != 1 {
+			t.Fatalf("shard %d cap %d, want floor of 1", i, tab.shards[i].cap)
+		}
+	}
+}
+
+func TestCallerTableConcurrentChurn(t *testing.T) {
+	// Hammer a small table from many goroutines: the race detector owns
+	// correctness here; we assert only the bound holds afterwards.
+	tab := newCallerTable(4, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%100)
+				tab.withState(key, func(st *callerState) { st.rejections++ })
+			}
+		}(g)
+	}
+	wg.Wait()
+	tracked, _ := tab.stats()
+	if tracked > 64 {
+		t.Fatalf("tracked=%d exceeds the 64-caller bound", tracked)
+	}
+}

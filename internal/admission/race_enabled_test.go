@@ -1,0 +1,7 @@
+//go:build race
+
+package admission
+
+// raceEnabled relaxes timing assertions when the race detector's ~10x
+// slowdown would make them meaningless.
+const raceEnabled = true

@@ -1,0 +1,302 @@
+package admission
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/netip"
+	"os"
+	"strings"
+)
+
+// The denylist is a binary radix trie (an LC-trie in the path-compressed
+// sense: every internal node is a branch point, chains of single-child
+// nodes are collapsed into the prefix stored at each node), so membership
+// for millions of CIDR entries costs one descent bounded by the address
+// width — O(32) for IPv4, O(128) for IPv6 — independent of entry count.
+// The structure is immutable after Build: nodes live in one flat arena
+// slice addressed by int32 indices (no per-node allocations, no pointer
+// chasing across the heap), and hot reload swaps whole tries through an
+// atomic pointer in the Controller rather than ever mutating one in
+// place. That immutability is what makes the lookup path lock-free and
+// the reload path safe to fail: a malformed push is rejected before the
+// swap and the old trie keeps serving.
+
+// trieNode is one arena slot: the node's prefix as a 128-bit value plus
+// its length, a terminal flag (an inserted prefix ends here), and two
+// child indices (-1 when absent). IPv4 prefixes live in a separate root,
+// with their bits left-aligned in hi.
+type trieNode struct {
+	hi, lo   uint64
+	bits     int32
+	terminal bool
+	child    [2]int32
+}
+
+// CIDRSet is an immutable set of CIDR prefixes supporting longest-match
+// membership tests. Build one with BuildCIDRSet or ParseDenylist; the
+// zero value of *CIDRSet (nil) is an empty set.
+type CIDRSet struct {
+	nodes []trieNode
+	root4 int32
+	root6 int32
+	n     int
+}
+
+// u128 is an IP address as a left-aligned 128-bit value; IPv4 addresses
+// occupy the top 32 bits of hi.
+type u128 struct{ hi, lo uint64 }
+
+// ipValue converts an address to its left-aligned bit pattern and width.
+// IPv4-mapped IPv6 addresses are unmapped first so ::ffff:10.0.0.1 and
+// 10.0.0.1 land in the same subtrie.
+func ipValue(ip netip.Addr) (u128, int32) {
+	ip = ip.Unmap()
+	b := ip.As16()
+	v := u128{
+		hi: beUint64(b[0:8]),
+		lo: beUint64(b[8:16]),
+	}
+	if ip.Is4() {
+		// As16 stores v4 in the low 4 bytes; shift it to the top so bit 0
+		// of the trie is the address's most significant bit.
+		v = u128{hi: v.lo << 32, lo: 0}
+		return v, 32
+	}
+	return v, 128
+}
+
+func beUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// bitAt returns bit i (0 = most significant) of v.
+func bitAt(v u128, i int32) int32 {
+	if i < 64 {
+		return int32(v.hi >> (63 - i) & 1)
+	}
+	return int32(v.lo >> (127 - i) & 1)
+}
+
+// maskBits zeroes everything after the first n bits.
+func maskBits(v u128, n int32) u128 {
+	switch {
+	case n <= 0:
+		return u128{}
+	case n < 64:
+		return u128{hi: v.hi &^ (^uint64(0) >> n)}
+	case n == 64:
+		return u128{hi: v.hi}
+	case n < 128:
+		return u128{hi: v.hi, lo: v.lo &^ (^uint64(0) >> (n - 64))}
+	default:
+		return v
+	}
+}
+
+// commonPrefixLen returns the length of the longest common bit prefix of
+// a and b, capped at limit.
+func commonPrefixLen(a, b u128, limit int32) int32 {
+	n := int32(bits.LeadingZeros64(a.hi ^ b.hi))
+	if n == 64 {
+		n += int32(bits.LeadingZeros64(a.lo ^ b.lo))
+	}
+	if n > limit {
+		n = limit
+	}
+	return n
+}
+
+// BuildCIDRSet constructs the trie from prefixes. Invalid (zero) prefixes
+// are rejected; duplicates and nested prefixes are legal (membership is
+// "any entry contains the address", so a /16 absorbs lookups that a
+// nested /24 would also match).
+func BuildCIDRSet(prefixes []netip.Prefix) (*CIDRSet, error) {
+	s := &CIDRSet{root4: -1, root6: -1}
+	for _, p := range prefixes {
+		if !p.IsValid() {
+			return nil, fmt.Errorf("admission: invalid prefix %v", p)
+		}
+		p = netip.PrefixFrom(p.Addr().Unmap(), p.Bits()).Masked()
+		v, width := ipValue(p.Addr())
+		pb := int32(p.Bits())
+		if width == 32 {
+			s.root4 = s.insert(s.root4, maskBits(v, pb), pb)
+		} else {
+			s.root6 = s.insert(s.root6, maskBits(v, pb), pb)
+		}
+		s.n++
+	}
+	return s, nil
+}
+
+// push appends a node to the arena and returns its index.
+func (s *CIDRSet) push(n trieNode) int32 {
+	s.nodes = append(s.nodes, n)
+	return int32(len(s.nodes) - 1)
+}
+
+// insert adds the prefix (val, pb) to the subtrie rooted at ni and
+// returns the new root index. Arena slots are never referenced across a
+// push (appends may move the backing array), so mutation happens through
+// re-indexing.
+func (s *CIDRSet) insert(ni int32, val u128, pb int32) int32 {
+	if ni < 0 {
+		return s.push(trieNode{hi: val.hi, lo: val.lo, bits: pb, terminal: true, child: [2]int32{-1, -1}})
+	}
+	n := s.nodes[ni]
+	nv := u128{hi: n.hi, lo: n.lo}
+	limit := pb
+	if n.bits < limit {
+		limit = n.bits
+	}
+	cl := commonPrefixLen(val, nv, limit)
+	switch {
+	case cl == n.bits && cl == pb:
+		// Exactly this node: mark terminal (duplicate entries collapse).
+		s.nodes[ni].terminal = true
+		return ni
+	case cl == n.bits:
+		// The new prefix extends the node's prefix: descend.
+		b := bitAt(val, cl)
+		c := s.insert(n.child[b], val, pb)
+		s.nodes[ni].child[b] = c
+		return ni
+	case cl == pb:
+		// The new prefix is an ancestor of the node: it becomes the parent.
+		p := s.push(trieNode{hi: val.hi, lo: val.lo, bits: pb, terminal: true, child: [2]int32{-1, -1}})
+		s.nodes[p].child[bitAt(nv, cl)] = ni
+		return p
+	default:
+		// Divergence below both: a fresh branch node at the common prefix.
+		joint := maskBits(val, cl)
+		p := s.push(trieNode{hi: joint.hi, lo: joint.lo, bits: cl, child: [2]int32{-1, -1}})
+		leaf := s.push(trieNode{hi: val.hi, lo: val.lo, bits: pb, terminal: true, child: [2]int32{-1, -1}})
+		s.nodes[p].child[bitAt(val, cl)] = leaf
+		s.nodes[p].child[bitAt(nv, cl)] = ni
+		return p
+	}
+}
+
+// Contains reports whether any entry's prefix covers ip. One descent,
+// bounded by the address width; allocation-free.
+func (s *CIDRSet) Contains(ip netip.Addr) bool {
+	if s == nil || len(s.nodes) == 0 || !ip.IsValid() {
+		return false
+	}
+	v, width := ipValue(ip)
+	ni := s.root4
+	if width == 128 {
+		ni = s.root6
+	}
+	for ni >= 0 {
+		n := &s.nodes[ni]
+		if n.bits > width || maskBits(v, n.bits) != (u128{hi: n.hi, lo: n.lo}) {
+			return false
+		}
+		if n.terminal {
+			return true
+		}
+		if n.bits == width {
+			return false
+		}
+		ni = n.child[bitAt(v, n.bits)]
+	}
+	return false
+}
+
+// Len returns the number of entries inserted (duplicates included).
+func (s *CIDRSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// probeCIDRSet is the validate step of the denylist's validate-probe-swap
+// reload: before a trie becomes the serving denylist it must answer a
+// handful of structurally interesting lookups without panicking —
+// both families, the zero address, and a broadcast-style all-ones
+// address. A trie that cannot survive the probe never serves.
+func probeCIDRSet(s *CIDRSet) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("admission: denylist probe panicked: %v", r)
+		}
+	}()
+	probes := []netip.Addr{
+		netip.MustParseAddr("0.0.0.0"),
+		netip.MustParseAddr("255.255.255.255"),
+		netip.MustParseAddr("192.0.2.1"),
+		netip.MustParseAddr("::"),
+		netip.MustParseAddr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"),
+		netip.MustParseAddr("2001:db8::1"),
+	}
+	for _, ip := range probes {
+		_ = s.Contains(ip)
+	}
+	return nil
+}
+
+// ParseDenylist reads one CIDR or bare address per line — '#' comments
+// and blank lines skipped — and builds the trie. Any malformed line fails
+// the whole parse (reported by line number), because a silently dropped
+// entry is an address quietly allowed through; the caller keeps its old
+// trie on error.
+func ParseDenylist(r io.Reader) (*CIDRSet, error) {
+	var prefixes []netip.Prefix
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := parseEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("admission: denylist line %d: %w", lineno, err)
+		}
+		prefixes = append(prefixes, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("admission: denylist read: %w", err)
+	}
+	return BuildCIDRSet(prefixes)
+}
+
+// parseEntry parses one denylist entry: a CIDR, or a bare address that
+// becomes a single-host prefix.
+func parseEntry(s string) (netip.Prefix, error) {
+	if strings.ContainsRune(s, '/') {
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			return netip.Prefix{}, fmt.Errorf("bad CIDR %q: %w", s, err)
+		}
+		return p, nil
+	}
+	ip, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("bad address %q: %w", s, err)
+	}
+	ip = ip.Unmap()
+	return netip.PrefixFrom(ip, ip.BitLen()), nil
+}
+
+// LoadDenylistFile parses the file at path into a trie.
+func LoadDenylistFile(path string) (*CIDRSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("admission: denylist: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ParseDenylist(f)
+}

@@ -15,6 +15,7 @@ import (
 var DefaultProbeGatedPackages = []string{
 	"internal/gateway",
 	"internal/lifecycle",
+	"internal/admission",
 }
 
 // AtomicGuardAnalyzer enforces two atomicity disciplines (check

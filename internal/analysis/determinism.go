@@ -25,6 +25,10 @@ import (
 // canary and reload decisions replay deterministically in the chaos
 // suites only while every clock it consults is an injected one, so plain
 // wall-clock reads there need a reasoned exemption, not a free pass.
+// Admission control joins for the same reason: the abuse-chaos suite
+// replays bit-identical shed/block/recover sequences, which holds only
+// while every limiter decision reads the injected clock and every jitter
+// derives from the seed.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
@@ -36,6 +40,7 @@ var DefaultKernelPackages = []string{
 	"internal/resilience",
 	"internal/lifecycle",
 	"internal/gateway",
+	"internal/admission",
 }
 
 func isKernelPackage(pkg *Package, kernel []string) bool {

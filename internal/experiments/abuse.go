@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"psigene/internal/admission"
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/gateway"
+	"psigene/internal/resilience"
+	"psigene/internal/traffic"
+)
+
+// The abuse benchmark measures what per-client admission control costs
+// and what it buys. Costs: the admission check itself under a zipfian
+// caller population large enough to churn the bounded LRU, membership
+// lookups in a million-entry denylist trie, and the end-to-end gateway
+// overhead of running with admission on vs. off over an in-process
+// upstream. Buys: a deterministic storm replay reporting how a hot
+// caller's traffic is shed while the zipfian crowd rides through
+// untouched — the outcome counts are a seeded function, so the committed
+// JSON doubles as a regression pin.
+
+// AbuseBenchResult is the machine-readable output of the abuse benchmark
+// (BENCH_abuse.json).
+type AbuseBenchResult struct {
+	Seed int64 `json:"seed"`
+	// Callers is the zipfian key-space size for the check benchmarks;
+	// MaxCallers is the LRU bound they churn against.
+	Callers    int `json:"callers"`
+	MaxCallers int `json:"maxCallers"`
+	// DenylistEntries and DenylistBuildMillis describe the trie build;
+	// the per-lookup cost is in the cases.
+	DenylistEntries     int            `json:"denylistEntries"`
+	DenylistBuildMillis float64        `json:"denylistBuildMillis"`
+	Cases               []FastpathCase `json:"cases"`
+	// GatewayOverheadPct is the admission-on vs. admission-off gateway
+	// ns/op delta, as a percentage of the admission-off baseline.
+	GatewayOverheadPct float64 `json:"gatewayOverheadPct"`
+	// Storm is the deterministic zipfian-storm outcome tally.
+	Storm AbuseStormOutcome `json:"storm"`
+}
+
+// AbuseStormOutcome is the outcome tally of the seeded storm replay.
+type AbuseStormOutcome struct {
+	Requests       int   `json:"requests"`
+	HotAllowed     int   `json:"hotAllowed"`
+	HotLimited     int   `json:"hotLimited"`
+	HotBoxed       int   `json:"hotBoxed"`
+	HotStrikes     int   `json:"hotStrikes"`
+	BenignCallers  int   `json:"benignCallers"`
+	BenignAllowed  int   `json:"benignAllowed"`
+	BenignShed     int   `json:"benignShed"`
+	TrackedCallers int64 `json:"trackedCallers"`
+	Evictions      int64 `json:"evictions"`
+}
+
+// abuseDenylist builds n deterministic v4 prefixes in the /12../28
+// range, all with the top address bit clear — the gateway benchmark's
+// client addresses live in the other half, so its admission checks walk
+// the trie to a genuine miss instead of short-circuiting on a ban.
+func abuseDenylist(seed int64, n int) ([]netip.Prefix, error) {
+	rng := resilience.NewSplitMix64(uint64(seed))
+	out := make([]netip.Prefix, 0, n)
+	for len(out) < n {
+		v := rng.Next()
+		bits := 12 + int(v%17)
+		a := netip.AddrFrom4([4]byte{byte(v>>32) &^ 0x80, byte(v >> 40), byte(v >> 48), byte(v >> 56)})
+		out = append(out, netip.PrefixFrom(a, bits).Masked())
+	}
+	return out, nil
+}
+
+// AbuseBenchmark measures the admission-control subsystem: keyed checks
+// under zipfian churn, million-entry denylist lookups, gateway overhead
+// with admission on vs. off, and the deterministic storm outcome.
+func AbuseBenchmark(seed int64) (*AbuseBenchResult, error) {
+	const (
+		callers    = 1 << 20 // zipfian key space: ~a million distinct callers
+		maxCallers = 1 << 16
+		denyN      = 1_000_000
+	)
+	res := &AbuseBenchResult{Seed: seed, Callers: callers, MaxCallers: maxCallers, DenylistEntries: denyN}
+
+	record := func(name string, r testing.BenchmarkResult) FastpathCase {
+		c := FastpathCase{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.NsPerOp() > 0 {
+			c.OpsPerSec = 1e9 / float64(r.NsPerOp())
+		}
+		res.Cases = append(res.Cases, c)
+		return c
+	}
+
+	// Keyed admission checks under a zipfian caller population an order
+	// of magnitude past the LRU bound. Pre-rendered keys so the benchmark
+	// times the check (hash, shard lock, window arithmetic, LRU motion),
+	// not fmt. The injected clock advances 100µs per check — a steady
+	// 10k rps — so windows genuinely roll over during the run.
+	zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.2, 1, callers-1)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("caller-%d", zipf.Uint64())
+	}
+	var ns int64
+	ctrl := admission.New(admission.Config{
+		QPS: 1000, QPM: 30000, QPD: 1_000_000,
+		MaxCallers: maxCallers,
+		Seed:       seed,
+		Now:        func() time.Time { ns += 100_000; return time.Unix(0, ns) },
+	})
+	record("admission/check/zipfian", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctrl.CheckCaller(admission.Caller{Key: keys[i%len(keys)]})
+		}
+	}))
+
+	// Million-entry denylist: build once, then time membership lookups
+	// over a probe mix of hits and misses.
+	prefixes, err := abuseDenylist(seed+1, denyN)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	deny, err := admission.BuildCIDRSet(prefixes)
+	if err != nil {
+		return nil, fmt.Errorf("denylist build: %w", err)
+	}
+	res.DenylistBuildMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	probeRng := resilience.NewSplitMix64(uint64(seed) + 2)
+	probes := make([]netip.Addr, 1<<12)
+	for i := range probes {
+		v := probeRng.Next()
+		probes[i] = netip.AddrFrom4([4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	}
+	record("denylist/contains/1M", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			deny.Contains(probes[i%len(probes)])
+		}
+	}))
+
+	// Gateway overhead: the same benign mix through the same in-process
+	// upstream, with admission off (baseline) and on (generous tiers +
+	// the million-entry denylist, so the check always runs end to end
+	// but nothing is actually rejected).
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), seed).Requests(1200)
+	benign := traffic.NewGenerator(seed + 1).Requests(1500)
+	model, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	mix := fastpathMix(seed+10, 950, 50)
+	remotes := make([]string, 1024)
+	for i := range remotes {
+		remotes[i] = fmt.Sprintf("198.%d.%d.%d:1234", i%200, (i*7)%251, (i*13)%253)
+	}
+	gwBench := func(gw *gateway.Gateway) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := mix[i%len(mix)]
+				target := req.Path
+				if target == "" {
+					target = "/"
+				}
+				if req.RawQuery != "" {
+					target += "?" + req.RawQuery
+				}
+				hr := httptest.NewRequest(http.MethodGet, target, nil)
+				hr.RemoteAddr = remotes[i%len(remotes)]
+				gw.ServeHTTP(httptest.NewRecorder(), hr)
+			}
+		})
+	}
+	gwOff, err := gateway.New("http://upstream.invalid", model, gateway.Options{
+		Client: &http.Client{Transport: memUpstream{}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gwNs int64
+	gwCtrl := admission.New(admission.Config{
+		QPS: 1 << 30, MaxCallers: maxCallers, Seed: seed, Denylist: deny,
+		Now: func() time.Time { gwNs += 100_000; return time.Unix(0, gwNs) },
+	})
+	gwOn, err := gateway.New("http://upstream.invalid", model, gateway.Options{
+		Client:    &http.Client{Transport: memUpstream{}},
+		Admission: gwCtrl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Scoring dominates the gateway op (~20µs) and single benchmark runs
+	// wobble by more than the admission delta — the process also speeds up
+	// as it warms, so running all of one configuration before the other
+	// biases whichever went first. Interleave four off/on rounds and
+	// compare the fastest of each: the standard stable estimator for a
+	// small difference on a noisy base.
+	offBest, onBest := gwBench(gwOff), gwBench(gwOn)
+	for i := 0; i < 3; i++ {
+		if r := gwBench(gwOff); r.NsPerOp() < offBest.NsPerOp() {
+			offBest = r
+		}
+		if r := gwBench(gwOn); r.NsPerOp() < onBest.NsPerOp() {
+			onBest = r
+		}
+	}
+	off := record("gateway/mix/admission=off", offBest)
+	on := record("gateway/mix/admission=on", onBest)
+	if off.NsPerOp > 0 {
+		res.GatewayOverheadPct = 100 * (on.NsPerOp - off.NsPerOp) / off.NsPerOp
+	}
+
+	res.Storm = abuseStorm(seed)
+	return res, nil
+}
+
+// abuseStorm replays the deterministic zipfian storm at the controller
+// level (1000 rps aggregate on an injected clock, one hot caller on 3 of
+// 4 slots against a 200 qps tier) and tallies the outcomes.
+func abuseStorm(seed int64) AbuseStormOutcome {
+	var ns int64
+	ctrl := admission.New(admission.Config{
+		QPS: 200, StrikeThreshold: 3, BlockSeconds: 4, Seed: seed,
+		Now: func() time.Time { return time.Unix(0, ns) },
+	})
+	zipf := rand.NewZipf(rand.New(rand.NewSource(seed+3)), 1.2, 1, 9999)
+	out := AbuseStormOutcome{Requests: 8000}
+	benignSeen := map[string]bool{}
+	for i := 0; i < out.Requests; i++ {
+		ns += int64(time.Millisecond)
+		var key string
+		hot := i%4 != 3
+		if hot {
+			key = "hot"
+		} else {
+			key = fmt.Sprintf("benign-%d", zipf.Uint64())
+			benignSeen[key] = true
+		}
+		d := ctrl.CheckCaller(admission.Caller{Key: key})
+		switch {
+		case hot && d.Verdict == admission.Allow:
+			out.HotAllowed++
+		case hot && d.Verdict == admission.Limited:
+			out.HotLimited++
+		case hot && d.Verdict == admission.Boxed:
+			out.HotBoxed++
+		case !hot && d.Verdict == admission.Allow:
+			out.BenignAllowed++
+		default:
+			out.BenignShed++
+		}
+		if d.Strikes > out.HotStrikes {
+			out.HotStrikes = d.Strikes
+		}
+	}
+	out.BenignCallers = len(benignSeen)
+	s := ctrl.Stats()
+	out.TrackedCallers = s.TrackedCallers
+	out.Evictions = s.Evictions
+	return out
+}

@@ -1,0 +1,356 @@
+package gateway
+
+// Gateway-level abuse-control tests: the admission subsystem wired into
+// the serving path. Per-client rejections (403 denylist, 429 limiter and
+// penalty box) must be distinct from the global 503 shed, must never
+// reach the upstream, and any admission failure must fail open rather
+// than drop traffic. The integrated storm replays deterministic zipfian
+// traffic on an injected clock and pins the full status sequence across
+// same-seed runs.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"psigene/internal/admission"
+)
+
+// tickClock is the injected deterministic time source.
+type tickClock struct{ ns atomic.Int64 }
+
+func (c *tickClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *tickClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// countingUpstream records how many requests actually reached it.
+func countingUpstream() (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	return up, &hits
+}
+
+// getFrom issues a request with an explicit client socket address.
+func getFrom(g *Gateway, remote, target string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodGet, target, nil)
+	r.RemoteAddr = remote
+	g.ServeHTTP(w, r)
+	return w
+}
+
+func mustDenySet(t *testing.T, cidrs ...string) *admission.CIDRSet {
+	t.Helper()
+	s, err := admission.ParseDenylist(strings.NewReader(strings.Join(cidrs, "\n")))
+	if err != nil {
+		t.Fatalf("ParseDenylist: %v", err)
+	}
+	return s
+}
+
+func TestGatewayDenylist403(t *testing.T) {
+	up, hits := countingUpstream()
+	defer up.Close()
+	ctrl := admission.New(admission.Config{Denylist: mustDenySet(t, "203.0.113.0/24")})
+	g := mustGateway(t, up.URL, stubDetector{}, Options{Admission: ctrl})
+
+	w := getFrom(g, "203.0.113.9:4321", "/p?id=1")
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("denylisted client: %d, want 403", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "address denied") {
+		t.Fatalf("denylist body %q", w.Body.String())
+	}
+	if hits.Load() != 0 {
+		t.Fatal("denied request reached the upstream")
+	}
+	if w := getFrom(g, "198.51.100.7:4321", "/p?id=1"); w.Code != http.StatusOK {
+		t.Fatalf("clean client: %d, want 200", w.Code)
+	}
+	s := g.Snapshot()
+	if s.Denied != 1 || s.Forwarded != 1 {
+		t.Fatalf("counters: denied=%d forwarded=%d", s.Denied, s.Forwarded)
+	}
+	if s.Admission == nil || s.Admission.DenylistEntries != 1 {
+		t.Fatalf("admission stats missing from snapshot: %+v", s.Admission)
+	}
+}
+
+func TestGatewayRateLimit429DistinctFromShed(t *testing.T) {
+	up, hits := countingUpstream()
+	defer up.Close()
+	clk := &tickClock{}
+	ctrl := admission.New(admission.Config{QPS: 2, StrikeThreshold: 3, BlockSeconds: 4, Now: clk.now})
+	g := mustGateway(t, up.URL, stubDetector{}, Options{Admission: ctrl})
+
+	const client = "198.51.100.7:1"
+	for i := 0; i < 2; i++ {
+		if w := getFrom(g, client, "/p"); w.Code != http.StatusOK {
+			t.Fatalf("request %d: %d", i, w.Code)
+		}
+	}
+	// Over the tier: a per-caller 429 with Retry-After — NOT the global
+	// 503 shed, which signals process overload rather than caller abuse.
+	w := getFrom(g, client, "/p")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("limited: %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("limiter rejection must carry Retry-After")
+	}
+	if !strings.Contains(w.Body.String(), "qps") {
+		t.Fatalf("limited body %q must name the tier", w.Body.String())
+	}
+	// Two more rejections escalate into the penalty box: still 429 but
+	// with the blocked wording and the block-length Retry-After.
+	getFrom(g, client, "/p")
+	w = getFrom(g, client, "/p")
+	if w.Code != http.StatusTooManyRequests || !strings.Contains(w.Body.String(), "blocked") {
+		t.Fatalf("boxed: %d %q", w.Code, w.Body.String())
+	}
+	// A different client is untouched the whole time.
+	if w := getFrom(g, "198.51.100.8:1", "/p"); w.Code != http.StatusOK {
+		t.Fatalf("other client: %d", w.Code)
+	}
+	s := g.Snapshot()
+	if s.RateLimited != 2 || s.PenaltyBoxed != 1 || s.Shed != 0 {
+		t.Fatalf("counters: rateLimited=%d penaltyBoxed=%d shed=%d", s.RateLimited, s.PenaltyBoxed, s.Shed)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("upstream saw %d requests, want 3 (rejections must not proxy)", hits.Load())
+	}
+	// The boxed client recovers once the block expires.
+	clk.advance(10 * time.Second)
+	if w := getFrom(g, client, "/p"); w.Code != http.StatusOK {
+		t.Fatalf("recovered client: %d, want 200", w.Code)
+	}
+}
+
+// TestGatewayAdmissionPanicFailsOpen: a controller failure must degrade
+// to "no per-client screening", never to dropped traffic — the same
+// containment stance as scoring panics.
+func TestGatewayAdmissionPanicFailsOpen(t *testing.T) {
+	up, hits := countingUpstream()
+	defer up.Close()
+	ctrl := admission.New(admission.Config{
+		QPS:     1,
+		KeyFunc: func(*http.Request) admission.Caller { panic("identity subsystem wedged") },
+	})
+	g := mustGateway(t, up.URL, stubDetector{}, Options{Admission: ctrl})
+
+	for i := 0; i < 3; i++ {
+		if w := getFrom(g, "198.51.100.7:1", "/p"); w.Code != http.StatusOK {
+			t.Fatalf("request %d through panicking admission: %d, want 200 (fail open)", i, w.Code)
+		}
+	}
+	s := g.Snapshot()
+	if s.AdmissionPanics != 3 || s.Forwarded != 3 {
+		t.Fatalf("counters: panics=%d forwarded=%d", s.AdmissionPanics, s.Forwarded)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("upstream saw %d, want all 3", hits.Load())
+	}
+}
+
+// adminDenyReload posts a denylist reload for the given name.
+func adminDenyReload(h http.Handler, name string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/-/denylist/reload?path="+url.QueryEscape(name), nil))
+	return w
+}
+
+func TestDenylistReloadAndErrorPaths(t *testing.T) {
+	up, _ := countingUpstream()
+	defer up.Close()
+	ctrl := admission.New(admission.Config{Denylist: mustDenySet(t, "203.0.113.0/24")})
+	g := mustGateway(t, up.URL, stubDetector{}, Options{Admission: ctrl})
+
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "good.txt"), "198.51.100.0/24\n# comment\n2001:db8::/32\n")
+	// The bad file carries a recognizable secret-looking token: the error
+	// response must never echo file contents back to the caller.
+	writeFile(t, filepath.Join(dir, "bad.txt"), "198.51.100.0/24\nhostname-of-internal-db=TOPSECRET\n")
+	var log strings.Builder
+	admin := g.Admin(AdminConfig{DenyDir: dir, Log: &log})
+
+	// Successful swap: entries and a bumped generation in the response,
+	// and the new set serves (old entry unbanned, new entry banned).
+	w := adminDenyReload(admin, "good.txt")
+	if w.Code != http.StatusOK {
+		t.Fatalf("good reload: %d: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), `"entries": 2`) {
+		t.Fatalf("reload response %q", w.Body.String())
+	}
+	// The old 203.0.113.0/24 entry is gone from good.txt → now allowed.
+	if w := getFrom(g, "203.0.113.9:1", "/p"); w.Code != http.StatusOK {
+		t.Fatalf("203.0.113.9 after swap: %d, want 200", w.Code)
+	}
+
+	// A malformed file: 400, generic body, detail only in the admin log,
+	// previous denylist still serving.
+	_, genBefore := ctrl.Denylist()
+	w = adminDenyReload(admin, "bad.txt")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad reload: %d, want 400", w.Code)
+	}
+	for _, leak := range []string{"TOPSECRET", "internal-db", dir} {
+		if strings.Contains(w.Body.String(), leak) {
+			t.Fatalf("reload error echoed %q: %s", leak, w.Body.String())
+		}
+	}
+	if !strings.Contains(log.String(), "bad.txt") {
+		t.Fatalf("reload failure not logged:\n%s", log.String())
+	}
+	if _, gen := ctrl.Denylist(); gen != genBefore {
+		t.Fatalf("generation moved on a rejected reload: %d → %d", genBefore, gen)
+	}
+	if w := getFrom(g, "198.51.100.9:1", "/p"); w.Code != http.StatusForbidden {
+		t.Fatalf("previous denylist stopped serving after rejected reload: %d", w.Code)
+	}
+
+	// Missing file: same generic 400 — not a file-existence oracle.
+	if w := adminDenyReload(admin, "missing.txt"); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing file reload: %d, want 400", w.Code)
+	}
+	// Path confinement and method/config gates.
+	for _, name := range []string{"../bad.txt", "/etc/hosts", ".."} {
+		if w := adminDenyReload(admin, name); w.Code != http.StatusBadRequest {
+			t.Fatalf("escaping path %q: %d, want 400", name, w.Code)
+		}
+	}
+	if w := adminGet(admin, "/-/denylist/reload"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: %d, want 405", w.Code)
+	}
+	noDir := g.Admin(AdminConfig{})
+	if w := adminDenyReload(noDir, "good.txt"); w.Code != http.StatusForbidden {
+		t.Fatalf("reload without deny dir: %d, want 403", w.Code)
+	}
+	if s := g.Snapshot(); s.DenyReloadFailures != 2 {
+		t.Fatalf("denyReloadFailures=%d, want 2 (bad file + missing file)", s.DenyReloadFailures)
+	}
+
+	// /-/denylist surfaces the controller stats; without a controller both
+	// denylist endpoints are absent/forbidden.
+	if w := adminGet(admin, "/-/denylist"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "denylistGeneration") {
+		t.Fatalf("denylist stats: %d %q", w.Code, w.Body.String())
+	}
+	plain := mustGateway(t, up.URL, stubDetector{}, Options{})
+	plainAdmin := plain.Admin(AdminConfig{DenyDir: dir})
+	if w := adminGet(plainAdmin, "/-/denylist"); w.Code != http.StatusNotFound {
+		t.Fatalf("denylist stats without controller: %d, want 404", w.Code)
+	}
+	if w := adminDenyReload(plainAdmin, "good.txt"); w.Code != http.StatusForbidden {
+		t.Fatalf("denylist reload without controller: %d, want 403", w.Code)
+	}
+}
+
+// TestAbuseChaosGatewayStorm replays a deterministic zipfian storm
+// through the full serving path: one hot client hammering, benign
+// zipf-distributed clients browsing, one denylisted client probing. The
+// status sequence must be bit-identical across same-seed runs, benign
+// clients must see only 200s, and the hot client must traverse
+// 200→429(limited)→429(boxed) and recover after the block.
+func TestAbuseChaosGatewayStorm(t *testing.T) {
+	run := func(seed int64) (string, *Gateway, *tickClock, *atomic.Int64) {
+		up, hits := countingUpstream()
+		t.Cleanup(up.Close)
+		clk := &tickClock{}
+		ctrl := admission.New(admission.Config{
+			QPS: 100, StrikeThreshold: 3, BlockSeconds: 4, Seed: seed,
+			Denylist: mustDenySet(t, "203.0.113.66"),
+			Now:      clk.now,
+		})
+		g := mustGateway(t, up.URL, stubDetector{}, Options{Admission: ctrl})
+		zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.3, 1, 999)
+
+		var b strings.Builder
+		for i := 0; i < 2000; i++ {
+			clk.advance(time.Millisecond) // 1000 rps aggregate
+			var remote string
+			switch {
+			case i%5 == 4:
+				remote = "203.0.113.66:1" // denylisted prober
+			case i%5 < 3:
+				remote = "198.51.100.250:1" // hot client: ~600 rps vs qps=100
+			default:
+				remote = fmt.Sprintf("198.51.%d.%d:1", zipf.Uint64()/256, zipf.Uint64()%256)
+			}
+			w := getFrom(g, remote, "/p?id=1")
+			fmt.Fprintf(&b, "%s=%d;", remote, w.Code)
+		}
+		return b.String(), g, clk, hits
+	}
+
+	const seed = 77
+	ta, g, clk, hits := run(seed)
+	tb, _, _, _ := run(seed)
+	if ta != tb {
+		t.Fatal("same-seed gateway storms produced different status transcripts")
+	}
+
+	// Per-client status inventory.
+	statuses := map[string]map[int]int{}
+	for _, ev := range strings.Split(strings.TrimSuffix(ta, ";"), ";") {
+		eq := strings.LastIndex(ev, "=")
+		if eq < 0 {
+			t.Fatalf("bad transcript entry %q", ev)
+		}
+		remote := ev[:eq]
+		code, err := strconv.Atoi(ev[eq+1:])
+		if err != nil {
+			t.Fatalf("bad transcript entry %q: %v", ev, err)
+		}
+		m := statuses[remote]
+		if m == nil {
+			m = map[int]int{}
+			statuses[remote] = m
+		}
+		m[code]++
+	}
+	for remote, m := range statuses {
+		switch remote {
+		case "203.0.113.66:1":
+			if len(m) != 1 || m[http.StatusForbidden] == 0 {
+				t.Fatalf("denylisted prober statuses %v, want only 403", m)
+			}
+		case "198.51.100.250:1":
+			if m[http.StatusOK] == 0 || m[http.StatusTooManyRequests] == 0 {
+				t.Fatalf("hot client statuses %v, want both 200 and 429", m)
+			}
+		default:
+			if len(m) != 1 || m[http.StatusOK] == 0 {
+				t.Fatalf("benign client %s shed during the storm: %v", remote, m)
+			}
+		}
+	}
+
+	// The hot client is boxed when the storm ends; after the block runs
+	// out it is served again.
+	s := g.Snapshot()
+	if s.Denied == 0 || s.RateLimited == 0 || s.PenaltyBoxed == 0 {
+		t.Fatalf("storm counters incomplete: %+v", s)
+	}
+	if s.Shed != 0 {
+		t.Fatalf("global shed fired during a per-client storm: %d", s.Shed)
+	}
+	if s.Forwarded != hits.Load() {
+		t.Fatalf("forwarded=%d but upstream saw %d", s.Forwarded, hits.Load())
+	}
+	clk.advance(time.Hour)
+	if w := getFrom(g, "198.51.100.250:1", "/p"); w.Code != http.StatusOK {
+		t.Fatalf("hot client after the blocks expire: %d, want 200", w.Code)
+	}
+	t.Logf("gateway storm: forwarded=%d denied=%d limited=%d boxed=%d, %d distinct clients",
+		s.Forwarded, s.Denied, s.RateLimited, s.PenaltyBoxed, len(statuses))
+}

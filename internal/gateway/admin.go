@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strconv"
 
+	"psigene/internal/admission"
 	"psigene/internal/core"
 	"psigene/internal/feature"
 	"psigene/internal/ids"
@@ -28,6 +29,9 @@ type AdminConfig struct {
 	// resolved inside this directory, never an arbitrary filesystem
 	// path. Empty disables /-/reload and /-/canary/start entirely.
 	ModelDir string
+	// DenyDir confines denylist reloads the same way ModelDir confines
+	// model reloads. Empty disables POST /-/denylist/reload.
+	DenyDir string
 	// Log receives reload failure detail. Loader errors are logged here,
 	// not echoed to clients — the error text is a file-existence and
 	// parse oracle. Default io.Discard.
@@ -88,6 +92,15 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, rep)
 	case "/-/canary/start":
 		h.serveCanaryStart(w, r)
+	case "/-/denylist":
+		ctrl := g.opts.Admission
+		if ctrl == nil {
+			http.Error(w, "admission control not configured", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ctrl.Stats())
+	case "/-/denylist/reload":
+		h.serveDenylistReload(w, r)
 	case "/-/canary/promote":
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -156,6 +169,46 @@ func (h *adminHandler) serveReload(w http.ResponseWriter, r *http.Request) {
 	}
 	det, _ := h.g.Detector()
 	writeJSON(w, map[string]any{"generation": gen, "detector": det.Name()})
+}
+
+// serveDenylistReload swaps the admission controller's denylist from a
+// file named by ?path=, confined to DenyDir — the validate-probe-swap
+// idiom of model reloads applied to the denied-address trie. A file with
+// any malformed CIDR line is rejected whole (a silently dropped entry is
+// an address quietly allowed through), the previous trie keeps serving,
+// and the response is a generic 400: parse detail goes to the admin log
+// only, never echoed, so the endpoint is not a file-content oracle.
+func (h *adminHandler) serveDenylistReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	ctrl := h.g.opts.Admission
+	if ctrl == nil {
+		http.Error(w, "admission control not configured", http.StatusForbidden)
+		return
+	}
+	if h.cfg.DenyDir == "" {
+		http.Error(w, "denylist reload disabled: no deny dir configured", http.StatusForbidden)
+		return
+	}
+	name := r.URL.Query().Get("path")
+	if name == "" {
+		http.Error(w, "denylist reload needs ?path=<name>", http.StatusBadRequest)
+		return
+	}
+	if !filepath.IsLocal(name) {
+		http.Error(w, "denylist path must be a local name inside the deny dir", http.StatusBadRequest)
+		return
+	}
+	if err := ctrl.ReloadDenylistFile(filepath.Join(h.cfg.DenyDir, name)); err != nil {
+		h.g.stats.denyReloadFails.Add(1)
+		fmt.Fprintf(h.cfg.Log, "psigened: denylist reload %q: %v\n", name, err)
+		http.Error(w, "denylist rejected; previous denylist still serving (see server log)", http.StatusBadRequest)
+		return
+	}
+	set, gen := ctrl.Denylist()
+	writeJSON(w, map[string]any{"entries": set.Len(), "generation": gen})
 }
 
 // serveCanaryStart begins shadow-scoring with a candidate named by
@@ -315,6 +368,18 @@ type Snapshot struct {
 	Scored           int64                   `json:"scored"`
 	Prefilter        *feature.PrefilterStats `json:"prefilter,omitempty"`
 	AllocsPerRequest float64                 `json:"allocsPerRequest"`
+	// Per-client admission outcomes (see internal/admission): Denied are
+	// denylist 403s, RateLimited and PenaltyBoxed are the two 429 shapes,
+	// AdmissionPanics are controller failures that failed open to the
+	// global semaphore, DenyReloadFailures are rejected denylist pushes.
+	// Admission carries the controller's own counters (LRU occupancy,
+	// evictions, denylist size and generation) when admission is enabled.
+	Denied             int64            `json:"denied"`
+	RateLimited        int64            `json:"rateLimited"`
+	PenaltyBoxed       int64            `json:"penaltyBoxed"`
+	AdmissionPanics    int64            `json:"admissionPanics"`
+	DenyReloadFailures int64            `json:"denyReloadFailures"`
+	Admission          *admission.Stats `json:"admission,omitempty"`
 }
 
 // prefilterReporter is implemented by detectors that expose staged
@@ -349,6 +414,16 @@ func (g *Gateway) Snapshot() Snapshot {
 		ReloadFailures:  g.stats.reloadFailures.Load(),
 		Scored:          g.stats.scored.Load(),
 		ScoringLatency:  ids.SummarizeLatency(g.latencyWindow()),
+
+		Denied:             g.stats.denied.Load(),
+		RateLimited:        g.stats.rateLimited.Load(),
+		PenaltyBoxed:       g.stats.penaltyBoxed.Load(),
+		AdmissionPanics:    g.stats.admissionPanics.Load(),
+		DenyReloadFailures: g.stats.denyReloadFails.Load(),
+	}
+	if ctrl := g.opts.Admission; ctrl != nil {
+		as := ctrl.Stats()
+		s.Admission = &as
 	}
 	if pr, ok := state.det.(prefilterReporter); ok {
 		ps := pr.PrefilterStats()

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"psigene/internal/admission"
 	"psigene/internal/httpx"
 	"psigene/internal/ids"
 	"psigene/internal/resilience"
@@ -111,6 +112,13 @@ type Options struct {
 	// Now is the clock used for latency accounting and deadline math;
 	// injectable so chaos tests control time. Default time.Now.
 	Now func() time.Time
+	// Admission is the per-client admission controller (keyed rate
+	// limits, penalty box, CIDR denylist), checked before a request may
+	// compete for the global in-flight semaphore. nil disables per-client
+	// control; the global semaphore still applies. A panic inside the
+	// controller fails open to the global semaphore — per-client control
+	// is an optimization for fairness, never a reason to drop traffic.
+	Admission *admission.Controller
 	// ModelVersion and ModelSHA256 tag the initial detector with the
 	// artifact version and content hash it was loaded from (see
 	// core.Manifest). Empty when the detector is not artifact-backed; the
@@ -229,6 +237,11 @@ type gatewayStats struct {
 	scorePanics, failedOpen, failedClosed        atomic.Int64
 	upstreamErrors, breakerRejected, budgetSpent atomic.Int64
 	reloads, reloadFailures                      atomic.Int64
+	// Per-client admission outcomes: denylist 403s, tier-limit and
+	// penalty-box 429s, controller panics failed open, and denylist
+	// reload failures (the old trie kept serving).
+	denied, rateLimited, penaltyBoxed atomic.Int64
+	admissionPanics, denyReloadFails  atomic.Int64
 }
 
 // New builds a gateway proxying to upstream (a base URL such as
@@ -277,6 +290,16 @@ func (g *Gateway) Detector() (ids.Detector, uint64) {
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.stats.total.Add(1)
 
+	// Per-client admission runs before the global semaphore so one
+	// abusive caller is turned away on its own account instead of
+	// consuming an in-flight token every legitimate caller competes for.
+	// Its rejections are per-caller signals with their own statuses —
+	// 403 for denylisted addresses, 429 + Retry-After for rate limits —
+	// distinct from the global 503 shed below.
+	if !g.admit(w, r) {
+		return
+	}
+
 	// Admission: drain refuses new work; the semaphore sheds overload.
 	// Both are load signals, so both carry Retry-After.
 	if g.draining.Load() {
@@ -298,6 +321,47 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	g.proxy(w, r)
+}
+
+// admit runs per-client admission control, writing the rejection (403 or
+// 429 + Retry-After) itself when the caller is turned away. It reports
+// whether the request may proceed to global admission. A panic inside the
+// controller is counted and fails open — the request proceeds to the
+// global semaphore unscreened rather than being dropped, mirroring the
+// scoring path's containment philosophy: per-client fairness degrading
+// must never become an outage.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request) (proceed bool) {
+	ctrl := g.opts.Admission
+	if ctrl == nil {
+		return true
+	}
+	var d admission.Decision
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				g.stats.admissionPanics.Add(1)
+				d = admission.Decision{Verdict: admission.Allow}
+			}
+		}()
+		d = ctrl.Check(r)
+	}()
+	switch d.Verdict {
+	case admission.Denied:
+		g.stats.denied.Add(1)
+		http.Error(w, "address denied", http.StatusForbidden)
+		return false
+	case admission.Limited:
+		g.stats.rateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfterSeconds))
+		http.Error(w, "rate limit exceeded ("+d.Tier+")", http.StatusTooManyRequests)
+		return false
+	case admission.Boxed:
+		g.stats.penaltyBoxed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfterSeconds))
+		http.Error(w, "rate limit exceeded repeatedly; caller blocked", http.StatusTooManyRequests)
+		return false
+	}
+	return true
 }
 
 // shed rejects a request for load reasons: 503 plus Retry-After.

@@ -36,6 +36,20 @@ func writeMetrics(w io.Writer, s Snapshot) {
 	counter("psigened_reloads_total", "Successful detector swaps (reloads and canary promotions).", s.Reloads)
 	counter("psigened_reload_failures_total", "Rejected detector swaps.", s.ReloadFailures)
 
+	counter("psigened_denied_total", "Requests rejected by the address denylist (403).", s.Denied)
+	counter("psigened_rate_limited_total", "Requests rejected by a per-caller tier limit (429).", s.RateLimited)
+	counter("psigened_penalty_boxed_total", "Requests rejected while their caller sat in the penalty box (429).", s.PenaltyBoxed)
+	counter("psigened_admission_panics_total", "Admission-controller panics failed open to the global semaphore.", s.AdmissionPanics)
+	counter("psigened_denylist_reload_failures_total", "Rejected denylist pushes (previous trie kept serving).", s.DenyReloadFailures)
+	if a := s.Admission; a != nil {
+		counter("psigened_admission_checked_total", "Requests screened by per-client admission control.", a.Checked)
+		counter("psigened_admission_recoveries_total", "Callers released from the penalty box.", a.Recoveries)
+		counter("psigened_admission_evictions_total", "Limiter states evicted from the bounded caller LRU.", a.Evictions)
+		gauge("psigened_admission_tracked_callers", "Caller limiter states currently held in the LRU.", float64(a.TrackedCallers))
+		gauge("psigened_denylist_entries", "Entries in the serving denylist trie.", float64(a.DenylistEntries))
+		gauge("psigened_denylist_generation", "Denylist swap generation.", float64(a.DenylistGeneration))
+	}
+
 	gauge("psigened_draining", "1 while the gateway is draining, 0 otherwise.", boolGauge(s.Draining))
 	gauge("psigened_reload_generation", "Generation of the serving detector (the X-Psigene-Gen value).", float64(s.Generation))
 	if s.Breaker != nil {

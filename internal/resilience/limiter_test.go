@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowFixedWindowSemantics(t *testing.T) {
+	var w Window
+	const width = int64(time.Second)
+	// 3 allowed per window, 4th rejected.
+	base := 10 * int64(time.Second)
+	for i := 0; i < 3; i++ {
+		if !w.Allow(base+int64(i), 3, width) {
+			t.Fatalf("request %d within limit rejected", i)
+		}
+	}
+	if w.Allow(base+3, 3, width) {
+		t.Fatal("request over limit allowed")
+	}
+	if got := w.Count(base+3, width); got != 4 {
+		t.Fatalf("count %d, want 4 (rejections are recorded too)", got)
+	}
+	// Crossing the window boundary resets the counter.
+	next := base + width
+	if !w.Allow(next, 3, width) {
+		t.Fatal("first request of the next window rejected")
+	}
+	if got := w.Count(next, width); got != 1 {
+		t.Fatalf("count after rollover %d, want 1", got)
+	}
+}
+
+func TestWindowDisabledAndDegenerate(t *testing.T) {
+	var w Window
+	for i := int64(0); i < 100; i++ {
+		if !w.Allow(i, 0, int64(time.Second)) {
+			t.Fatal("limit 0 must disable the tier")
+		}
+	}
+	if got := w.Count(0, int64(time.Second)); got != 0 {
+		t.Fatalf("disabled tier recorded %d requests", got)
+	}
+	// width <= 0 degrades to per-nanosecond windows rather than dividing
+	// by zero.
+	var w2 Window
+	if !w2.Allow(5, 1, 0) || w2.Allow(5, 1, 0) {
+		t.Fatal("zero-width window must still count within one nanosecond")
+	}
+}
+
+func TestWindowNegativeTime(t *testing.T) {
+	// Synthetic chaos clocks may start near zero and step backwards across
+	// it; floor division keeps window ordinals consistent below the epoch.
+	var w Window
+	const width = int64(100)
+	if !w.Allow(-150, 1, width) {
+		t.Fatal("first request rejected")
+	}
+	if w.Allow(-101, 1, width) {
+		t.Fatal("-150 and -101 share the [-200,-100) window; second must be rejected")
+	}
+	if !w.Allow(-100, 1, width) {
+		t.Fatal("-100 starts a fresh window")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	const width = int64(time.Second)
+	if got := WindowReset(0, width); got != width {
+		t.Fatalf("reset at window start: %d, want %d", got, width)
+	}
+	if got := WindowReset(width-1, width); got != 1 {
+		t.Fatalf("reset one nanosecond before rollover: %d, want 1", got)
+	}
+	if got := WindowReset(-1, width); got != 1 {
+		t.Fatalf("reset just below the epoch: %d, want 1", got)
+	}
+}
+
+func TestPenaltyEscalatesDeterministically(t *testing.T) {
+	const seed = uint64(0xfeed)
+	base, max := 10*time.Second, 10*time.Minute
+	prev := time.Duration(0)
+	for strike := 1; strike <= 12; strike++ {
+		d := Penalty(seed, strike, base, max)
+		// Jitter bounds: [nominal/2, nominal).
+		nominal := base << uint(strike-1)
+		if nominal > max || nominal <= 0 {
+			nominal = max
+		}
+		if d < nominal/2 || d >= nominal {
+			t.Fatalf("strike %d: duration %v outside [%v, %v)", strike, d, nominal/2, nominal)
+		}
+		if again := Penalty(seed, strike, base, max); again != d {
+			t.Fatalf("strike %d: %v then %v from identical inputs", strike, d, again)
+		}
+		if strike > 1 && nominal < max && d <= prev/2 {
+			t.Fatalf("strike %d: duration %v did not escalate over %v", strike, d, prev)
+		}
+		prev = d
+	}
+	// Saturation: absurd strike counts stay within [max/2, max) instead of
+	// overflowing the shift.
+	if d := Penalty(seed, 1_000_000, base, max); d < max/2 || d >= max {
+		t.Fatalf("saturated penalty %v outside [%v, %v)", d, max/2, max)
+	}
+}
+
+func TestPenaltySeedsDecorrelate(t *testing.T) {
+	base, max := time.Second, time.Hour
+	a := Penalty(1, 5, base, max)
+	b := Penalty(2, 5, base, max)
+	if a == b {
+		t.Fatalf("adjacent seeds drew identical jitter (%v); avalanche not applied", a)
+	}
+}

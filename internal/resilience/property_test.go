@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBreakerSnapshotRoundTripProperty: for ANY reachable breaker state —
+// driven there by an arbitrary operation sequence — Snapshot/Restore into
+// a fresh breaker yields a behavioral clone: both breakers answer every
+// subsequent operation identically. This is the property crawl
+// checkpoints rely on; the example-based tests only pin a few states.
+func TestBreakerSnapshotRoundTripProperty(t *testing.T) {
+	// ops drive the breaker: 0 = Allow, 1 = Failure, 2 = Success.
+	f := func(threshold, cooldown uint8, ops []uint8) bool {
+		b := NewBreaker(int(threshold%8), int(cooldown%8))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				b.Allow()
+			case 1:
+				b.Failure()
+			case 2:
+				b.Success()
+			}
+		}
+		clone := NewBreaker(int(threshold%8), int(cooldown%8))
+		clone.Restore(b.Snapshot())
+		if clone.Snapshot() != b.Snapshot() {
+			return false
+		}
+		// Behavioral equivalence over a probing tail: enough operations to
+		// cross every transition from wherever the sequence left us.
+		for i := 0; i < 64; i++ {
+			switch i % 4 {
+			case 0, 1:
+				if b.Allow() != clone.Allow() {
+					return false
+				}
+			case 2:
+				if b.Failure() != clone.Failure() {
+					return false
+				}
+			case 3:
+				if b.State() != clone.State() {
+					return false
+				}
+			}
+		}
+		return b.Snapshot() == clone.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackoffFullJitterDistribution pins the *distribution* of the full
+// jitter, not just its range: over many draws the delays must fill
+// [0, span) roughly uniformly — low and high quartiles both populated and
+// the mean near span/2. A jitter collapsing toward either edge (the
+// classic off-by-one that turns full jitter into no jitter) fails here
+// while still passing pure bounds checks.
+func TestBackoffFullJitterDistribution(t *testing.T) {
+	const (
+		base    = 100 * time.Millisecond
+		max     = 10 * time.Second
+		attempt = 3 // base<<3 = 800ms, below max
+		span    = 800 * time.Millisecond
+		n       = 20000
+	)
+	rng := NewSplitMix64(99)
+	var sum time.Duration
+	var q1, q4 int // draws in the lowest and highest quartile
+	for i := 0; i < n; i++ {
+		d := Backoff(rng, base, max, attempt)
+		if d < 0 || d >= span {
+			t.Fatalf("draw %d: %v outside [0, %v)", i, d, span)
+		}
+		sum += d
+		if d < span/4 {
+			q1++
+		}
+		if d >= 3*span/4 {
+			q4++
+		}
+	}
+	mean := sum / n
+	if mean < 2*span/5 || mean > 3*span/5 {
+		t.Fatalf("mean %v outside [%v, %v]: jitter is not uniform", mean, 2*span/5, 3*span/5)
+	}
+	// Each quartile holds ~25%; 20% slack either way catches edge collapse
+	// without flaking on a fixed seed (the draw sequence is deterministic,
+	// so this never actually varies run to run).
+	for name, q := range map[string]int{"low": q1, "high": q4} {
+		frac := float64(q) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Fatalf("%s quartile holds %.1f%% of draws, want ~25%%", name, 100*frac)
+		}
+	}
+}
+
+// TestBackoffSaturatedDistribution: once the shift passes max, draws are
+// uniform in [0, max) — saturation must not skew the jitter.
+func TestBackoffSaturatedDistribution(t *testing.T) {
+	rng := NewSplitMix64(7)
+	const n = 10000
+	max := 2 * time.Second
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		d := Backoff(rng, time.Second, max, 60) // 1s<<60 overflows → max
+		if d < 0 || d >= max {
+			t.Fatalf("saturated draw %v outside [0, %v)", d, max)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 2*max/5 || mean > 3*max/5 {
+		t.Fatalf("saturated mean %v not centered in [0, %v)", mean, max)
+	}
+}
