@@ -32,6 +32,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +52,19 @@ import (
 	"psigene/internal/core"
 	"psigene/internal/gateway"
 )
+
+// randomSeed draws the admission seed from the OS entropy source. The
+// seed feeds caller-shard placement and penalty jitter; a predictable
+// production seed would let an attacker precompute keys that collide into
+// one shard and evict a victim's limiter state. Tests that need
+// reproducible decisions inject their own seed via admission.Config.
+func randomSeed() (int64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("seed admission hashing: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
 
 // parseCIDRList parses a comma-separated list of CIDRs or bare addresses.
 func parseCIDRList(s string) ([]netip.Prefix, error) {
@@ -167,18 +182,30 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 				return fmt.Errorf("-denylist: %w", err)
 			}
 		}
+		seed, err := randomSeed()
+		if err != nil {
+			return err
+		}
 		ctrl = admission.New(admission.Config{
 			QPS: *qps, QPM: *qpm, QPD: *qpd,
 			BlockSeconds:    *blockSecs,
 			MaxBlockSeconds: *maxBlockSecs,
 			MaxCallers:      *maxCallers,
+			Seed:            seed,
 			Identity: admission.Identity{
 				Header:         *keyHeader,
 				Cookie:         *keyCookie,
 				TrustedProxies: trusted,
 			},
-			Denylist: denied,
 		})
+		// Installed via SetDenylist, not Config.Denylist, so a probe
+		// rejection is a hard startup error instead of New's counted drop:
+		// an operator who configured a denylist never serves without one.
+		if denied != nil {
+			if err := ctrl.SetDenylist(denied); err != nil {
+				return fmt.Errorf("-denylist: %w", err)
+			}
+		}
 	}
 
 	g, err := gateway.New(*upstream, m, gateway.Options{

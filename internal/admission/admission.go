@@ -167,6 +167,11 @@ type Controller struct {
 	// denyGen counts successful denylist swaps, surfacing on statz so
 	// operators can verify a reload took effect.
 	denyGen atomic.Uint64
+	// denyProbeFailures counts denylist sets rejected by the probe. A
+	// nonzero value with generation 0 means the deployment is serving with
+	// NO denylist while the operator configured one — the counter is the
+	// signal that makes that state observable instead of silent.
+	denyProbeFailures atomic.Int64
 
 	checked, allowed, denied   atomic.Int64
 	limited, boxed, recoveries atomic.Int64
@@ -183,8 +188,10 @@ func New(cfg Config) *Controller {
 	if cfg.Denylist != nil {
 		if err := c.SetDenylist(cfg.Denylist); err != nil {
 			// An initial set that cannot survive the probe is dropped; the
-			// controller still limits. Callers that need hard failure use
-			// SetDenylist directly.
+			// controller still limits, and the drop is recorded on the
+			// probe-failure counter so statz/metrics expose the gap. Callers
+			// that need hard startup failure (cmd/psigened does) pass no
+			// initial Denylist and call SetDenylist themselves.
 			c.denylist.Store(nil)
 		}
 	}
@@ -201,6 +208,7 @@ func (c *Controller) SetDenylist(s *CIDRSet) error {
 		return nil
 	}
 	if err := probeCIDRSet(s); err != nil {
+		c.denyProbeFailures.Add(1)
 		return err
 	}
 	c.denylist.Store(s)
@@ -251,7 +259,7 @@ func (c *Controller) CheckCaller(caller Caller) Decision {
 	}
 	now := c.cfg.Now().UnixNano()
 	d := Decision{Verdict: Allow, Key: caller.Key}
-	c.callers.withState(caller.Key, func(st *callerState) {
+	c.callers.withState(caller.Key, now, func(st *callerState) {
 		d = c.step(st, caller.Key, now)
 	})
 	switch d.Verdict {
@@ -346,21 +354,25 @@ type Stats struct {
 	// DenylistEntries and DenylistGeneration describe the serving trie.
 	DenylistEntries    int64  `json:"denylistEntries"`
 	DenylistGeneration uint64 `json:"denylistGeneration"`
+	// DenylistProbeFailures counts candidate sets the validate-probe-swap
+	// gate rejected; the old set (possibly none) kept serving each time.
+	DenylistProbeFailures int64 `json:"denylistProbeFailures"`
 }
 
 // Stats assembles the counters.
 func (c *Controller) Stats() Stats {
 	tracked, evictions := c.callers.stats()
 	s := Stats{
-		Checked:            c.checked.Load(),
-		Allowed:            c.allowed.Load(),
-		Denied:             c.denied.Load(),
-		Limited:            c.limited.Load(),
-		Boxed:              c.boxed.Load(),
-		Recoveries:         c.recoveries.Load(),
-		TrackedCallers:     int64(tracked),
-		Evictions:          evictions,
-		DenylistGeneration: c.denyGen.Load(),
+		Checked:               c.checked.Load(),
+		Allowed:               c.allowed.Load(),
+		Denied:                c.denied.Load(),
+		Limited:               c.limited.Load(),
+		Boxed:                 c.boxed.Load(),
+		Recoveries:            c.recoveries.Load(),
+		TrackedCallers:        int64(tracked),
+		Evictions:             evictions,
+		DenylistGeneration:    c.denyGen.Load(),
+		DenylistProbeFailures: c.denyProbeFailures.Load(),
 	}
 	s.DenylistEntries = int64(c.denylist.Load().Len())
 	return s

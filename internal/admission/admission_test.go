@@ -171,6 +171,41 @@ func TestControllerDenylist(t *testing.T) {
 	}
 }
 
+// TestControllerProbeFailureIsCounted: an initial denylist the probe
+// rejects is dropped, but the drop must be observable — generation stays
+// 0 while the probe-failure counter records it, so an operator can tell
+// "serving with no denylist" apart from "denylist installed".
+func TestControllerProbeFailureIsCounted(t *testing.T) {
+	corrupt := &CIDRSet{
+		nodes: []trieNode{{bits: -1, terminal: true, child: [2]int32{-1, -1}}},
+		root4: -1, root6: 0, n: 1,
+	}
+	clk := &fakeClock{}
+	c := New(Config{QPS: 1, Denylist: corrupt, Now: clk.now})
+	set, gen := c.Denylist()
+	if set != nil || gen != 0 {
+		t.Fatalf("corrupt initial denylist must not serve: set=%v gen=%d", set, gen)
+	}
+	s := c.Stats()
+	if s.DenylistProbeFailures != 1 || s.DenylistGeneration != 0 || s.DenylistEntries != 0 {
+		t.Fatalf("probe drop not surfaced: %+v", s)
+	}
+	// SetDenylist reports the same rejection as a hard error and counts it.
+	if err := c.SetDenylist(corrupt); err == nil {
+		t.Fatal("SetDenylist must reject a probe-failing set")
+	}
+	if s := c.Stats(); s.DenylistProbeFailures != 2 {
+		t.Fatalf("probe failures = %d, want 2", s.DenylistProbeFailures)
+	}
+	// The controller still rate-limits with no denylist serving.
+	if d := c.CheckCaller(testCaller("a")); d.Verdict != Allow {
+		t.Fatalf("first request: %v", d.Verdict)
+	}
+	if d := c.CheckCaller(testCaller("a")); d.Verdict != Limited {
+		t.Fatalf("second in-window request must limit: %v", d.Verdict)
+	}
+}
+
 func TestControllerZeroConfigAllowsEverything(t *testing.T) {
 	c := New(Config{})
 	for i := 0; i < 10; i++ {

@@ -83,16 +83,17 @@ func (t *callerTable) shard(key string) *lruShard {
 }
 
 // withState runs fn with the caller's state under the shard lock,
-// creating (and, at capacity, evicting) as needed. fn must not block —
-// it is pure limiter arithmetic — so the critical section stays a few
-// dozen nanoseconds.
-func (t *callerTable) withState(key string, fn func(*callerState)) {
+// creating (and, at capacity, evicting) as needed. now is the decision
+// clock, used to keep penalty-boxed entries out of eviction's way. fn
+// must not block — it is pure limiter arithmetic — so the critical
+// section stays a few dozen nanoseconds.
+func (t *callerTable) withState(key string, now int64, fn func(*callerState)) {
 	s := t.shard(key)
 	s.mu.Lock()
 	e := s.entries[key]
 	if e == nil {
 		if len(s.entries) >= s.cap {
-			s.evictTail()
+			s.evictTail(now)
 		}
 		e = &lruEntry{key: key}
 		s.entries[key] = e
@@ -105,9 +106,29 @@ func (t *callerTable) withState(key string, fn func(*callerState)) {
 	s.mu.Unlock()
 }
 
-// evictTail drops the least-recently-used entry. Caller holds the lock.
-func (s *lruShard) evictTail() {
+// evictScanLimit bounds how many tail entries evictTail inspects looking
+// for a non-boxed victim, keeping the critical section O(1) even when a
+// run of boxed entries has drifted to the tail.
+const evictScanLimit = 8
+
+// evictTail drops the least-recently-used entry that is not serving a
+// penalty block. A boxed caller goes idle precisely because it is
+// complying with Retry-After, which drifts it to the tail — evicting it
+// would hand back a zero-strike state, and an attacker who can mint keys
+// could churn the shard deliberately to wash out its own block. So the
+// scan prefers the LRU entry whose block (if any) has lapsed. The
+// exemption is best-effort, not absolute: if every scanned entry is boxed
+// the true tail is evicted anyway, because the memory bound is the harder
+// promise — a caller evicted mid-block returns with its strikes reset and
+// must re-earn the box. Caller holds the lock.
+func (s *lruShard) evictTail(now int64) {
 	e := s.tail
+	for scanned := 0; e != nil && e.state.blockedUntil > now && scanned < evictScanLimit; scanned++ {
+		e = e.prev
+	}
+	if e == nil || e.state.blockedUntil > now {
+		e = s.tail
+	}
 	if e == nil {
 		return
 	}

@@ -12,7 +12,7 @@ func TestCallerTableBoundedEviction(t *testing.T) {
 	tab := newCallerTable(1, 4)
 	touch := func(key string) *callerState {
 		var got *callerState
-		tab.withState(key, func(st *callerState) { got = st })
+		tab.withState(key, 0, func(st *callerState) { got = st })
 		return got
 	}
 	for i := 0; i < 4; i++ {
@@ -35,6 +35,67 @@ func TestCallerTableBoundedEviction(t *testing.T) {
 	}
 	if _, evictions = tab.stats(); evictions != 2 {
 		t.Fatalf("evictions=%d, want 2", evictions)
+	}
+}
+
+func TestCallerTableEvictionSparesBoxed(t *testing.T) {
+	// A penalty-boxed caller that complies with Retry-After goes idle and
+	// drifts to the tail; key churn must not wash out its block — eviction
+	// prefers the LRU non-boxed entry.
+	tab := newCallerTable(1, 4)
+	touch := func(key string, now int64) *callerState {
+		var got *callerState
+		tab.withState(key, now, func(st *callerState) { got = st })
+		return got
+	}
+	for i := 0; i < 4; i++ {
+		touch(fmt.Sprintf("k%d", i), 0)
+	}
+	// k0 is the LRU tail; box it until t=100.
+	tab.withState("k0", 0, func(st *callerState) { st.blockedUntil = 100; st.strikes = 2 })
+	// ...which makes k0 most-recent; push it back to the tail region.
+	touch("k1", 1)
+	touch("k2", 1)
+	touch("k3", 1)
+	// Churn two fresh keys mid-block: the boxed k0 must survive both
+	// evictions while non-boxed LRU entries (k1, then k2) go instead.
+	touch("n0", 50)
+	touch("n1", 50)
+	if st := touch("k0", 50); st.blockedUntil != 100 || st.strikes != 2 {
+		t.Fatalf("boxed k0 lost its penalty state: %+v", *st)
+	}
+	if _, evictions := tab.stats(); evictions != 2 {
+		t.Fatalf("evictions=%d, want 2", evictions)
+	}
+	// Once the block lapses the entry is ordinary LRU prey again.
+	tab.withState("k0", 150, func(st *callerState) { st.blockedUntil = 0 })
+	touch("n2", 150) // evicts the now-unboxed LRU entry, bound holds
+	tracked, _ := tab.stats()
+	if tracked != 4 {
+		t.Fatalf("tracked=%d, want the cap of 4", tracked)
+	}
+}
+
+func TestCallerTableEvictionAllBoxedFallsBack(t *testing.T) {
+	// The boxed exemption is best-effort: when every entry is boxed the
+	// memory bound wins and the true LRU tail is evicted anyway.
+	tab := newCallerTable(1, 3)
+	for i := 0; i < 3; i++ {
+		tab.withState(fmt.Sprintf("k%d", i), 0, func(st *callerState) { st.blockedUntil = 1000 })
+	}
+	tab.withState("fresh", 5, func(st *callerState) {})
+	tracked, evictions := tab.stats()
+	if tracked != 3 || evictions != 1 {
+		t.Fatalf("tracked=%d evictions=%d, want 3 and 1", tracked, evictions)
+	}
+	// k0 (the tail) was sacrificed; k1 and k2 keep their blocks.
+	var gone bool
+	tab.shards[0].mu.Lock()
+	_, ok := tab.shards[0].entries["k0"]
+	gone = !ok
+	tab.shards[0].mu.Unlock()
+	if !gone {
+		t.Fatal("all-boxed shard must still evict its tail to hold the bound")
 	}
 }
 
@@ -63,7 +124,7 @@ func TestCallerTableConcurrentChurn(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
 				key := fmt.Sprintf("g%d-k%d", g, i%100)
-				tab.withState(key, func(st *callerState) { st.rejections++ })
+				tab.withState(key, 0, func(st *callerState) { st.rejections++ })
 			}
 		}(g)
 	}

@@ -113,14 +113,27 @@ func commonPrefixLen(a, b u128, limit int32) int32 {
 // BuildCIDRSet constructs the trie from prefixes. Invalid (zero) prefixes
 // are rejected; duplicates and nested prefixes are legal (membership is
 // "any entry contains the address", so a /16 absorbs lookups that a
-// nested /24 would also match).
+// nested /24 would also match). IPv4-mapped IPv6 prefixes covering at
+// least the 96-bit mapping prefix are translated to the v4 range they
+// denote (::ffff:10.0.0.0/104 behaves as 10.0.0.0/8); a mapped prefix
+// shorter than /96 spans non-mapped v6 space no lookup can reach after
+// unmapping, so it is rejected rather than silently matching nothing.
 func BuildCIDRSet(prefixes []netip.Prefix) (*CIDRSet, error) {
 	s := &CIDRSet{root4: -1, root6: -1}
 	for _, p := range prefixes {
 		if !p.IsValid() {
 			return nil, fmt.Errorf("admission: invalid prefix %v", p)
 		}
-		p = netip.PrefixFrom(p.Addr().Unmap(), p.Bits()).Masked()
+		if p.Addr().Is4In6() {
+			if p.Bits() < 96 {
+				return nil, fmt.Errorf("admission: IPv4-mapped prefix %v is shorter than /96; use the IPv4 CIDR or a native IPv6 range", p)
+			}
+			p = netip.PrefixFrom(p.Addr().Unmap(), p.Bits()-96)
+		}
+		p = p.Masked()
+		if !p.IsValid() {
+			return nil, fmt.Errorf("admission: invalid prefix %v", p)
+		}
 		v, width := ipValue(p.Addr())
 		pb := int32(p.Bits())
 		if width == 32 {
@@ -217,16 +230,29 @@ func (s *CIDRSet) Len() int {
 }
 
 // probeCIDRSet is the validate step of the denylist's validate-probe-swap
-// reload: before a trie becomes the serving denylist it must answer a
-// handful of structurally interesting lookups without panicking —
-// both families, the zero address, and a broadcast-style all-ones
-// address. A trie that cannot survive the probe never serves.
+// reload: before a trie becomes the serving denylist its arena must pass
+// a structural walk — every reachable node's prefix length inside the
+// family's address width, child indices in bounds, child prefixes strict
+// extensions of their parent — and it must answer a handful of
+// structurally interesting lookups without panicking. The walk is what
+// catches a corrupt node that lookups would silently *mis-answer* rather
+// than panic on (a node with bits outside [0,width] matches everything);
+// the lookups catch panics the walk's invariants don't model. A trie
+// that cannot survive the probe never serves.
 func probeCIDRSet(s *CIDRSet) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("admission: denylist probe panicked: %v", r)
 		}
 	}()
+	if s != nil {
+		if err := s.validate(s.root4, 32); err != nil {
+			return fmt.Errorf("admission: denylist probe: v4 subtrie: %w", err)
+		}
+		if err := s.validate(s.root6, 128); err != nil {
+			return fmt.Errorf("admission: denylist probe: v6 subtrie: %w", err)
+		}
+	}
 	probes := []netip.Addr{
 		netip.MustParseAddr("0.0.0.0"),
 		netip.MustParseAddr("255.255.255.255"),
@@ -237,6 +263,55 @@ func probeCIDRSet(s *CIDRSet) (err error) {
 	}
 	for _, ip := range probes {
 		_ = s.Contains(ip)
+	}
+	return nil
+}
+
+// validate walks the subtrie rooted at ni checking the invariants Contains
+// relies on. Depth is bounded by width (every child strictly lengthens the
+// prefix), so recursion is safe; a cycle or stray index manifests as a
+// bits violation or an out-of-range child before it can run away.
+func (s *CIDRSet) validate(ni, width int32) error {
+	if ni < 0 {
+		return nil
+	}
+	if int(ni) >= len(s.nodes) {
+		return fmt.Errorf("root index %d out of range (%d nodes)", ni, len(s.nodes))
+	}
+	n := s.nodes[ni]
+	if n.bits < 0 || n.bits > width {
+		return fmt.Errorf("node %d: prefix length %d outside [0,%d]", ni, n.bits, width)
+	}
+	return s.validateNode(ni, width)
+}
+
+func (s *CIDRSet) validateNode(ni, width int32) error {
+	n := s.nodes[ni]
+	nv := u128{hi: n.hi, lo: n.lo}
+	if maskBits(nv, n.bits) != nv {
+		return fmt.Errorf("node %d: value has bits set past its /%d prefix", ni, n.bits)
+	}
+	for b, ci := range n.child {
+		if ci < 0 {
+			continue
+		}
+		if int(ci) >= len(s.nodes) {
+			return fmt.Errorf("node %d: child[%d] index %d out of range (%d nodes)", ni, b, ci, len(s.nodes))
+		}
+		c := s.nodes[ci]
+		if c.bits <= n.bits || c.bits > width {
+			return fmt.Errorf("node %d (/%d): child[%d] node %d has prefix length %d outside (%d,%d]", ni, n.bits, b, ci, c.bits, n.bits, width)
+		}
+		cv := u128{hi: c.hi, lo: c.lo}
+		if maskBits(cv, n.bits) != nv {
+			return fmt.Errorf("node %d: child[%d] node %d does not extend the parent prefix", ni, b, ci)
+		}
+		if bitAt(cv, n.bits) != int32(b) {
+			return fmt.Errorf("node %d: child[%d] node %d sits under the wrong branch bit", ni, b, ci)
+		}
+		if err := s.validateNode(ci, width); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -82,6 +82,51 @@ func TestCIDRSetNestedAndDuplicate(t *testing.T) {
 	}
 }
 
+// TestCIDRSetMappedPrefix is the regression test for the IPv4-mapped
+// CIDR bug: ::ffff:10.0.0.0/104 used to be unmapped to a 4-byte address
+// while keeping its 104-bit length, producing an invalid prefix that was
+// inserted as a match-all node in the IPv6 root — one denylist line
+// 403'ing every IPv6 client (or, as a trusted-proxy entry, trusting every
+// IPv6 peer) while blocking nothing in the intended range.
+func TestCIDRSetMappedPrefix(t *testing.T) {
+	s := mustSet(t, "::ffff:10.0.0.0/104") // denotes 10.0.0.0/8
+	for ip, want := range map[string]bool{
+		"10.1.2.3":        true,
+		"::ffff:10.1.2.3": true, // lookups unmap, so the mapped form matches too
+		"11.0.0.1":        false,
+		"9.255.255.255":   false,
+		// The bug made these all match: the v6 root must stay untouched.
+		"::":          false,
+		"2001:db8::1": false,
+		"fe80::1":     false,
+	} {
+		if got := s.Contains(netip.MustParseAddr(ip)); got != want {
+			t.Errorf("Contains(%s) = %v, want %v", ip, got, want)
+		}
+	}
+	if err := probeCIDRSet(s); err != nil {
+		t.Fatalf("probe of a translated mapped prefix: %v", err)
+	}
+
+	// The full mapping prefix denotes all of v4.
+	all4 := mustSet(t, "::ffff:0:0/96")
+	if !all4.Contains(netip.MustParseAddr("203.0.113.1")) {
+		t.Error("::ffff:0:0/96 must cover every v4 address")
+	}
+	if all4.Contains(netip.MustParseAddr("2001:db8::1")) {
+		t.Error("::ffff:0:0/96 must not cover native v6 addresses")
+	}
+
+	// A mapped prefix shorter than /96 spans space no unmapped lookup can
+	// reach; silently matching nothing is worse than failing the build.
+	if _, err := BuildCIDRSet([]netip.Prefix{netip.MustParsePrefix("::ffff:10.0.0.0/95")}); err == nil {
+		t.Fatal("mapped prefix shorter than /96 must be rejected")
+	}
+	if _, err := ParseDenylist(strings.NewReader("::ffff:10.0.0.0/104\n")); err != nil {
+		t.Fatalf("mapped CIDR denylist line: %v", err)
+	}
+}
+
 func TestCIDRSetEmptyAndNil(t *testing.T) {
 	var nilSet *CIDRSet
 	if nilSet.Contains(netip.MustParseAddr("1.2.3.4")) {
@@ -302,6 +347,31 @@ func TestProbeCIDRSet(t *testing.T) {
 	broken.nodes[broken.root4].child[1] = 1 << 30
 	if err := probeCIDRSet(broken); err == nil {
 		t.Fatal("probe must reject a trie whose lookup panics")
+	}
+}
+
+// TestProbeCIDRSetCatchesCorruptBits: the structural walk must reject
+// nodes whose prefix length escapes the family's address width — the
+// exact shape the mapped-prefix bug produced (a bits=-1 node acting as an
+// IPv6 match-all), which lookups answer without panicking and an
+// address-probe alone would read as a legal "deny everything" set.
+func TestProbeCIDRSetCatchesCorruptBits(t *testing.T) {
+	matchAll := &CIDRSet{
+		nodes: []trieNode{{bits: -1, terminal: true, child: [2]int32{-1, -1}}},
+		root4: -1, root6: 0, n: 1,
+	}
+	// Demonstrate the severity: the corrupt node silently matches any v6.
+	if !matchAll.Contains(netip.MustParseAddr("2001:db8::1")) {
+		t.Fatal("corrupt node should be a v6 match-all (test premise)")
+	}
+	if err := probeCIDRSet(matchAll); err == nil {
+		t.Fatal("probe must reject a node with bits < 0")
+	}
+
+	tooLong := mustSet(t, "10.0.0.0/8")
+	tooLong.nodes[tooLong.root4].bits = 104 // v4 nodes cap at /32
+	if err := probeCIDRSet(tooLong); err == nil {
+		t.Fatal("probe must reject a v4 node with bits > 32")
 	}
 }
 

@@ -48,6 +48,7 @@ func writeMetrics(w io.Writer, s Snapshot) {
 		gauge("psigened_admission_tracked_callers", "Caller limiter states currently held in the LRU.", float64(a.TrackedCallers))
 		gauge("psigened_denylist_entries", "Entries in the serving denylist trie.", float64(a.DenylistEntries))
 		gauge("psigened_denylist_generation", "Denylist swap generation.", float64(a.DenylistGeneration))
+		counter("psigened_denylist_probe_failures_total", "Candidate denylists rejected by the validate-probe-swap gate.", a.DenylistProbeFailures)
 	}
 
 	gauge("psigened_draining", "1 while the gateway is draining, 0 otherwise.", boolGauge(s.Draining))
