@@ -11,10 +11,12 @@
 // (not part of "all") write machine-readable JSON reports to -out:
 // "lifecycle" benchmarks the crawl→retrain→validate→canary loop,
 // "fastpath" benchmarks the serving fast path with the literal prefilter
-// on vs. off (BENCH_fastpath.json), and "abuse" benchmarks per-client
+// on vs. off (BENCH_fastpath.json), "abuse" benchmarks per-client
 // admission control — zipfian keyed checks, million-entry denylist
 // lookups, gateway overhead — plus the deterministic storm outcome
-// (BENCH_abuse.json).
+// (BENCH_abuse.json), and "fleet" benchmarks the multi-replica front —
+// routing overhead, failover path, reload fanout, ring spread
+// (BENCH_fleet.json).
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("evalharness", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, fastpath, abuse, all)")
+		exp        = fs.String("experiment", "all", "which experiment to run (table1..table6, figure2..figure4, incremental, perdisci, perf, ablations, lifecycle, fastpath, abuse, fleet, all)")
 		out        = fs.String("out", "", "write figure artifacts (SVG/CSV) to this file")
 		paperScale = fs.Bool("paper-scale", false, "use the paper's full corpus sizes (slow)")
 
@@ -82,7 +84,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	}
 
 	sel := strings.ToLower(*exp)
-	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle" && sel != "fastpath" && sel != "abuse"
+	needsEnv := sel != "table1" && sel != "table2" && sel != "table4" && sel != "lifecycle" && sel != "fastpath" && sel != "abuse" && sel != "fleet"
 
 	var env *experiments.Env
 	if needsEnv {
@@ -300,6 +302,28 @@ func run(args []string, w io.Writer) (retErr error) {
 			st := res.Storm
 			fmt.Fprintf(w, "storm: hot caller %d allowed / %d limited / %d boxed (%d strikes); %d benign callers %d allowed, %d shed\n",
 				st.HotAllowed, st.HotLimited, st.HotBoxed, st.HotStrikes, st.BenignCallers, st.BenignAllowed, st.BenignShed)
+			if *out != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "JSON written to %s\n", *out)
+			}
+		case "fleet":
+			res, err := experiments.FleetBenchmark(scale.Seed)
+			if err != nil {
+				return err
+			}
+			tbl := &report.Table{Title: "Fleet benchmark", Headers: []string{"Case", "ns/op", "allocs/op", "B/op", "ops/s"}}
+			for _, c := range res.Cases {
+				tbl.AddRow(c.Name, report.F(c.NsPerOp, 0), fmt.Sprint(c.AllocsPerOp), fmt.Sprint(c.BytesPerOp), report.F(c.OpsPerSec, 0))
+			}
+			tbl.Render(w)
+			fmt.Fprintf(w, "front overhead: %.1f%%; failover penalty (1/%d down): %.1f%%; reload fanout %.1fms over %d rounds; spread %v\n",
+				res.FrontOverheadPct, res.Replicas, res.FailoverPenaltyPct, res.ReloadFanoutMillis, res.ReloadRounds, res.Spread)
 			if *out != "" {
 				blob, err := json.MarshalIndent(res, "", "  ")
 				if err != nil {

@@ -50,6 +50,7 @@ import (
 
 	"psigene/internal/admission"
 	"psigene/internal/core"
+	"psigene/internal/fleet"
 	"psigene/internal/gateway"
 )
 
@@ -126,11 +127,19 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		upTimeout    = fs.Duration("upstream-timeout", 5*time.Second, "deadline slice for the upstream leg")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 
+		// Fleet mode (see internal/fleet): N in-process gateway replicas
+		// behind a consistent-hash front with per-replica health,
+		// failover, and coordinated two-phase model reloads.
+		fleetN = fs.Int("fleet", 1, "number of in-process gateway replicas; >1 serves through the fleet front (caller-affine routing, ejection/failover, coordinated reloads)")
+
 		// Per-client abuse control (see internal/admission). Admission is
 		// enabled when any tier limit or a denylist is configured.
 		qps          = fs.Int("qps", 0, "per-caller requests per second; 0 disables the tier")
 		qpm          = fs.Int("qpm", 0, "per-caller requests per minute; 0 disables the tier")
 		qpd          = fs.Int("qpd", 0, "per-caller requests per day; 0 disables the tier")
+		qpsStrikes   = fs.Int("qps-strikes", 0, "qps-tier rejections before the penalty box; 0 keeps the shared default of 3")
+		qpmStrikes   = fs.Int("qpm-strikes", 0, "qpm-tier rejections before the penalty box; 0 keeps the shared default of 3")
+		qpdStrikes   = fs.Int("qpd-strikes", 0, "qpd-tier rejections before the penalty box; 0 keeps the shared default of 3")
 		blockSecs    = fs.Int("block-seconds", 10, "base penalty-box duration for repeat limit abusers; escalates per strike")
 		maxBlockSecs = fs.Int("max-block-seconds", 3600, "cap on the escalating penalty-box duration")
 		maxCallers   = fs.Int("max-callers", 1<<16, "bound on tracked caller limiter states (LRU-evicted beyond it)")
@@ -156,6 +165,10 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		return fmt.Errorf("unknown -policy %q (want open or closed)", *policy)
 	}
 
+	if *fleetN < 1 {
+		return fmt.Errorf("-fleet must be at least 1 replica")
+	}
+
 	m, man, err := core.LoadAny(*model)
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
@@ -163,10 +176,14 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 
 	// Per-client admission control: built only when a tier or denylist is
 	// configured, so the zero-flag deployment keeps the pre-admission
-	// data path byte for byte.
-	var ctrl *admission.Controller
-	if *qps > 0 || *qpm > 0 || *qpd > 0 || *denylistPath != "" {
-		var trusted *admission.CIDRSet
+	// data path byte for byte. In fleet mode each replica gets its own
+	// controller — the front's caller-affine routing keeps any one
+	// caller's limiter state on one replica, so per-replica controllers
+	// behave like the single-instance one without shared locks.
+	admissionOn := *qps > 0 || *qpm > 0 || *qpd > 0 || *denylistPath != ""
+	var trusted, denied *admission.CIDRSet
+	var admissionSeed int64
+	if admissionOn {
 		if *trustedProxy != "" {
 			prefixes, err := parseCIDRList(*trustedProxy)
 			if err != nil {
@@ -176,22 +193,28 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 				return fmt.Errorf("-trusted-proxies: %w", err)
 			}
 		}
-		var denied *admission.CIDRSet
 		if *denylistPath != "" {
 			if denied, err = admission.LoadDenylistFile(*denylistPath); err != nil {
 				return fmt.Errorf("-denylist: %w", err)
 			}
 		}
-		seed, err := randomSeed()
-		if err != nil {
+		if admissionSeed, err = randomSeed(); err != nil {
 			return err
 		}
-		ctrl = admission.New(admission.Config{
+	}
+	newController := func() (*admission.Controller, error) {
+		if !admissionOn {
+			return nil, nil
+		}
+		ctrl := admission.New(admission.Config{
 			QPS: *qps, QPM: *qpm, QPD: *qpd,
+			QPSStrikes:      *qpsStrikes,
+			QPMStrikes:      *qpmStrikes,
+			QPDStrikes:      *qpdStrikes,
 			BlockSeconds:    *blockSecs,
 			MaxBlockSeconds: *maxBlockSecs,
 			MaxCallers:      *maxCallers,
-			Seed:            seed,
+			Seed:            admissionSeed,
 			Identity: admission.Identity{
 				Header:         *keyHeader,
 				Cookie:         *keyCookie,
@@ -203,28 +226,66 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		// an operator who configured a denylist never serves without one.
 		if denied != nil {
 			if err := ctrl.SetDenylist(denied); err != nil {
-				return fmt.Errorf("-denylist: %w", err)
+				return nil, fmt.Errorf("-denylist: %w", err)
 			}
 		}
+		return ctrl, nil
 	}
 
-	g, err := gateway.New(*upstream, m, gateway.Options{
-		MaxInFlight:     *maxInFlight,
-		MaxBodyBytes:    *maxBody,
-		ScoreBudget:     *scoreBudget,
-		UpstreamTimeout: *upTimeout,
-		Policy:          pol,
-		ModelVersion:    man.Version,
-		ModelSHA256:     man.ModelSHA256,
-		Admission:       ctrl,
-	})
-	if err != nil {
-		return err
+	replicas := make([]*gateway.Gateway, *fleetN)
+	var firstCtrl *admission.Controller
+	for i := range replicas {
+		ctrl, err := newController()
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			firstCtrl = ctrl
+		}
+		replicas[i], err = gateway.New(*upstream, m, gateway.Options{
+			MaxInFlight:     *maxInFlight,
+			MaxBodyBytes:    *maxBody,
+			ScoreBudget:     *scoreBudget,
+			UpstreamTimeout: *upTimeout,
+			Policy:          pol,
+			ModelVersion:    man.Version,
+			ModelSHA256:     man.ModelSHA256,
+			Admission:       ctrl,
+		})
+		if err != nil {
+			return err
+		}
 	}
-	if ctrl != nil {
-		set, _ := ctrl.Denylist()
+	g := replicas[0]
+	if firstCtrl != nil {
+		set, _ := firstCtrl.Denylist()
 		fmt.Fprintf(w, "psigened: per-client admission on (qps=%d qpm=%d qpd=%d, denylist %d entries)\n",
 			*qps, *qpm, *qpd, set.Len())
+	}
+
+	// Fleet mode wraps the replicas in the consistent-hash front; the
+	// single-replica deployment serves the gateway directly, byte for
+	// byte what it was before fleet mode existed. When admission keys
+	// callers by a header, the ring routes by the same header so caller
+	// affinity and admission identity agree.
+	var handler http.Handler = g
+	drain := g.Drain
+	var front *fleet.Front
+	if *fleetN > 1 {
+		fleetSeed, err := randomSeed()
+		if err != nil {
+			return err
+		}
+		opts := fleet.Options{Seed: fleetSeed}
+		if *keyHeader != "" {
+			opts.KeyFunc = fleet.HeaderKey(*keyHeader)
+		}
+		if front, err = fleet.New(replicas, opts); err != nil {
+			return err
+		}
+		handler = front
+		drain = front.Drain
+		fmt.Fprintf(w, "psigened: fleet mode: %d replicas behind the consistent-hash front\n", *fleetN)
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -236,7 +297,7 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		hooks.ready <- ln.Addr().String()
 	}
 
-	srv := &http.Server{Handler: g}
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 2)
 	go func() {
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
@@ -265,12 +326,25 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 		if dd == "" && *denylistPath != "" {
 			dd = filepath.Dir(*denylistPath)
 		}
-		adminSrv = &http.Server{Handler: g.Admin(gateway.AdminConfig{
-			Token:    *adminToken,
-			ModelDir: dir,
-			DenyDir:  dd,
-			Log:      w,
-		})}
+		// In fleet mode the admin surface is the front's: statz and
+		// metrics aggregate every replica, and reload is the two-phase
+		// all-or-nothing fanout instead of a single gateway's swap.
+		var adminHandler http.Handler
+		if front != nil {
+			adminHandler = front.Admin(fleet.AdminConfig{
+				Token:    *adminToken,
+				ModelDir: dir,
+				Log:      w,
+			})
+		} else {
+			adminHandler = g.Admin(gateway.AdminConfig{
+				Token:    *adminToken,
+				ModelDir: dir,
+				DenyDir:  dd,
+				Log:      w,
+			})
+		}
+		adminSrv = &http.Server{Handler: adminHandler}
 		go func() {
 			if err := adminSrv.Serve(adminLn); !errors.Is(err, http.ErrServerClosed) {
 				errCh <- err
@@ -296,7 +370,7 @@ func run(args []string, w io.Writer, hooks *testHooks) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := g.Drain(ctx); err != nil {
+	if err := drain(ctx); err != nil {
 		fmt.Fprintf(w, "psigened: drain incomplete: %v\n", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -156,6 +156,117 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonFleetMode boots the daemon with -fleet 3: the data path
+// serves through the front (every verdict carries the replica header),
+// the admin surface is the fleet aggregate (per-replica statz, labeled
+// metrics), reload fans out to every replica, and -fleet 0 is rejected.
+func TestDaemonFleetMode(t *testing.T) {
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), 45).Requests(1200)
+	benign := traffic.NewGenerator(46).Requests(1500)
+	m, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(model); err != nil {
+		t.Fatal(err)
+	}
+
+	up := httptest.NewServer(webapp.New(20))
+	defer up.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-model", model, "-upstream", up.URL, "-fleet", "0"}, &sb, nil); err == nil {
+		t.Fatal("-fleet 0: want error")
+	}
+
+	hooks := &testHooks{
+		ready:      make(chan string, 1),
+		adminReady: make(chan string, 1),
+		stop:       make(chan struct{}),
+	}
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-model", model, "-upstream", up.URL, "-fleet", "3",
+			"-listen", "127.0.0.1:0", "-admin-listen", "127.0.0.1:0",
+			"-admin-token", "hunter2",
+		}, &out, hooks)
+	}()
+	base := "http://" + <-hooks.ready
+	adminBase := "http://" + <-hooks.adminReady
+
+	get := func(base, path, token string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+
+	resp, body := get(base, "/wavsep/Case1.jsp?id=3", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "<html>") {
+		t.Fatalf("benign through fleet: %d %q", resp.StatusCode, body)
+	}
+	if fl := resp.Header.Get("X-Psigene-Fleet"); fl == "" {
+		t.Fatal("fleet mode must stamp X-Psigene-Fleet on every verdict")
+	}
+	resp, _ = get(base, "/wavsep/Case1.jsp?id=1%27%20or%20%271%27=%271", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("injection through fleet: %d, want 403", resp.StatusCode)
+	}
+
+	if resp, _ := get(adminBase, "/-/readyz", "hunter2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet readyz: %d", resp.StatusCode)
+	}
+	if resp, body := get(adminBase, "/-/statz", "hunter2"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"replicas"`) || !strings.Contains(body, `"generation": 1`) {
+		t.Fatalf("fleet statz: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := get(adminBase, "/-/metrics", "hunter2"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `psigened_fleet_replica_served_total{replica="2"}`) {
+		t.Fatalf("fleet metrics: %d %s", resp.StatusCode, body)
+	}
+
+	// Reload fans out to every replica and bumps the fleet generation.
+	req, err := http.NewRequest(http.MethodPost, adminBase+"/-/reload?path=model.json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer hunter2")
+	rresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet reload: %d", rresp.StatusCode)
+	}
+	if resp, body := get(adminBase, "/-/statz", "hunter2"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"generation": 2`) {
+		t.Fatalf("statz after reload: %d %s", resp.StatusCode, body)
+	}
+
+	close(hooks.stop)
+	if err := <-done; err != nil {
+		t.Fatalf("fleet daemon exit: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fleet mode: 3 replicas") {
+		t.Fatalf("missing fleet startup log:\n%s", out.String())
+	}
+}
+
 // TestDaemonListenConflict covers the bind-failure path.
 func TestDaemonListenConflict(t *testing.T) {
 	model := filepath.Join(t.TempDir(), "model.json")

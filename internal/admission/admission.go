@@ -52,6 +52,14 @@ type Config struct {
 	// StrikeThreshold is how many tier rejections (since the last strike
 	// or recovery) escalate the caller into the penalty box. Default 3.
 	StrikeThreshold int
+	// QPSStrikes, QPMStrikes and QPDStrikes override StrikeThreshold for
+	// the tier that triggered the rejection; 0 inherits StrikeThreshold.
+	// A day-tier rejection is a much stronger abuse signal than a
+	// second-tier burst, so deployments can escalate it faster (QPDStrikes
+	// 1) without hair-triggering bursty-but-honest callers on qps. The
+	// rejection tally itself stays shared across tiers; only the
+	// escalation bar moves per tier.
+	QPSStrikes, QPMStrikes, QPDStrikes int
 	// BlockSeconds is the base penalty-box duration; each strike doubles
 	// it (jittered, capped at MaxBlockSeconds). Default 10.
 	BlockSeconds int
@@ -82,6 +90,15 @@ type Config struct {
 func (c *Config) fill() {
 	if c.StrikeThreshold <= 0 {
 		c.StrikeThreshold = 3
+	}
+	if c.QPSStrikes <= 0 {
+		c.QPSStrikes = c.StrikeThreshold
+	}
+	if c.QPMStrikes <= 0 {
+		c.QPMStrikes = c.StrikeThreshold
+	}
+	if c.QPDStrikes <= 0 {
+		c.QPDStrikes = c.StrikeThreshold
 	}
 	if c.BlockSeconds <= 0 {
 		c.BlockSeconds = 10
@@ -292,21 +309,22 @@ func (c *Controller) step(st *callerState, key string, now int64) Decision {
 		c.recoveries.Add(1)
 	}
 	tiers := [3]struct {
-		name   string
-		limit  int
-		width  int64
-		window *resilience.Window
+		name     string
+		limit    int
+		width    int64
+		window   *resilience.Window
+		strikeAt int
 	}{
-		{"qps", c.cfg.QPS, widthSecond, &st.sec},
-		{"qpm", c.cfg.QPM, widthMinute, &st.min},
-		{"qpd", c.cfg.QPD, widthDay, &st.day},
+		{"qps", c.cfg.QPS, widthSecond, &st.sec, c.cfg.QPSStrikes},
+		{"qpm", c.cfg.QPM, widthMinute, &st.min, c.cfg.QPMStrikes},
+		{"qpd", c.cfg.QPD, widthDay, &st.day, c.cfg.QPDStrikes},
 	}
 	for _, tier := range tiers {
 		if tier.window.Allow(now, int64(tier.limit), tier.width) {
 			continue
 		}
 		st.rejections++
-		if st.rejections >= c.cfg.StrikeThreshold {
+		if st.rejections >= tier.strikeAt {
 			st.strikes++
 			st.rejections = 0
 			block := resilience.Penalty(

@@ -253,3 +253,77 @@ func TestControllerStats(t *testing.T) {
 		t.Fatalf("gauges: %+v", s)
 	}
 }
+
+// TestPerTierStrikesDefaultMatchesLegacy pins the compatibility contract
+// for the per-tier thresholds: a config that leaves QPS/QPM/QPDStrikes
+// unset must make exactly the decisions the shared StrikeThreshold made
+// before they existed — verified by driving an identical abusive sequence
+// through an implicit and an explicit controller in clock lockstep and
+// comparing every Decision field.
+func TestPerTierStrikesDefaultMatchesLegacy(t *testing.T) {
+	clkA, clkB := &fakeClock{}, &fakeClock{}
+	legacy := New(Config{QPS: 1, QPM: 10, StrikeThreshold: 2, BlockSeconds: 4, Seed: 7, Now: clkA.now})
+	explicit := New(Config{QPS: 1, QPM: 10, StrikeThreshold: 2,
+		QPSStrikes: 2, QPMStrikes: 2, QPDStrikes: 2,
+		BlockSeconds: 4, Seed: 7, Now: clkB.now})
+
+	for i := 0; i < 60; i++ {
+		// A bursty cadence that crosses window edges, earns strikes, sits
+		// out blocks, and recovers — the whole state machine.
+		step := 300 * time.Millisecond
+		if i%7 == 0 {
+			step = 2 * time.Second
+		}
+		clkA.advance(step)
+		clkB.advance(step)
+		da := legacy.CheckCaller(testCaller("a"))
+		db := explicit.CheckCaller(testCaller("a"))
+		if da != db {
+			t.Fatalf("step %d: legacy %+v vs explicit per-tier %+v", i, da, db)
+		}
+	}
+}
+
+// TestPerTierStrikesEscalateIndependently: a tier with its own threshold
+// escalates at that bar while the other tiers keep the shared default.
+func TestPerTierStrikesEscalateIndependently(t *testing.T) {
+	// qps escalates on the very first rejection.
+	clk := &fakeClock{}
+	c := New(Config{QPS: 1, QPSStrikes: 1, BlockSeconds: 4, Seed: 7, Now: clk.now})
+	ds := checkN(c, "a", 2)
+	if ds[0].Verdict != Allow {
+		t.Fatalf("allowance consumed early: %+v", ds[0])
+	}
+	if ds[1].Verdict != Boxed || ds[1].Tier != "qps" || ds[1].Strikes != 1 {
+		t.Fatalf("qps with QPSStrikes=1 must box on first rejection: %+v", ds[1])
+	}
+
+	// The day tier escalates on its first rejection while qps rejections
+	// still take the default three strikes.
+	clk2 := &fakeClock{}
+	c2 := New(Config{QPS: 100, QPD: 2, QPDStrikes: 1, BlockSeconds: 4, Seed: 7, Now: clk2.now})
+	for i := 0; i < 2; i++ {
+		clk2.advance(time.Second)
+		if d := c2.CheckCaller(testCaller("b")); d.Verdict != Allow {
+			t.Fatalf("request %d under qpd=2: %+v", i, d)
+		}
+	}
+	clk2.advance(time.Second)
+	if d := c2.CheckCaller(testCaller("b")); d.Verdict != Boxed || d.Tier != "qpd" {
+		t.Fatalf("qpd with QPDStrikes=1 must box immediately: %+v", d)
+	}
+
+	// And qpm with a raised bar tolerates more rejections than the shared
+	// default would have.
+	clk3 := &fakeClock{}
+	c3 := New(Config{QPM: 1, StrikeThreshold: 2, QPMStrikes: 4, BlockSeconds: 4, Seed: 7, Now: clk3.now})
+	ds3 := checkN(c3, "c", 4) // allowance + 3 rejections, all under the raised bar
+	for i, d := range ds3[1:] {
+		if d.Verdict != Limited {
+			t.Fatalf("rejection %d with QPMStrikes=4: %+v, want Limited", i+1, d)
+		}
+	}
+	if d := c3.CheckCaller(testCaller("c")); d.Verdict != Boxed || d.Strikes != 1 {
+		t.Fatalf("fourth rejection must finally box: %+v", d)
+	}
+}

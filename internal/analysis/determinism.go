@@ -28,7 +28,11 @@ import (
 // Admission control joins for the same reason: the abuse-chaos suite
 // replays bit-identical shed/block/recover sequences, which holds only
 // while every limiter decision reads the injected clock and every jitter
-// derives from the seed.
+// draw comes from the seeded generator. The fleet front joins last: its
+// routing ring, failover order, retry jitter and probe cadence are all
+// functions of (seed, dispatch count), and the fleet-chaos suite pins
+// its verdict stream bit-identical to a single instance — a stray
+// wall-clock or map-order dependency there breaks that parity oracle.
 var DefaultKernelPackages = []string{
 	"internal/matrix",
 	"internal/ml",
@@ -41,6 +45,7 @@ var DefaultKernelPackages = []string{
 	"internal/lifecycle",
 	"internal/gateway",
 	"internal/admission",
+	"internal/fleet",
 }
 
 func isKernelPackage(pkg *Package, kernel []string) bool {

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"psigene/internal/attackgen"
+	"psigene/internal/core"
+	"psigene/internal/fleet"
+	"psigene/internal/gateway"
+	"psigene/internal/traffic"
+)
+
+// The fleet benchmark measures what the multi-replica front costs and
+// what it buys. Costs: the per-request routing overhead of serving the
+// same benign-dominated mix through a three-replica front vs. a bare
+// gateway (hash, ring walk, health check, header stamp), and the
+// failover path's extra dispatch when a caller's home replica is down.
+// Buys: the coordinated two-phase reload's fanout time across the fleet
+// and the ring's load spread — the committed JSON pins both so a
+// routing or reload regression shows up as a diff.
+
+// FleetBenchResult is the machine-readable output of the fleet
+// benchmark (BENCH_fleet.json).
+type FleetBenchResult struct {
+	Seed     int64 `json:"seed"`
+	Replicas int   `json:"replicas"`
+	// Cases: bare gateway, fleet front, fleet front with the home
+	// replica of every caller killed (pure failover path).
+	Cases []FastpathCase `json:"cases"`
+	// FrontOverheadPct is the fleet-front vs. bare-gateway ns/op delta,
+	// as a percentage of the bare-gateway baseline.
+	FrontOverheadPct float64 `json:"frontOverheadPct"`
+	// FailoverPenaltyPct is the one-replica-down vs. all-up fleet ns/op
+	// delta: the marginal cost of the second dispatch (backoff sleeps
+	// are injected as no-ops so this times the code path, not a timer).
+	FailoverPenaltyPct float64 `json:"failoverPenaltyPct"`
+	// ReloadFanoutMillis is the mean wall time of a coordinated
+	// probe-then-commit reload across all replicas.
+	ReloadFanoutMillis float64 `json:"reloadFanoutMillis"`
+	ReloadRounds       int     `json:"reloadRounds"`
+	// Spread is the per-replica share of the all-up fleet run's
+	// requests, in routing order — pins the ring's balance.
+	Spread []int64 `json:"spread"`
+}
+
+// fleetBenchFront builds n in-memory-upstream gateways behind a front
+// with no-op failover sleeps (the benchmark times dispatching, not
+// timers).
+func fleetBenchFront(model *core.Model, n int, seed int64) (*fleet.Front, error) {
+	gws := make([]*gateway.Gateway, n)
+	for i := range gws {
+		var err error
+		gws[i], err = gateway.New("http://upstream.invalid", model, gateway.Options{
+			Client: &http.Client{Transport: memUpstream{}},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fleet.New(gws, fleet.Options{
+		Seed:  seed,
+		Sleep: func(time.Duration) {},
+	})
+}
+
+// FleetBenchmark measures the fleet front: routing overhead vs. a bare
+// gateway, the failover path, reload fanout time, and ring spread.
+func FleetBenchmark(seed int64) (*FleetBenchResult, error) {
+	const replicas = 3
+	res := &FleetBenchResult{Seed: seed, Replicas: replicas}
+
+	record := func(name string, r testing.BenchmarkResult) FastpathCase {
+		c := FastpathCase{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.NsPerOp() > 0 {
+			c.OpsPerSec = 1e9 / float64(r.NsPerOp())
+		}
+		res.Cases = append(res.Cases, c)
+		return c
+	}
+
+	attacks := attackgen.NewGenerator(attackgen.CrawlProfile(), seed).Requests(1200)
+	benign := traffic.NewGenerator(seed + 1).Requests(1500)
+	model, err := core.Train(attacks, benign, core.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	mix := fastpathMix(seed+10, 950, 50)
+	remotes := make([]string, 1024)
+	for i := range remotes {
+		remotes[i] = fmt.Sprintf("198.%d.%d.%d:1234", i%200, (i*7)%251, (i*13)%253)
+	}
+	serveBench := func(h http.Handler) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := mix[i%len(mix)]
+				target := req.Path
+				if target == "" {
+					target = "/"
+				}
+				if req.RawQuery != "" {
+					target += "?" + req.RawQuery
+				}
+				hr := httptest.NewRequest(http.MethodGet, target, nil)
+				hr.RemoteAddr = remotes[i%len(remotes)]
+				h.ServeHTTP(httptest.NewRecorder(), hr)
+			}
+		})
+	}
+
+	single, err := gateway.New("http://upstream.invalid", model, gateway.Options{
+		Client: &http.Client{Transport: memUpstream{}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	frontUp, err := fleetBenchFront(model, replicas, seed)
+	if err != nil {
+		return nil, err
+	}
+	// The failover front kills replica 0; the third of callers homed
+	// there pay the skip-and-retry path while the rest route normally —
+	// the realistic one-replica-outage mix, not a worst case.
+	frontDown, err := fleetBenchFront(model, replicas, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := frontDown.Kill(0); err != nil {
+		return nil, err
+	}
+
+	// Scoring dominates the op and single runs wobble more than the
+	// routing delta; interleave rounds and keep the fastest of each, the
+	// same estimator the abuse benchmark uses.
+	bare, up, down := serveBench(single), serveBench(frontUp), serveBench(frontDown)
+	for i := 0; i < 3; i++ {
+		if r := serveBench(single); r.NsPerOp() < bare.NsPerOp() {
+			bare = r
+		}
+		if r := serveBench(frontUp); r.NsPerOp() < up.NsPerOp() {
+			up = r
+		}
+		if r := serveBench(frontDown); r.NsPerOp() < down.NsPerOp() {
+			down = r
+		}
+	}
+	b := record("gateway/mix/single", bare)
+	u := record("fleet/mix/3-replicas", up)
+	d := record("fleet/mix/3-replicas/one-down", down)
+	if b.NsPerOp > 0 {
+		res.FrontOverheadPct = 100 * (u.NsPerOp - b.NsPerOp) / b.NsPerOp
+	}
+	if u.NsPerOp > 0 {
+		res.FailoverPenaltyPct = 100 * (d.NsPerOp - u.NsPerOp) / u.NsPerOp
+	}
+	for _, rep := range frontUp.Snapshot().ReplicaStates {
+		res.Spread = append(res.Spread, rep.Served)
+	}
+
+	// Coordinated reload fanout: probe the candidate on every replica,
+	// then commit all of them under the serve barrier. Two alternating
+	// models so every round genuinely swaps.
+	alt, err := core.Train(
+		attackgen.NewGenerator(attackgen.SQLMapProfile(), seed+2).Requests(1200),
+		traffic.NewGenerator(seed+3).Requests(1500),
+		core.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("train alternate: %w", err)
+	}
+	const rounds = 10
+	res.ReloadRounds = rounds
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		m, v := model, fmt.Sprintf("bench-a%d", i)
+		if i%2 == 0 {
+			m, v = alt, fmt.Sprintf("bench-b%d", i)
+		}
+		if _, err := frontUp.SwapAllTagged(m, v, ""); err != nil {
+			return nil, fmt.Errorf("reload round %d: %w", i, err)
+		}
+	}
+	res.ReloadFanoutMillis = float64(time.Since(start).Nanoseconds()) / 1e6 / rounds
+	return res, nil
+}

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+
+	"psigene/internal/gateway"
+	"psigene/internal/resilience"
+)
+
+// ReplicaSnapshot is one replica's row in the fleet /-/statz document:
+// the fleet-side health state plus the replica's own gateway snapshot,
+// so a half-ejected or mixed-generation fleet is visible in one read.
+type ReplicaSnapshot struct {
+	ID           int                        `json:"id"`
+	Down         bool                       `json:"down"`
+	Breaker      resilience.BreakerSnapshot `json:"breaker"`
+	Served       int64                      `json:"served"`
+	Failures     int64                      `json:"failures"`
+	Ejections    int64                      `json:"ejections"`
+	Readmissions int64                      `json:"readmissions"`
+	Generation   uint64                     `json:"generation"`
+	ModelVersion string                     `json:"modelVersion,omitempty"`
+	ModelSHA256  string                     `json:"modelSha256,omitempty"`
+	Gateway      gateway.Snapshot           `json:"gateway"`
+}
+
+// FleetSnapshot is the front's /-/statz document: fleet-level counters
+// merged with every replica's snapshot.
+type FleetSnapshot struct {
+	Replicas   int    `json:"replicas"`
+	Generation uint64 `json:"generation"`
+	// MixedModel is true when replicas disagree on the serving model's
+	// (version, hash) identity. The two-phase reload exists to keep this
+	// permanently false; it is surfaced so a violation screams rather
+	// than hides.
+	MixedModel       bool              `json:"mixedModel"`
+	Total            int64             `json:"total"`
+	Failovers        int64             `json:"failovers"`
+	Unavailable      int64             `json:"unavailable"`
+	ProbeSweeps      int64             `json:"probeSweeps"`
+	Reloads          int64             `json:"reloads"`
+	ReloadFailures   int64             `json:"reloadFailures"`
+	Rollbacks        int64             `json:"rollbacks"`
+	RollbackFailures int64             `json:"rollbackFailures"`
+	ReplicaStates    []ReplicaSnapshot `json:"replicaStates"`
+}
+
+// Snapshot assembles the fleet stats document.
+func (f *Front) Snapshot() FleetSnapshot {
+	s := FleetSnapshot{
+		Replicas:         len(f.replicas),
+		Generation:       f.gen.Load(),
+		Total:            f.stats.total.Load(),
+		Failovers:        f.stats.failovers.Load(),
+		Unavailable:      f.stats.unavailable.Load(),
+		ProbeSweeps:      f.stats.probeSweeps.Load(),
+		Reloads:          f.stats.reloads.Load(),
+		ReloadFailures:   f.stats.reloadFailures.Load(),
+		Rollbacks:        f.stats.rollbacks.Load(),
+		RollbackFailures: f.stats.rollbackFailures.Load(),
+		ReplicaStates:    make([]ReplicaSnapshot, 0, len(f.replicas)),
+	}
+	var version0, hash0 string
+	for i, rep := range f.replicas {
+		gs := rep.gw.Snapshot()
+		if i == 0 {
+			version0, hash0 = gs.ModelVersion, gs.ModelSHA256
+		} else if gs.ModelVersion != version0 || gs.ModelSHA256 != hash0 {
+			s.MixedModel = true
+		}
+		s.ReplicaStates = append(s.ReplicaStates, ReplicaSnapshot{
+			ID:           rep.id,
+			Down:         rep.down.Load(),
+			Breaker:      rep.breakerState(),
+			Served:       rep.served.Load(),
+			Failures:     rep.failures.Load(),
+			Ejections:    rep.ejections.Load(),
+			Readmissions: rep.readmissions.Load(),
+			Generation:   gs.Generation,
+			ModelVersion: gs.ModelVersion,
+			ModelSHA256:  gs.ModelSHA256,
+			Gateway:      gs,
+		})
+	}
+	return s
+}
+
+// AdminConfig configures the fleet control surface, mirroring the
+// single-gateway gateway.AdminConfig: bearer token compared in constant
+// time, reloads confined to names inside ModelDir, loader errors logged
+// rather than echoed.
+type AdminConfig struct {
+	// Token, when non-empty, is required as `Authorization: Bearer
+	// <token>` on every admin request.
+	Token string
+	// ModelDir confines POST /-/reload's ?path= parameter to local names
+	// inside this directory. Empty disables reload entirely.
+	ModelDir string
+	// Log receives reload failure detail; the HTTP responses stay
+	// generic so the endpoint is not a file-existence or parse oracle.
+	// Default io.Discard.
+	Log io.Writer
+}
+
+// Admin returns the fleet's /-/ control surface: healthz, readyz, the
+// merged statz/metrics, and the coordinated POST /-/reload. Like the
+// gateway's, it is meant for its own loopback listener, never the data
+// path.
+func (f *Front) Admin(cfg AdminConfig) http.Handler {
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return &adminHandler{f: f, cfg: cfg}
+}
+
+type adminHandler struct {
+	f   *Front
+	cfg AdminConfig
+}
+
+func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Token != "" && !h.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="psigened fleet admin"`)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	switch r.URL.Path {
+	case "/-/healthz":
+		// Liveness: the front is up and serving this handler.
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case "/-/readyz":
+		// Readiness: the fleet can serve as long as any replica can.
+		h.serveReadyz(w)
+	case "/-/statz":
+		writeJSON(w, h.f.Snapshot())
+	case "/-/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeFleetMetrics(w, h.f.Snapshot())
+	case "/-/reload":
+		h.serveReload(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// authorized checks the bearer token in constant time.
+func (h *adminHandler) authorized(r *http.Request) bool {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(h.cfg.Token)) == 1
+}
+
+func (h *adminHandler) serveReadyz(w http.ResponseWriter) {
+	for _, rep := range h.f.replicas {
+		if !rep.down.Load() && rep.gw.Ready() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+			return
+		}
+	}
+	http.Error(w, "no replica ready", http.StatusServiceUnavailable)
+}
+
+// serveReload runs the coordinated two-phase reload fleet-wide, with the
+// same confinement and oracle-avoidance discipline as the single-gateway
+// endpoint: ?path= is a local name inside ModelDir, and failure detail
+// goes to the admin log only.
+func (h *adminHandler) serveReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.cfg.ModelDir == "" {
+		http.Error(w, "reload disabled: no model dir configured", http.StatusForbidden)
+		return
+	}
+	name := r.URL.Query().Get("path")
+	if name == "" {
+		http.Error(w, "reload needs ?path=<name>", http.StatusBadRequest)
+		return
+	}
+	if !filepath.IsLocal(name) {
+		http.Error(w, "reload path must be a local name inside the model dir", http.StatusBadRequest)
+		return
+	}
+	gen, err := h.f.ReloadAll(filepath.Join(h.cfg.ModelDir, name))
+	if err != nil {
+		fmt.Fprintf(h.cfg.Log, "psigened: fleet reload %q: %v\n", name, err)
+		http.Error(w, "reload rejected; previous model still serving fleet-wide (see server log)", http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"fleetGeneration": gen, "replicas": len(h.f.replicas)})
+}
+
+// writeFleetMetrics renders a FleetSnapshot in the Prometheus text
+// exposition format. Fleet-level counters are psigened_fleet_*; the
+// per-replica health series carry a replica label so a half-ejected fleet
+// shows up as a labeled family, not a hidden aggregate.
+func writeFleetMetrics(w io.Writer, s FleetSnapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("psigened_fleet_requests_total", "Requests received by the fleet front.", s.Total)
+	counter("psigened_fleet_failovers_total", "Requests retried on the next ring replica after a clean failure.", s.Failovers)
+	counter("psigened_fleet_unavailable_total", "Requests shed because no replica could serve them.", s.Unavailable)
+	counter("psigened_fleet_probe_sweeps_total", "Active health-probe sweeps across the fleet.", s.ProbeSweeps)
+	counter("psigened_fleet_reloads_total", "Successful coordinated model reloads.", s.Reloads)
+	counter("psigened_fleet_reload_failures_total", "Rejected coordinated reloads (probe or commit phase).", s.ReloadFailures)
+	counter("psigened_fleet_rollbacks_total", "Partial commit failures rolled back to the previous model.", s.Rollbacks)
+	counter("psigened_fleet_rollback_failures_total", "Replicas ejected because their rollback failed.", s.RollbackFailures)
+	gauge("psigened_fleet_replicas", "Configured fleet size.", float64(s.Replicas))
+	gauge("psigened_fleet_generation", "Fleet generation: 1 at start, +1 per successful coordinated reload.", float64(s.Generation))
+	mixed := 0.0
+	if s.MixedModel {
+		mixed = 1
+	}
+	gauge("psigened_fleet_mixed_model", "1 if replicas disagree on the serving model identity (must stay 0).", mixed)
+
+	// Per-replica labeled series.
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_breaker_state Replica health breaker: 0 closed, 1 open (ejected), 2 half-open.\n# TYPE psigened_fleet_replica_breaker_state gauge\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_breaker_state{replica=\"%d\"} %d\n", r.ID, int(r.Breaker.State))
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_down 1 while the replica is killed or stranded, 0 otherwise.\n# TYPE psigened_fleet_replica_down gauge\n")
+	for _, r := range s.ReplicaStates {
+		down := 0
+		if r.Down {
+			down = 1
+		}
+		fmt.Fprintf(w, "psigened_fleet_replica_down{replica=\"%d\"} %d\n", r.ID, down)
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_served_total Requests served by each replica.\n# TYPE psigened_fleet_replica_served_total counter\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_served_total{replica=\"%d\"} %d\n", r.ID, r.Served)
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_failures_total Dispatch failures per replica.\n# TYPE psigened_fleet_replica_failures_total counter\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_failures_total{replica=\"%d\"} %d\n", r.ID, r.Failures)
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_ejections_total Breaker trips per replica.\n# TYPE psigened_fleet_replica_ejections_total counter\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_ejections_total{replica=\"%d\"} %d\n", r.ID, r.Ejections)
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_readmissions_total Half-open probes that readmitted a replica.\n# TYPE psigened_fleet_replica_readmissions_total counter\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_readmissions_total{replica=\"%d\"} %d\n", r.ID, r.Readmissions)
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_generation Each replica's own detector swap generation.\n# TYPE psigened_fleet_replica_generation gauge\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_generation{replica=\"%d\"} %d\n", r.ID, r.Generation)
+	}
+	fmt.Fprintf(w, "# HELP psigened_fleet_replica_model_info Serving model identity per replica.\n# TYPE psigened_fleet_replica_model_info gauge\n")
+	for _, r := range s.ReplicaStates {
+		fmt.Fprintf(w, "psigened_fleet_replica_model_info{replica=\"%d\",version=%q,sha256=%q} 1\n", r.ID, r.ModelVersion, r.ModelSHA256)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,541 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"psigene/internal/gateway"
+	"psigene/internal/httpx"
+	"psigene/internal/ids"
+	"psigene/internal/resilience"
+)
+
+// stubBackend is a scriptable replica for unit tests: serve behavior,
+// probe and swap failures are all injectable, and every committed swap is
+// recorded so the two-phase reload tests can assert exactly who swapped
+// to what in which order.
+type stubBackend struct {
+	id    int
+	ready bool
+
+	mu      sync.Mutex
+	version string
+	hash    string
+	gen     uint64
+	swaps   []string // versions committed, rollbacks included
+
+	probeErr error
+	// swapHook, when non-nil, can veto a SwapTagged by the version being
+	// installed — fine-grained enough to fail a rollback but not the
+	// original commit.
+	swapHook func(version string) error
+	serve    func(w http.ResponseWriter, r *http.Request)
+	drained  bool
+}
+
+func newStub(id int) *stubBackend {
+	return &stubBackend{id: id, ready: true, version: "vA", hash: "hashA", gen: 1}
+}
+
+func (s *stubBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.serve != nil {
+		s.serve(w, r)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "replica-%d", s.id)
+}
+
+func (s *stubBackend) Ready() bool { return s.ready }
+
+func (s *stubBackend) ServingModel() (ids.Detector, uint64, string, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return stubDetector{}, s.gen, s.version, s.hash
+}
+
+func (s *stubBackend) ProbeDetector(ids.Detector) error { return s.probeErr }
+
+func (s *stubBackend) SwapTagged(det ids.Detector, version, hash string) (uint64, error) {
+	if s.swapHook != nil {
+		if err := s.swapHook(version); err != nil {
+			return 0, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version, s.hash = version, hash
+	s.gen++
+	s.swaps = append(s.swaps, version)
+	return s.gen, nil
+}
+
+func (s *stubBackend) Snapshot() gateway.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return gateway.Snapshot{Generation: s.gen, ModelVersion: s.version, ModelSHA256: s.hash}
+}
+
+func (s *stubBackend) Drain(context.Context) error {
+	s.drained = true
+	return nil
+}
+
+// stubDetector is a trivially valid detector for reload plumbing.
+type stubDetector struct{}
+
+func (stubDetector) Name() string                      { return "stub" }
+func (stubDetector) Inspect(httpx.Request) ids.Verdict { return ids.Verdict{} }
+
+// noSleep counts backoff invocations without touching the wall clock.
+type noSleep struct{ n int }
+
+func (s *noSleep) fn(time.Duration) { s.n++ }
+
+// testFront builds a front over n stubs with active probing off and
+// injected sleep, tuned for fast ejection cycles.
+func testFront(n int, opts Options) (*Front, []*stubBackend, *noSleep) {
+	stubs := make([]*stubBackend, n)
+	backends := make([]backend, n)
+	for i := range stubs {
+		stubs[i] = newStub(i)
+		backends[i] = stubs[i]
+	}
+	ns := &noSleep{}
+	if opts.Sleep == nil {
+		opts.Sleep = ns.fn
+	}
+	if opts.ProbeEvery == 0 {
+		opts.ProbeEvery = -1 // unit tests drive probes explicitly
+	}
+	return newFront(backends, opts), stubs, ns
+}
+
+func getFrom(h http.Handler, remote, target string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodGet, target, nil)
+	r.RemoteAddr = remote
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// homeOf returns the ring's full preference order for a caller key.
+func homeOf(f *Front, key string) []int {
+	return f.ring.walk(resilience.HashKey(f.opts.Seed, key), make([]int, 0, len(f.replicas)))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	if _, err := New([]*gateway.Gateway{nil}, Options{}); err == nil {
+		t.Fatal("nil replica must be rejected")
+	}
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a := buildRing(7, 5, 32)
+	b := buildRing(7, 5, 32)
+	if len(a.points) != 5*32 || len(b.points) != len(a.points) {
+		t.Fatalf("ring sizes: %d vs %d", len(a.points), len(b.points))
+	}
+	homes := map[int]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("caller-%d", i)
+		wa := a.walk(resilience.HashKey(7, key), nil)
+		wb := b.walk(resilience.HashKey(7, key), nil)
+		if len(wa) != 5 {
+			t.Fatalf("walk for %q covers %d replicas, want 5", key, len(wa))
+		}
+		seen := map[int]bool{}
+		for j, id := range wa {
+			if id != wb[j] {
+				t.Fatalf("walk for %q differs across identical rings", key)
+			}
+			if seen[id] {
+				t.Fatalf("walk for %q repeats replica %d", key, id)
+			}
+			seen[id] = true
+		}
+		homes[wa[0]]++
+	}
+	// Virtual nodes must spread ownership: every replica is home for a
+	// reasonable share of 200 callers.
+	for id := 0; id < 5; id++ {
+		if homes[id] < 10 {
+			t.Fatalf("replica %d is home for only %d/200 callers: %v", id, homes[id], homes)
+		}
+	}
+}
+
+func TestRoutingIsCallerAffine(t *testing.T) {
+	f, _, _ := testFront(3, Options{Seed: 9})
+	for caller := 0; caller < 10; caller++ {
+		remote := fmt.Sprintf("203.0.113.%d:4000", caller)
+		want := homeOf(f, fmt.Sprintf("203.0.113.%d", caller))[0]
+		for i := 0; i < 3; i++ {
+			w := getFrom(f, remote, "/p?id=1")
+			if w.Code != http.StatusOK {
+				t.Fatalf("caller %d: status %d", caller, w.Code)
+			}
+			if got := w.Body.String(); got != fmt.Sprintf("replica-%d", want) {
+				t.Fatalf("caller %d served by %q, want replica-%d", caller, got, want)
+			}
+			if hdr := w.Header().Get("X-Psigene-Fleet"); hdr != fmt.Sprintf("%d 1", want) {
+				t.Fatalf("caller %d fleet header %q", caller, hdr)
+			}
+		}
+	}
+}
+
+func TestFailoverOnDeadReplica(t *testing.T) {
+	f, _, ns := testFront(3, Options{Seed: 9})
+	order := homeOf(f, "203.0.113.1")
+	if err := f.Kill(order[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	w := getFrom(f, "203.0.113.1:4000", "/p?id=1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("failover status %d", w.Code)
+	}
+	if got, want := w.Body.String(), fmt.Sprintf("replica-%d", order[1]); got != want {
+		t.Fatalf("served by %q, want %q", got, want)
+	}
+	if f.stats.failovers.Load() != 1 {
+		t.Fatalf("failovers %d, want 1", f.stats.failovers.Load())
+	}
+	if ns.n != 1 {
+		t.Fatalf("backoff slept %d times, want 1", ns.n)
+	}
+	if f.replicas[order[0]].failures.Load() != 1 {
+		t.Fatal("dead replica's failure not counted")
+	}
+}
+
+func TestPanicBeforeWriteFailsOver(t *testing.T) {
+	f, stubs, _ := testFront(3, Options{Seed: 9})
+	order := homeOf(f, "203.0.113.1")
+	stubs[order[0]].serve = func(http.ResponseWriter, *http.Request) { panic("replica wedged") }
+
+	w := getFrom(f, "203.0.113.1:4000", "/p?id=1")
+	if w.Code != http.StatusOK || w.Body.String() != fmt.Sprintf("replica-%d", order[1]) {
+		t.Fatalf("panic-before-write not failed over: %d %q", w.Code, w.Body.String())
+	}
+	if f.stats.failovers.Load() != 1 {
+		t.Fatalf("failovers %d, want 1", f.stats.failovers.Load())
+	}
+}
+
+func TestPanicAfterWriteIsNeverRetried(t *testing.T) {
+	f, stubs, ns := testFront(3, Options{Seed: 9})
+	order := homeOf(f, "203.0.113.1")
+	stubs[order[0]].serve = func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "partial")
+		panic("died mid-body")
+	}
+
+	w := getFrom(f, "203.0.113.1:4000", "/p?id=1")
+	// The truncated response stands; no second replica runs the request.
+	if got := w.Body.String(); got != "partial" {
+		t.Fatalf("dirty failure replayed: body %q", got)
+	}
+	if f.stats.failovers.Load() != 0 || ns.n != 0 {
+		t.Fatalf("dirty failure retried: failovers=%d sleeps=%d", f.stats.failovers.Load(), ns.n)
+	}
+	if f.replicas[order[0]].failures.Load() != 1 {
+		t.Fatal("dirty failure not counted against the replica")
+	}
+}
+
+func TestAllReplicasDownSheds(t *testing.T) {
+	f, _, _ := testFront(2, Options{Seed: 9})
+	_ = f.Kill(0)
+	_ = f.Kill(1)
+	w := getFrom(f, "203.0.113.1:4000", "/p?id=1")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-down status %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("fleet 503 must carry Retry-After")
+	}
+	if f.stats.unavailable.Load() != 1 {
+		t.Fatalf("unavailable %d, want 1", f.stats.unavailable.Load())
+	}
+}
+
+// TestEjectionAndReadmission walks the full health cycle: consecutive
+// failures eject the home replica, ejected dispatches skip it with zero
+// added latency, the post-cooldown probe against a still-dead replica
+// re-ejects it, and after revival the probe readmits it.
+func TestEjectionAndReadmission(t *testing.T) {
+	f, _, ns := testFront(3, Options{Seed: 9, BreakerThreshold: 2, BreakerCooldown: 3})
+	order := homeOf(f, "203.0.113.1")
+	home := f.replicas[order[0]]
+	remote := "203.0.113.1:4000"
+	serve := func() *httptest.ResponseRecorder { return getFrom(f, remote, "/p?id=1") }
+
+	_ = f.Kill(order[0])
+	serve() // failure 1
+	serve() // failure 2 -> ejected
+	if home.ejections.Load() != 1 || home.breakerState().State != resilience.BreakerOpen {
+		t.Fatalf("not ejected after threshold: ejections=%d state=%v", home.ejections.Load(), home.breakerState())
+	}
+
+	// While ejected: requests skip the home replica without failover
+	// accounting or backoff — the ring walk just moves on.
+	sleepsBefore := ns.n
+	for i := 0; i < 3; i++ { // consumes the cooldown ticks
+		w := serve()
+		if w.Body.String() != fmt.Sprintf("replica-%d", order[1]) {
+			t.Fatalf("ejected dispatch %d served by %q", i, w.Body.String())
+		}
+	}
+	if ns.n != sleepsBefore {
+		t.Fatal("skipping an ejected replica must not back off")
+	}
+
+	// Cooldown spent: the next request is the readmission probe. Still
+	// dead, so it fails, re-ejects, and fails over.
+	serve()
+	if home.ejections.Load() != 2 {
+		t.Fatalf("failed probe did not re-eject: ejections=%d", home.ejections.Load())
+	}
+
+	// Revive, burn the new cooldown, and the next probe readmits.
+	_ = f.Revive(order[0])
+	for i := 0; i < 3; i++ {
+		serve()
+	}
+	w := serve()
+	if w.Body.String() != fmt.Sprintf("replica-%d", order[0]) {
+		t.Fatalf("readmission probe served by %q, want home", w.Body.String())
+	}
+	if home.readmissions.Load() != 1 {
+		t.Fatalf("readmissions %d, want 1", home.readmissions.Load())
+	}
+	if home.breakerState().State != resilience.BreakerClosed {
+		t.Fatalf("readmitted replica breaker %v, want closed", home.breakerState().State)
+	}
+}
+
+func TestActiveProbeEjectsNotReadyReplica(t *testing.T) {
+	f, stubs, _ := testFront(3, Options{Seed: 9, BreakerThreshold: 2, ProbeEvery: 2})
+	stubs[2].ready = false // draining replica: serves nothing new, answers readyz false
+	for i := 0; i < 4; i++ {
+		getFrom(f, "203.0.113.7:4000", "/p?id=1")
+	}
+	// Two sweeps (dispatches 2 and 4) x one failure each = ejected,
+	// without a single client-visible failure on replica 2.
+	if f.replicas[2].ejections.Load() != 1 {
+		t.Fatalf("not-ready replica not ejected by active probes: %d", f.replicas[2].ejections.Load())
+	}
+	if f.stats.probeSweeps.Load() != 2 {
+		t.Fatalf("probe sweeps %d, want 2", f.stats.probeSweeps.Load())
+	}
+}
+
+func TestReloadTwoPhaseCommit(t *testing.T) {
+	f, stubs, _ := testFront(3, Options{Seed: 9})
+	gen, err := f.SwapAllTagged(stubDetector{}, "vB", "hashB")
+	if err != nil {
+		t.Fatalf("SwapAllTagged: %v", err)
+	}
+	if gen != 2 || f.Generation() != 2 {
+		t.Fatalf("fleet generation %d, want 2", gen)
+	}
+	for _, s := range stubs {
+		if s.version != "vB" || len(s.swaps) != 1 {
+			t.Fatalf("replica %d: version %q swaps %v", s.id, s.version, s.swaps)
+		}
+	}
+	if snap := f.Snapshot(); snap.MixedModel || snap.Reloads != 1 {
+		t.Fatalf("snapshot after commit: %+v", snap)
+	}
+}
+
+func TestReloadProbeFailureSwapsNothing(t *testing.T) {
+	f, stubs, _ := testFront(3, Options{Seed: 9})
+	stubs[1].probeErr = fmt.Errorf("candidate rejected on replica 1")
+	if _, err := f.SwapAllTagged(stubDetector{}, "vB", "hashB"); err == nil {
+		t.Fatal("probe failure must reject the reload")
+	}
+	for _, s := range stubs {
+		if len(s.swaps) != 0 || s.version != "vA" {
+			t.Fatalf("replica %d swapped despite probe failure: %v", s.id, s.swaps)
+		}
+	}
+	if f.Generation() != 1 {
+		t.Fatalf("generation advanced to %d on a rejected reload", f.Generation())
+	}
+	if s := f.Snapshot(); s.ReloadFailures != 1 || s.Rollbacks != 0 {
+		t.Fatalf("stats after probe failure: %+v", s)
+	}
+}
+
+func TestReloadCommitFailureRollsBack(t *testing.T) {
+	hook := func(rep int) error {
+		if rep == 2 {
+			return fmt.Errorf("replica 2 wedged at commit")
+		}
+		return nil
+	}
+	f, stubs, _ := testFront(3, Options{Seed: 9, CommitHook: hook})
+	if _, err := f.SwapAllTagged(stubDetector{}, "vB", "hashB"); err == nil {
+		t.Fatal("commit failure must reject the reload")
+	}
+	// Replicas 0 and 1 committed vB then rolled back to vA; replica 2
+	// never swapped. The fleet ends uniform on vA.
+	for _, s := range stubs[:2] {
+		want := []string{"vB", "vA"}
+		if len(s.swaps) != 2 || s.swaps[0] != want[0] || s.swaps[1] != want[1] {
+			t.Fatalf("replica %d swap history %v, want %v", s.id, s.swaps, want)
+		}
+		if s.version != "vA" {
+			t.Fatalf("replica %d not rolled back: %q", s.id, s.version)
+		}
+	}
+	if len(stubs[2].swaps) != 0 {
+		t.Fatalf("failing replica swapped: %v", stubs[2].swaps)
+	}
+	snap := f.Snapshot()
+	if snap.MixedModel {
+		t.Fatal("fleet mixed after rollback")
+	}
+	if snap.Generation != 1 || snap.Rollbacks != 1 || snap.ReloadFailures != 1 {
+		t.Fatalf("stats after rollback: %+v", snap)
+	}
+}
+
+func TestRollbackFailureStrandsAndEjects(t *testing.T) {
+	commitHook := func(rep int) error {
+		if rep == 2 {
+			return fmt.Errorf("replica 2 wedged at commit")
+		}
+		return nil
+	}
+	f, stubs, _ := testFront(3, Options{Seed: 9, CommitHook: commitHook})
+	// Replica 0 accepts the vB commit but refuses the vA rollback — the
+	// stranded-on-new-model case.
+	stubs[0].swapHook = func(version string) error {
+		if version == "vA" {
+			return fmt.Errorf("rollback refused")
+		}
+		return nil
+	}
+	if _, err := f.SwapAllTagged(stubDetector{}, "vB", "hashB"); err == nil {
+		t.Fatal("commit failure must reject the reload")
+	}
+	if !f.replicas[0].down.Load() {
+		t.Fatal("stranded replica must be ejected")
+	}
+	snap := f.Snapshot()
+	if snap.RollbackFailures != 1 {
+		t.Fatalf("rollback failures %d, want 1", snap.RollbackFailures)
+	}
+	// The stranded replica is down, so even though it serves a different
+	// model identity, it serves no traffic; statz still screams about it.
+	if !snap.MixedModel {
+		t.Fatal("stranded replica must surface as mixed model")
+	}
+}
+
+func TestAdminSurface(t *testing.T) {
+	f, stubs, _ := testFront(3, Options{Seed: 9})
+	admin := f.Admin(AdminConfig{Token: "sekrit"})
+
+	if w := getFrom(admin, "1.2.3.4:5", "/-/statz"); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless statz: %d, want 401", w.Code)
+	}
+	authGet := func(target string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodGet, target, nil)
+		r.Header.Set("Authorization", "Bearer sekrit")
+		admin.ServeHTTP(w, r)
+		return w
+	}
+
+	if w := authGet("/-/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if w := authGet("/-/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", w.Code)
+	}
+
+	var snap FleetSnapshot
+	w := authGet("/-/statz")
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("statz JSON: %v", err)
+	}
+	if snap.Replicas != 3 || len(snap.ReplicaStates) != 3 {
+		t.Fatalf("statz replicas: %+v", snap)
+	}
+
+	m := authGet("/-/metrics").Body.String()
+	for _, want := range []string{
+		"psigened_fleet_requests_total",
+		`psigened_fleet_replica_breaker_state{replica="0"}`,
+		`psigened_fleet_replica_model_info{replica="2",version="vA",sha256="hashA"} 1`,
+		"psigened_fleet_mixed_model 0",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, m)
+		}
+	}
+
+	// Readiness fails only when no replica can serve.
+	_ = f.Kill(0)
+	_ = f.Kill(1)
+	stubs[2].ready = false
+	if w := authGet("/-/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no live replica: %d, want 503", w.Code)
+	}
+
+	// Reload endpoint confinement mirrors the gateway's.
+	post := func(target string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, target, nil)
+		r.Header.Set("Authorization", "Bearer sekrit")
+		admin.ServeHTTP(w, r)
+		return w
+	}
+	if w := post("/-/reload?path=x.json"); w.Code != http.StatusForbidden {
+		t.Fatalf("reload without model dir: %d, want 403", w.Code)
+	}
+	admin2 := f.Admin(AdminConfig{ModelDir: t.TempDir()})
+	if w := adminPost(admin2, "/-/reload?path=../evil.json"); w.Code != http.StatusBadRequest {
+		t.Fatalf("traversal reload: %d, want 400", w.Code)
+	}
+	if w := adminPost(admin2, "/-/reload"); w.Code != http.StatusBadRequest {
+		t.Fatalf("pathless reload: %d, want 400", w.Code)
+	}
+	if w := getFrom(admin2, "1.2.3.4:5", "/-/reload?path=x.json"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: %d, want 405", w.Code)
+	}
+}
+
+func adminPost(h http.Handler, target string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, target, nil))
+	return w
+}
+
+func TestDrainDrainsEveryReplica(t *testing.T) {
+	f, stubs, _ := testFront(3, Options{Seed: 9})
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, s := range stubs {
+		if !s.drained {
+			t.Fatalf("replica %d not drained", s.id)
+		}
+	}
+}

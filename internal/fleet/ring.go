@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+
+	"psigene/internal/resilience"
+)
+
+// ring is the consistent-hash ring the front routes callers over. Every
+// replica owns VirtualNodes points on a 64-bit circle; a caller key hashes
+// to a position and is served by the replica owning the first point at or
+// clockwise of it. Virtual nodes smooth the per-replica key share, and
+// consistent hashing is what makes failover cheap: when a replica is
+// ejected, only its own keys move — to the next distinct replica on the
+// ring — while every other caller keeps its affinity (and therefore its
+// per-client admission state) untouched.
+//
+// The ring is immutable after construction. Ejection does not rebuild it:
+// the walk order is fixed, and health is consulted per dispatch, so the
+// routing decision stays a pure function of (seed, key, breaker states) —
+// the property the chaos suite's bit-identical transcripts rest on.
+type ring struct {
+	points   []ringPoint // sorted by hash, ties broken by replica id
+	replicas int
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// buildRing places virtual nodes for each replica. Point positions are
+// resilience.HashKey over a synthetic per-vnode key, so the layout is a
+// pure function of (seed, replicas, virtual).
+func buildRing(seed int64, replicas, virtual int) ring {
+	pts := make([]ringPoint, 0, replicas*virtual)
+	for r := 0; r < replicas; r++ {
+		for v := 0; v < virtual; v++ {
+			key := "replica-" + strconv.Itoa(r) + "/vnode-" + strconv.Itoa(v)
+			pts = append(pts, ringPoint{hash: resilience.HashKey(seed, key), replica: r})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].replica < pts[j].replica
+	})
+	return ring{points: pts, replicas: replicas}
+}
+
+// walk appends to out the distinct replica ids in ring order starting at
+// the first point at or clockwise of h, until every replica appears once.
+// out[0] is the caller's home replica; the rest is its deterministic
+// failover order.
+func (rg ring) walk(h uint64, out []int) []int {
+	start := sort.Search(len(rg.points), func(k int) bool { return rg.points[k].hash >= h })
+	for i := 0; i < len(rg.points) && len(out) < rg.replicas; i++ {
+		p := rg.points[(start+i)%len(rg.points)]
+		seen := false
+		for _, id := range out {
+			if id == p.replica {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

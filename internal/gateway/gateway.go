@@ -283,6 +283,24 @@ func (g *Gateway) Detector() (ids.Detector, uint64) {
 	return s.det, s.gen
 }
 
+// ServingModel returns the serving detector together with its generation
+// and the artifact identity it was loaded from (empty strings when the
+// detector is not artifact-backed). The fleet front reads it to save the
+// serving state before a coordinated swap so a partial fanout failure can
+// roll every replica back to exactly what it was serving.
+func (g *Gateway) ServingModel() (det ids.Detector, gen uint64, version, hash string) {
+	s := g.state.Load()
+	return s.det, s.gen, s.version, s.hash
+}
+
+// Ready reports whether the gateway is accepting new requests — the
+// programmatic equivalent of GET /-/readyz. The fleet front's active
+// health probes consult it so a draining replica drops out of the ring
+// without a client-visible failure.
+func (g *Gateway) Ready() bool {
+	return !g.draining.Load()
+}
+
 // ServeHTTP is the data path: every request — including anything under
 // /-/ , which belongs to the upstream here — runs through admission
 // control, scoring, and the upstream leg. The admin surface is a separate
